@@ -1,0 +1,131 @@
+// Ablation C — Collaborative Localization accuracy vs assistant count and
+// sensor noise.
+//
+// The paper deploys CL with a network of three UAVs; this ablation
+// quantifies how fix accuracy scales with the number of assisting UAVs and
+// with the monocular-depth error, justifying the three-vehicle fleet.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "sesame/localization/collaborative.hpp"
+#include "sesame/mathx/stats.hpp"
+#include "sesame/sim/world.hpp"
+
+namespace {
+
+using namespace sesame;
+
+const geo::GeoPoint kOrigin{35.1856, 33.3823, 0.0};
+
+struct Accuracy {
+  double mean_error_m = 0.0;
+  double p95_error_m = 0.0;
+};
+
+Accuracy measure(std::size_t assistants, double range_noise_frac,
+                 double bearing_noise_deg, std::uint64_t seed) {
+  sim::World world(kOrigin, seed);
+  sim::UavConfig cfg;
+  cfg.name = "affected";
+  world.add_uav(cfg, kOrigin);
+  std::vector<std::string> helpers;
+  for (std::size_t i = 0; i < assistants; ++i) {
+    sim::UavConfig h;
+    h.name = "h" + std::to_string(i);
+    const double angle = 360.0 * static_cast<double>(i) /
+                         static_cast<double>(assistants);
+    world.add_uav(h, geo::destination(kOrigin, angle, 70.0));
+    helpers.push_back(h.name);
+  }
+  for (std::size_t i = 0; i < world.num_uavs(); ++i) {
+    world.uav(i).command_takeoff();
+  }
+  world.run(15, 1.0);
+
+  localization::ObservationModel model;
+  model.detection_probability = 1.0;
+  model.detection_range_m = 600.0;
+  model.range_noise_frac = range_noise_frac;
+  model.bearing_noise_deg = bearing_noise_deg;
+  localization::CollaborativeLocalizer cl(world, "affected", helpers, model);
+
+  std::vector<double> errors;
+  for (int r = 0; r < 300; ++r) {
+    const auto fix = cl.update();
+    if (fix) errors.push_back(fix->true_error_m);
+  }
+  Accuracy a;
+  a.mean_error_m = mathx::mean(errors);
+  a.p95_error_m = mathx::quantile(errors, 0.95);
+  return a;
+}
+
+void report() {
+  std::printf("==============================================================\n");
+  std::printf("Ablation C — Collaborative Localization accuracy scaling\n");
+  std::printf("==============================================================\n");
+
+  std::printf("\nFix error vs number of assisting UAVs "
+              "(range noise 4%%, bearing noise 2 deg):\n");
+  std::printf("%-14s %-16s %s\n", "assistants", "mean error (m)",
+              "p95 error (m)");
+  for (std::size_t n : {1, 2, 3, 4, 6}) {
+    const auto a = measure(n, 0.04, 2.0, 31);
+    std::printf("%-14zu %-16.2f %.2f\n", n, a.mean_error_m, a.p95_error_m);
+  }
+
+  std::printf("\nFix error vs monocular-depth noise (2 assistants):\n");
+  std::printf("%-20s %-16s %s\n", "range noise (%)", "mean error (m)",
+              "p95 error (m)");
+  for (double f : {0.01, 0.02, 0.04, 0.08, 0.16}) {
+    const auto a = measure(2, f, 2.0, 37);
+    std::printf("%-20.0f %-16.2f %.2f\n", 100.0 * f, a.mean_error_m,
+                a.p95_error_m);
+  }
+
+  std::printf("\nFix error vs bearing noise (2 assistants, 4%% range noise):\n");
+  std::printf("%-20s %-16s %s\n", "bearing noise (deg)", "mean error (m)",
+              "p95 error (m)");
+  for (double b : {0.5, 1.0, 2.0, 4.0, 8.0}) {
+    const auto a = measure(2, 0.04, b, 41);
+    std::printf("%-20.1f %-16.2f %.2f\n", b, a.mean_error_m, a.p95_error_m);
+  }
+  std::printf("\nExpected shape: error falls with more assistants and rises "
+              "with either noise source; the paper's 3-UAV network sits at "
+              "metre-level accuracy — enough for the <0.75 m collaborative-"
+              "navigation guarantee only with tight sensors, and for safe "
+              "landing in all configurations.\n\n");
+}
+
+void BM_FixUpdate(benchmark::State& state) {
+  const auto assistants = static_cast<std::size_t>(state.range(0));
+  sim::World world(kOrigin, 5);
+  sim::UavConfig cfg;
+  cfg.name = "affected";
+  world.add_uav(cfg, kOrigin);
+  std::vector<std::string> helpers;
+  for (std::size_t i = 0; i < assistants; ++i) {
+    sim::UavConfig h;
+    h.name = "h" + std::to_string(i);
+    world.add_uav(h, geo::destination(kOrigin, 120.0 * i, 70.0));
+    helpers.push_back(h.name);
+  }
+  localization::ObservationModel model;
+  model.detection_probability = 1.0;
+  model.detection_range_m = 600.0;
+  localization::CollaborativeLocalizer cl(world, "affected", helpers, model);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cl.update());
+  }
+}
+BENCHMARK(BM_FixUpdate)->Arg(1)->Arg(2)->Arg(3)->Arg(6);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  report();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

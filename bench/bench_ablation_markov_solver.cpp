@@ -1,0 +1,136 @@
+// Ablation B — Markov transient-solver cost and the reconfiguration design
+// choice in SafeDrones.
+//
+// Two questions behind the SafeDrones design:
+//   1. What does a runtime reliability evaluation cost as the propulsion
+//      model grows (quad -> hexa -> octa, uniformization vs dense expm)?
+//      The paper's "lightweight technologies" constraint makes this the
+//      relevant ablation for running the monitor on a Jetson-class device.
+//   2. How much reliability does motor reconfiguration actually buy?
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "sesame/markov/ctmc.hpp"
+#include "sesame/mathx/rng.hpp"
+#include "sesame/safedrones/models.hpp"
+
+namespace {
+
+using namespace sesame;
+
+/// A dense random generator matrix with n states (worst case for expm).
+mathx::Matrix random_generator(std::size_t n, mathx::Rng& rng) {
+  mathx::Matrix q(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    double row = 0.0;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (i == j) continue;
+      q(i, j) = rng.uniform(0.0, 0.2);
+      row += q(i, j);
+    }
+    q(i, i) = -row;
+  }
+  return q;
+}
+
+void report() {
+  std::printf("==============================================================\n");
+  std::printf("Ablation B — Markov reliability models: accuracy & tolerance\n");
+  std::printf("==============================================================\n");
+
+  std::printf("\nReconfiguration benefit (motor failure rate 2e-6 /s):\n");
+  std::printf("%-10s %-22s %-22s %s\n", "airframe", "P(fail, 30 min) w/",
+              "P(fail, 30 min) w/o", "MTTF gain");
+  for (auto af : {safedrones::Airframe::kQuad, safedrones::Airframe::kHexa,
+                  safedrones::Airframe::kOcta}) {
+    safedrones::PropulsionConfig with;
+    with.airframe = af;
+    with.motor_failure_rate = 2e-6;
+    with.reconfiguration = true;
+    auto without = with;
+    without.reconfiguration = false;
+    safedrones::PropulsionModel mw(with), mo(without);
+    std::printf("%-10zu %-22.3e %-22.3e %.1fx\n", safedrones::rotor_count(af),
+                mw.failure_probability(1800.0), mo.failure_probability(1800.0),
+                mw.mttf() / mo.mttf());
+  }
+
+  std::printf("\nUniformization vs dense expm agreement on random chains:\n");
+  std::printf("%-10s %-16s\n", "states", "max |delta|");
+  mathx::Rng rng(17);
+  for (std::size_t n : {4, 8, 16, 32}) {
+    const auto q = random_generator(n, rng);
+    markov::Ctmc chain(q);
+    std::vector<double> pi0(n, 0.0);
+    pi0[0] = 1.0;
+    const auto uni = chain.transient(pi0, 3.0);
+    const auto exact = mathx::expm(q * 3.0).apply_transposed(pi0);
+    double worst = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      worst = std::max(worst, std::abs(uni[i] - exact[i]));
+    }
+    std::printf("%-10zu %-16.3e\n", n, worst);
+  }
+  std::printf("\n");
+}
+
+void BM_TransientUniformization(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  mathx::Rng rng(23);
+  markov::Ctmc chain(random_generator(n, rng));
+  std::vector<double> pi0(n, 0.0);
+  pi0[0] = 1.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(chain.transient(pi0, 3.0));
+  }
+  state.SetComplexityN(static_cast<long>(n));
+}
+BENCHMARK(BM_TransientUniformization)->Arg(4)->Arg(8)->Arg(16)->Arg(32)->Arg(64)
+    ->Complexity();
+
+void BM_TransientExpm(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  mathx::Rng rng(23);
+  const auto q = random_generator(n, rng);
+  std::vector<double> pi0(n, 0.0);
+  pi0[0] = 1.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mathx::expm(q * 3.0).apply_transposed(pi0));
+  }
+  state.SetComplexityN(static_cast<long>(n));
+}
+BENCHMARK(BM_TransientExpm)->Arg(4)->Arg(8)->Arg(16)->Arg(32)->Arg(64)
+    ->Complexity();
+
+void BM_PropulsionEvaluation(benchmark::State& state) {
+  safedrones::PropulsionConfig cfg;
+  cfg.airframe = static_cast<safedrones::Airframe>(state.range(0));
+  cfg.motor_failure_rate = 2e-6;
+  safedrones::PropulsionModel model(cfg);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.failure_probability(1800.0));
+  }
+}
+BENCHMARK(BM_PropulsionEvaluation)->Arg(0)->Arg(1)->Arg(2);
+
+void BM_MeanTimeToAbsorption(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  markov::CtmcBuilder b;
+  for (std::size_t i = 0; i < n; ++i) b.add_state("s" + std::to_string(i));
+  for (std::size_t i = 0; i + 1 < n; ++i) b.add_transition(i, i + 1, 0.5);
+  const auto chain = b.build();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(chain.mean_time_to_absorption(0));
+  }
+}
+BENCHMARK(BM_MeanTimeToAbsorption)->Arg(8)->Arg(32)->Arg(64);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  report();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,111 @@
+// Ablation A — SafeML distance-measure comparison.
+//
+// The SafeML papers evaluate several ECDF distance measures; the SESAME
+// integration must pick one for the runtime monitor. This ablation
+// compares all six on the axes that matter for the UAV deployment:
+//   - drift-detection power: true-positive rate at a fixed false-positive
+//     budget across increasing distribution shifts, and
+//   - runtime cost per window (the Jetson-class compute constraint the
+//     paper's "lightweight technologies" requirement refers to).
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "sesame/mathx/rng.hpp"
+#include "sesame/mathx/stats.hpp"
+#include "sesame/safeml/distances.hpp"
+
+namespace {
+
+using namespace sesame;
+using safeml::Measure;
+
+constexpr std::size_t kReference = 400;
+constexpr std::size_t kWindow = 64;
+constexpr int kTrials = 200;
+
+std::vector<double> sample(mathx::Rng& rng, std::size_t n, double mean,
+                           double sd) {
+  std::vector<double> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) out.push_back(rng.normal(mean, sd));
+  return out;
+}
+
+/// Detection threshold at ~5% false-positive rate, calibrated from clean
+/// windows, then the true-positive rate under shift.
+double detection_power(Measure m, double shift, mathx::Rng& rng) {
+  const auto reference = sample(rng, kReference, 0.0, 1.0);
+  std::vector<double> clean_scores;
+  clean_scores.reserve(kTrials);
+  for (int t = 0; t < kTrials; ++t) {
+    clean_scores.push_back(
+        safeml::distance(m, reference, sample(rng, kWindow, 0.0, 1.0)));
+  }
+  const double threshold = mathx::quantile(clean_scores, 0.95);
+  int hits = 0;
+  for (int t = 0; t < kTrials; ++t) {
+    if (safeml::distance(m, reference, sample(rng, kWindow, shift, 1.0)) >
+        threshold) {
+      ++hits;
+    }
+  }
+  return static_cast<double>(hits) / kTrials;
+}
+
+void report() {
+  std::printf("==============================================================\n");
+  std::printf("Ablation A — SafeML statistical distance measures\n");
+  std::printf("==============================================================\n");
+  std::printf("\nTrue-positive rate at 5%% false-positive budget "
+              "(reference n=%zu, window n=%zu, %d trials):\n",
+              kReference, kWindow, kTrials);
+  std::printf("%-18s", "measure");
+  const std::vector<double> shifts{0.1, 0.25, 0.5, 1.0, 2.0};
+  for (double s : shifts) std::printf(" shift=%-6.2f", s);
+  std::printf("\n");
+  for (auto m : safeml::all_measures()) {
+    mathx::Rng rng(1234);  // same stream per measure: paired comparison
+    std::printf("%-18s", safeml::measure_name(m).c_str());
+    for (double s : shifts) {
+      std::printf(" %-12.2f", detection_power(m, s, rng));
+    }
+    std::printf("\n");
+  }
+  std::printf("\nExpected shape: power rises with shift for every measure; "
+              "tail-weighted measures (AD, DTS) lead at small shifts.\n\n");
+}
+
+void BM_Distance(benchmark::State& state) {
+  const auto m = static_cast<Measure>(state.range(0));
+  mathx::Rng rng(7);
+  const auto a = sample(rng, kReference, 0.0, 1.0);
+  const auto b = sample(rng, kWindow, 0.5, 1.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(safeml::distance(m, a, b));
+  }
+  state.SetLabel(safeml::measure_name(m));
+}
+BENCHMARK(BM_Distance)->DenseRange(0, 5);
+
+void BM_PermutationPValue(benchmark::State& state) {
+  mathx::Rng rng(7);
+  const auto a = sample(rng, 128, 0.0, 1.0);
+  const auto b = sample(rng, kWindow, 0.5, 1.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(safeml::permutation_p_value(
+        Measure::kKolmogorovSmirnov, a, b, rng, 100));
+  }
+}
+BENCHMARK(BM_PermutationPValue)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  report();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

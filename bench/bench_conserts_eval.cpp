@@ -1,0 +1,151 @@
+// Exercises the paper's Fig. 1 hierarchical ConSert network: enumerates
+// the evidence space, prints the resulting action lattice and mission
+// decisions, and times the runtime evaluation (the cost that matters for
+// "shifting assurance to runtime" on constrained UAV hardware).
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "sesame/conserts/uav_network.hpp"
+
+namespace {
+
+using namespace sesame::conserts;
+
+UavEvidence evidence_from_mask(unsigned mask) {
+  UavEvidence e;
+  e.gps_quality_good = mask & 1u;
+  e.no_security_attack = mask & 2u;
+  e.vision_sensor_healthy = mask & 4u;
+  e.safeml_confidence_high = mask & 8u;
+  e.comm_link_good = mask & 16u;
+  e.nearby_uav_available = mask & 32u;
+  // Reliability: two bits select exactly one of High/Medium/Low/none.
+  const unsigned rel = (mask >> 6) & 3u;
+  e.reliability_high = rel == 1;
+  e.reliability_medium = rel == 2;
+  e.reliability_low = rel == 3;
+  return e;
+}
+
+void report() {
+  std::printf("==============================================================\n");
+  std::printf("Fig. 1 — Hierarchical ConSert UAV network evaluation\n");
+  std::printf("==============================================================\n");
+
+  ConSertNetwork net;
+  add_uav_conserts(net, "uav1");
+
+  // Sweep the full evidence space; count the resulting actions.
+  std::size_t counts[5] = {0, 0, 0, 0, 0};
+  const unsigned total = 1u << 8;
+  for (unsigned mask = 0; mask < total; ++mask) {
+    EvaluationContext ctx;
+    apply_evidence(ctx, "uav1", evidence_from_mask(mask));
+    const auto eval = net.evaluate(ctx);
+    counts[static_cast<int>(uav_action(eval, "uav1"))]++;
+  }
+  std::printf("\nAction distribution over all %u evidence combinations:\n",
+              total);
+  for (int a = 0; a < 5; ++a) {
+    std::printf("  %-32s %zu\n",
+                uav_action_name(static_cast<UavAction>(a)).c_str(), counts[a]);
+  }
+
+  // Representative rows of the decision table.
+  struct Row {
+    const char* description;
+    UavEvidence e;
+  };
+  auto nominal = [] {
+    UavEvidence e;
+    e.gps_quality_good = e.no_security_attack = e.vision_sensor_healthy =
+        e.safeml_confidence_high = e.comm_link_good = e.nearby_uav_available =
+            true;
+    e.reliability_high = true;
+    return e;
+  };
+  std::vector<Row> rows;
+  rows.push_back({"all evidence nominal", nominal()});
+  {
+    auto e = nominal();
+    e.no_security_attack = false;
+    rows.push_back({"security attack flagged", e});
+  }
+  {
+    auto e = nominal();
+    e.reliability_high = false;
+    e.reliability_low = true;
+    rows.push_back({"SafeDrones reliability low", e});
+  }
+  {
+    auto e = nominal();
+    e.gps_quality_good = false;
+    e.comm_link_good = false;
+    e.safeml_confidence_high = false;
+    rows.push_back({"GPS lost, no comms, SafeML low", e});
+  }
+  std::printf("\n%-36s %s\n", "situation", "UAV ConSert action");
+  for (const auto& row : rows) {
+    EvaluationContext ctx;
+    apply_evidence(ctx, "uav1", row.e);
+    const auto eval = net.evaluate(ctx);
+    std::printf("%-36s %s\n", row.description,
+                uav_action_name(uav_action(eval, "uav1")).c_str());
+  }
+
+  // Mission decider over a degrading 3-UAV fleet.
+  std::printf("\nMission decider (3 UAVs):\n");
+  std::printf("  all continue              -> %s\n",
+              mission_decision_name(decide_mission(
+                  {UavAction::kContinue, UavAction::kContinue,
+                   UavAction::kContinueExtended})).c_str());
+  std::printf("  one lands, taker present  -> %s\n",
+              mission_decision_name(decide_mission(
+                  {UavAction::kEmergencyLand, UavAction::kContinue,
+                   UavAction::kContinueExtended})).c_str());
+  std::printf("  one lands, no taker       -> %s\n\n",
+              mission_decision_name(decide_mission(
+                  {UavAction::kEmergencyLand, UavAction::kContinue,
+                   UavAction::kContinue})).c_str());
+}
+
+void BM_SingleUavEvaluation(benchmark::State& state) {
+  ConSertNetwork net;
+  add_uav_conserts(net, "uav1");
+  EvaluationContext ctx;
+  UavEvidence e;
+  e.gps_quality_good = e.no_security_attack = e.reliability_high = true;
+  apply_evidence(ctx, "uav1", e);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net.evaluate(ctx));
+  }
+}
+BENCHMARK(BM_SingleUavEvaluation);
+
+void BM_FleetEvaluation(benchmark::State& state) {
+  const auto n_uavs = static_cast<std::size_t>(state.range(0));
+  ConSertNetwork net;
+  EvaluationContext ctx;
+  for (std::size_t i = 0; i < n_uavs; ++i) {
+    const std::string name = "uav" + std::to_string(i);
+    add_uav_conserts(net, name);
+    UavEvidence e;
+    e.gps_quality_good = e.no_security_attack = e.reliability_high = true;
+    apply_evidence(ctx, name, e);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(net.evaluate(ctx));
+  }
+  state.SetComplexityN(static_cast<long>(n_uavs));
+}
+BENCHMARK(BM_FleetEvaluation)->Arg(1)->Arg(3)->Arg(10)->Arg(30)->Complexity();
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  report();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,99 @@
+// Fleet dashboard: what the paper's web GUI / ground control station
+// renders — live fleet status from the Database Manager, the ConSert
+// decisions, and the ODE interchange documents a certification authority
+// would pull from the platform.
+//
+// Run: ./build/examples/fleet_dashboard
+#include <cstdio>
+
+#include "sesame/eddi/consert_ode.hpp"
+#include "sesame/platform/database.hpp"
+#include "sesame/platform/gcs.hpp"
+#include "sesame/platform/mission_runner.hpp"
+
+int main() {
+  using namespace sesame;
+
+  platform::RunnerConfig config;
+  config.n_uavs = 3;
+  config.area = {0.0, 200.0, 0.0, 200.0};
+  config.n_persons = 5;
+  config.max_time_s = 900.0;
+  config.battery_fault = platform::BatteryFaultEvent{"uav3", 120.0, 0.40, 70.0};
+
+  platform::MissionRunner runner(config);
+
+  // The dashboard's data source: a GCS-side database fed over the bus,
+  // with the ground control station logging operational events.
+  platform::DatabaseManager db(runner.world().bus());
+  db.allow_client("web_gui");
+  platform::GroundControlStation gcs(runner.world().bus(), db, "web_gui");
+  for (const auto& name : runner.uav_names()) {
+    db.attach_uav(name);
+    gcs.watch_uav(name);
+  }
+  gcs.log_operator_note(0.0, "mission launch authorized");
+
+  const auto result = runner.run();
+
+  std::printf("============================================================\n");
+  std::printf(" SESAME MULTI-UAV PLATFORM — FLEET STATUS\n");
+  std::printf("============================================================\n");
+  std::printf(" mission: SAR sweep %.0fx%.0f m | t=%.0f s | decision: %s\n",
+              config.area.width(), config.area.height(), result.total_time_s,
+              conserts::mission_decision_name(result.final_decision).c_str());
+  std::printf(" persons: %zu/%zu found | availability: %.1f %%\n\n",
+              result.detection.persons_found, result.detection.persons_total,
+              100.0 * result.availability);
+
+  std::printf(" %-6s %-10s %-7s %-9s %-10s %-22s %s\n", "UAV", "lat", "lon",
+              "alt (m)", "battery", "mode", "last action");
+  for (const auto& name : runner.uav_names()) {
+    const auto latest = db.latest("web_gui", name);
+    if (!latest) continue;
+    const auto& series = result.series.at(name);
+    char battery[16];
+    std::snprintf(battery, sizeof battery, "%.0f%%",
+                  100.0 * latest->battery_soc);
+    std::printf(" %-6s %-10.5f %-7.4f %-9.1f %-10s %-22s %s\n", name.c_str(),
+                latest->reported_position.lat_deg,
+                latest->reported_position.lon_deg, latest->altitude_m, battery,
+                sim::flight_mode_name(latest->mode).c_str(),
+                conserts::uav_action_name(series.back().action).c_str());
+  }
+
+  // Per-UAV availability (the Fig. 5 metric, per vehicle).
+  std::printf("\n per-UAV availability:\n");
+  for (const auto& [name, avail] : result.availability_per_uav) {
+    std::printf("   %-6s %5.1f %%%s\n", name.c_str(), 100.0 * avail,
+                name == "uav3" ? "   (battery fault at t=120 s)" : "");
+  }
+
+  // GCS live status view (what the web GUI renders).
+  std::printf("\n%s", gcs.render_status().c_str());
+
+  // Operational event log (last ten entries).
+  std::printf("\n event log (tail):\n");
+  const auto& events = gcs.events();
+  const std::size_t from = events.size() > 10 ? events.size() - 10 : 0;
+  for (std::size_t i = from; i < events.size(); ++i) {
+    std::printf("   [t=%6.0f] %-9s %-6s %s\n", events[i].time_s,
+                events[i].category.c_str(), events[i].uav.c_str(),
+                events[i].message.c_str());
+  }
+  std::printf("\n area coverage: %.1f %% of the mission area imaged\n",
+              100.0 * result.area_coverage);
+
+  // ODE interchange: the assurance models the platform would hand to a
+  // certification workflow.
+  conserts::ConSertNetwork network;
+  for (const auto& name : runner.uav_names()) {
+    conserts::add_uav_conserts(network, name);
+  }
+  const auto doc = eddi::consert_network_to_ode(network);
+  const std::string json = doc.to_json();
+  std::printf("\n ODE ConSert-network document: %zu ConSerts, %zu bytes\n",
+              network.size(), json.size());
+  std::printf(" first 160 bytes: %.160s...\n", json.c_str());
+  return 0;
+}

@@ -1,0 +1,137 @@
+// Command-line scenario runner: configure a mission from flags, run it,
+// print the summary, and optionally export the time series as CSV for
+// external plotting — the batch-experimentation entry point.
+//
+// Usage:
+//   scenario_cli [--config FILE.json] [--uavs N] [--area-m M]
+//                [--altitude-m A] [--persons P] [--baseline]
+//                [--battery-fault UAV:T] [--spoof UAV:T] [--seed S]
+//                [--csv PREFIX] [--save-config FILE.json]
+//
+// --config loads a JSON scenario file first; later flags override it.
+// --save-config writes the effective configuration back out.
+//
+// Examples:
+//   scenario_cli --uavs 3 --area-m 300 --battery-fault uav2:250
+//   scenario_cli --spoof uav1:60 --csv /tmp/run
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "sesame/platform/mission_runner.hpp"
+#include "sesame/platform/config_io.hpp"
+#include "sesame/platform/report.hpp"
+
+namespace {
+
+/// Parses "name:time" event syntax; exits with a message on bad input.
+std::pair<std::string, double> parse_event(const char* arg) {
+  const std::string s(arg);
+  const auto colon = s.find(':');
+  if (colon == std::string::npos || colon == 0 || colon + 1 >= s.size()) {
+    std::fprintf(stderr, "expected UAV:TIME, got '%s'\n", arg);
+    std::exit(2);
+  }
+  return {s.substr(0, colon), std::atof(s.c_str() + colon + 1)};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace sesame;
+
+  platform::RunnerConfig config;
+  config.n_uavs = 3;
+  config.area = {0.0, 300.0, 0.0, 300.0};
+  config.coverage.altitude_m = 20.0;
+  config.n_persons = 8;
+  config.max_time_s = 2000.0;
+  std::string csv_prefix;
+  std::string save_config_path;
+
+  // First pass: --config must apply before overriding flags.
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--config") == 0) {
+      config = platform::load_config(argv[i + 1]);
+    }
+  }
+
+  for (int i = 1; i < argc; ++i) {
+    const auto need_value = [&](const char* flag) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s needs a value\n", flag);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (std::strcmp(argv[i], "--uavs") == 0) {
+      config.n_uavs = static_cast<std::size_t>(std::atoi(need_value("--uavs")));
+    } else if (std::strcmp(argv[i], "--area-m") == 0) {
+      const double side = std::atof(need_value("--area-m"));
+      config.area = {0.0, side, 0.0, side};
+    } else if (std::strcmp(argv[i], "--altitude-m") == 0) {
+      config.coverage.altitude_m = std::atof(need_value("--altitude-m"));
+    } else if (std::strcmp(argv[i], "--persons") == 0) {
+      config.n_persons =
+          static_cast<std::size_t>(std::atoi(need_value("--persons")));
+    } else if (std::strcmp(argv[i], "--baseline") == 0) {
+      config.sesame_enabled = false;
+    } else if (std::strcmp(argv[i], "--battery-fault") == 0) {
+      const auto [uav, t] = parse_event(need_value("--battery-fault"));
+      config.battery_fault = platform::BatteryFaultEvent{uav, t, 0.40, 70.0};
+    } else if (std::strcmp(argv[i], "--spoof") == 0) {
+      const auto [uav, t] = parse_event(need_value("--spoof"));
+      config.spoofing = platform::SpoofingEvent{uav, t, 2.0};
+    } else if (std::strcmp(argv[i], "--seed") == 0) {
+      config.seed = static_cast<std::uint64_t>(std::atoll(need_value("--seed")));
+    } else if (std::strcmp(argv[i], "--csv") == 0) {
+      csv_prefix = need_value("--csv");
+    } else if (std::strcmp(argv[i], "--config") == 0) {
+      need_value("--config");  // applied in the first pass
+    } else if (std::strcmp(argv[i], "--save-config") == 0) {
+      save_config_path = need_value("--save-config");
+    } else {
+      std::fprintf(stderr, "unknown flag '%s' (see the file header)\n", argv[i]);
+      return 2;
+    }
+  }
+
+  if (!save_config_path.empty()) {
+    platform::save_config(config, save_config_path);
+    std::printf("wrote scenario config to %s\n", save_config_path.c_str());
+  }
+
+  platform::MissionRunner runner(config);
+  const auto result = runner.run();
+
+  std::printf("sesame            : %s\n", config.sesame_enabled ? "on" : "off");
+  std::printf("mission complete  : %s",
+              result.mission_complete_time_s ? "yes" : "no");
+  if (result.mission_complete_time_s) {
+    std::printf(" at %.0f s", *result.mission_complete_time_s);
+  }
+  std::printf("\nscenario length   : %.0f s\n", result.total_time_s);
+  std::printf("fleet availability: %.1f %%\n", 100.0 * result.availability);
+  std::printf("area coverage     : %.1f %%\n", 100.0 * result.area_coverage);
+  std::printf("persons found     : %zu / %zu\n", result.detection.persons_found,
+              result.detection.persons_total);
+  if (config.spoofing) {
+    std::printf("attack detected   : %s\n",
+                result.attack_detected ? "yes" : "no");
+    if (result.spoofed_uav_landing_error_m >= 0.0) {
+      std::printf("safe-landing error: %.1f m\n",
+                  result.spoofed_uav_landing_error_m);
+    }
+  }
+  std::printf("final decision    : %s\n",
+              conserts::mission_decision_name(result.final_decision).c_str());
+
+  if (!csv_prefix.empty()) {
+    platform::export_result(result, csv_prefix + "_series.csv",
+                            csv_prefix + "_summary.csv");
+    std::printf("wrote %s_series.csv and %s_summary.csv\n", csv_prefix.c_str(),
+                csv_prefix.c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,329 @@
+#include "sesame/conserts/consert.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace sesame::conserts {
+
+void EvaluationContext::set_evidence(const std::string& name, bool value) {
+  evidence_[name] = value;
+}
+
+bool EvaluationContext::evidence(const std::string& name) const {
+  const auto it = evidence_.find(name);
+  return it != evidence_.end() && it->second;
+}
+
+bool EvaluationContext::has_evidence(const std::string& name) const {
+  return evidence_.count(name) > 0;
+}
+
+void EvaluationContext::grant(const std::string& consert,
+                              const std::string& guarantee) {
+  grants_.insert({consert, guarantee});
+}
+
+bool EvaluationContext::granted(const std::string& consert,
+                                const std::string& guarantee) const {
+  return grants_.count({consert, guarantee}) > 0;
+}
+
+void EvaluationContext::clear_grants() { grants_.clear(); }
+
+namespace {
+
+class EvidenceCondition final : public Condition {
+ public:
+  explicit EvidenceCondition(std::string name) : name_(std::move(name)) {}
+  bool evaluate(const EvaluationContext& ctx) const override {
+    return ctx.evidence(name_);
+  }
+  void collect_evidence(std::set<std::string>& out) const override {
+    out.insert(name_);
+  }
+  void collect_demands(
+      std::set<std::pair<std::string, std::string>>&) const override {}
+
+ private:
+  std::string name_;
+};
+
+class DemandCondition final : public Condition {
+ public:
+  DemandCondition(std::string consert, std::string guarantee)
+      : consert_(std::move(consert)), guarantee_(std::move(guarantee)) {}
+  bool evaluate(const EvaluationContext& ctx) const override {
+    return ctx.granted(consert_, guarantee_);
+  }
+  void collect_evidence(std::set<std::string>&) const override {}
+  void collect_demands(
+      std::set<std::pair<std::string, std::string>>& out) const override {
+    out.insert({consert_, guarantee_});
+  }
+
+ private:
+  std::string consert_;
+  std::string guarantee_;
+};
+
+class ConstantCondition final : public Condition {
+ public:
+  explicit ConstantCondition(bool value) : value_(value) {}
+  bool evaluate(const EvaluationContext&) const override { return value_; }
+  void collect_evidence(std::set<std::string>&) const override {}
+  void collect_demands(
+      std::set<std::pair<std::string, std::string>>&) const override {}
+
+ private:
+  bool value_;
+};
+
+class GateCondition : public Condition {
+ public:
+  explicit GateCondition(std::vector<ConditionPtr> children)
+      : children_(std::move(children)) {
+    if (children_.empty()) {
+      throw std::invalid_argument("ConSert gate condition without children");
+    }
+    for (const auto& c : children_) {
+      if (!c) throw std::invalid_argument("ConSert gate: null child");
+    }
+  }
+  void collect_evidence(std::set<std::string>& out) const override {
+    for (const auto& c : children_) c->collect_evidence(out);
+  }
+  void collect_demands(
+      std::set<std::pair<std::string, std::string>>& out) const override {
+    for (const auto& c : children_) c->collect_demands(out);
+  }
+
+ protected:
+  std::vector<ConditionPtr> children_;
+};
+
+class AllOfCondition final : public GateCondition {
+ public:
+  using GateCondition::GateCondition;
+  bool evaluate(const EvaluationContext& ctx) const override {
+    return std::all_of(children_.begin(), children_.end(),
+                       [&](const auto& c) { return c->evaluate(ctx); });
+  }
+};
+
+class AnyOfCondition final : public GateCondition {
+ public:
+  using GateCondition::GateCondition;
+  bool evaluate(const EvaluationContext& ctx) const override {
+    return std::any_of(children_.begin(), children_.end(),
+                       [&](const auto& c) { return c->evaluate(ctx); });
+  }
+};
+
+class NotCondition final : public Condition {
+ public:
+  explicit NotCondition(ConditionPtr child) : child_(std::move(child)) {
+    if (!child_) throw std::invalid_argument("ConSert not: null child");
+  }
+  bool evaluate(const EvaluationContext& ctx) const override {
+    return !child_->evaluate(ctx);
+  }
+  void collect_evidence(std::set<std::string>& out) const override {
+    child_->collect_evidence(out);
+  }
+  void collect_demands(
+      std::set<std::pair<std::string, std::string>>& out) const override {
+    child_->collect_demands(out);
+  }
+
+ private:
+  ConditionPtr child_;
+};
+
+}  // namespace
+
+ConditionPtr Condition::evidence(std::string name) {
+  return std::make_shared<EvidenceCondition>(std::move(name));
+}
+
+ConditionPtr Condition::demand(std::string consert, std::string guarantee) {
+  return std::make_shared<DemandCondition>(std::move(consert),
+                                           std::move(guarantee));
+}
+
+ConditionPtr Condition::constant(bool value) {
+  return std::make_shared<ConstantCondition>(value);
+}
+
+ConditionPtr Condition::all_of(std::vector<ConditionPtr> children) {
+  return std::make_shared<AllOfCondition>(std::move(children));
+}
+
+ConditionPtr Condition::any_of(std::vector<ConditionPtr> children) {
+  return std::make_shared<AnyOfCondition>(std::move(children));
+}
+
+ConditionPtr Condition::negate(ConditionPtr child) {
+  return std::make_shared<NotCondition>(std::move(child));
+}
+
+ConSert::ConSert(std::string name) : name_(std::move(name)) {
+  if (name_.empty()) throw std::invalid_argument("ConSert: empty name");
+}
+
+ConSert& ConSert::add_guarantee(std::string name, int rank,
+                                ConditionPtr condition) {
+  if (!condition) throw std::invalid_argument("add_guarantee: null condition");
+  if (has_guarantee(name)) {
+    throw std::invalid_argument("add_guarantee: duplicate guarantee " + name);
+  }
+  guarantees_.push_back({std::move(name), rank, std::move(condition)});
+  return *this;
+}
+
+bool ConSert::has_guarantee(const std::string& name) const {
+  return std::any_of(guarantees_.begin(), guarantees_.end(),
+                     [&](const Guarantee& g) { return g.name == name; });
+}
+
+std::vector<std::string> ConSert::satisfied(const EvaluationContext& ctx) const {
+  std::vector<std::string> out;
+  for (const auto& g : guarantees_) {
+    if (g.condition->evaluate(ctx)) out.push_back(g.name);
+  }
+  return out;
+}
+
+std::optional<std::string> ConSert::best(const EvaluationContext& ctx) const {
+  const Guarantee* best_g = nullptr;
+  for (const auto& g : guarantees_) {
+    if (!g.condition->evaluate(ctx)) continue;
+    if (!best_g || g.rank < best_g->rank) best_g = &g;
+  }
+  if (!best_g) return std::nullopt;
+  return best_g->name;
+}
+
+std::set<std::string> ConSert::demanded_conserts() const {
+  std::set<std::pair<std::string, std::string>> demands;
+  for (const auto& g : guarantees_) g.condition->collect_demands(demands);
+  std::set<std::string> out;
+  for (const auto& [consert, guarantee] : demands) {
+    (void)guarantee;
+    out.insert(consert);
+  }
+  return out;
+}
+
+GuaranteeExplanation explain_guarantee(const ConSert& consert,
+                                       const std::string& guarantee,
+                                       const EvaluationContext& ctx) {
+  const Guarantee* target = nullptr;
+  for (const auto& g : consert.guarantees()) {
+    if (g.name == guarantee) {
+      target = &g;
+      break;
+    }
+  }
+  if (!target) {
+    throw std::invalid_argument("explain_guarantee: unknown guarantee " +
+                                guarantee + " of " + consert.name());
+  }
+  GuaranteeExplanation out;
+  out.consert = consert.name();
+  out.guarantee = guarantee;
+  out.satisfied = target->condition->evaluate(ctx);
+
+  std::set<std::string> evidence;
+  target->condition->collect_evidence(evidence);
+  for (const auto& e : evidence) {
+    if (!ctx.evidence(e)) out.missing_evidence.push_back(e);
+  }
+  std::set<std::pair<std::string, std::string>> demands;
+  target->condition->collect_demands(demands);
+  for (const auto& [c, g] : demands) {
+    if (!ctx.granted(c, g)) out.missing_demands.push_back({c, g});
+  }
+  return out;
+}
+
+void ConSertNetwork::add(ConSert consert) {
+  const std::string name = consert.name();
+  if (!conserts_.emplace(name, std::move(consert)).second) {
+    throw std::invalid_argument("ConSertNetwork::add: duplicate " + name);
+  }
+}
+
+bool ConSertNetwork::contains(const std::string& name) const {
+  return conserts_.count(name) > 0;
+}
+
+std::vector<std::string> ConSertNetwork::names() const {
+  std::vector<std::string> out;
+  out.reserve(conserts_.size());
+  for (const auto& [name, consert] : conserts_) {
+    (void)consert;
+    out.push_back(name);
+  }
+  return out;
+}
+
+const ConSert& ConSertNetwork::at(const std::string& name) const {
+  const auto it = conserts_.find(name);
+  if (it == conserts_.end()) {
+    throw std::out_of_range("ConSertNetwork::at: " + name);
+  }
+  return it->second;
+}
+
+std::vector<std::string> ConSertNetwork::topological_order() const {
+  // Kahn's algorithm over the demand graph (dependencies first).
+  std::map<std::string, std::set<std::string>> deps;
+  for (const auto& [name, consert] : conserts_) {
+    std::set<std::string> demanded = consert.demanded_conserts();
+    for (const auto& d : demanded) {
+      if (!conserts_.count(d)) {
+        throw std::runtime_error("ConSertNetwork: '" + name +
+                                 "' demands unknown ConSert '" + d + "'");
+      }
+    }
+    deps[name] = std::move(demanded);
+  }
+  std::vector<std::string> order;
+  while (order.size() < conserts_.size()) {
+    bool progressed = false;
+    for (auto& [name, remaining] : deps) {
+      if (std::find(order.begin(), order.end(), name) != order.end()) continue;
+      const bool ready =
+          std::all_of(remaining.begin(), remaining.end(), [&](const auto& d) {
+            return std::find(order.begin(), order.end(), d) != order.end();
+          });
+      if (ready) {
+        order.push_back(name);
+        progressed = true;
+      }
+    }
+    if (!progressed) {
+      throw std::runtime_error("ConSertNetwork: demand cycle detected");
+    }
+  }
+  return order;
+}
+
+NetworkEvaluation ConSertNetwork::evaluate(EvaluationContext& ctx) const {
+  ctx.clear_grants();
+  NetworkEvaluation result;
+  result.order = topological_order();
+  for (const auto& name : result.order) {
+    const ConSert& c = conserts_.at(name);
+    for (const auto& g : c.satisfied(ctx)) {
+      ctx.grant(name, g);
+      result.grants.insert({name, g});
+    }
+    if (const auto b = c.best(ctx); b.has_value()) {
+      result.best[name] = *b;
+    }
+  }
+  return result;
+}
+
+}  // namespace sesame::conserts

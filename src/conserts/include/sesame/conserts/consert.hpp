@@ -1,0 +1,172 @@
+// Conditional Safety Certificates (ConSerts) runtime engine.
+//
+// ConSerts (Reich et al., SAFECOMP 2020) shift part of the safety argument
+// to runtime: each component ships a certificate whose *guarantees* are
+// conditional on *runtime evidence* (monitored boolean conditions) and on
+// *demands* — guarantees that other components' ConSerts must currently
+// provide. At runtime the network is evaluated bottom-up; every ConSert
+// offers its highest-priority satisfied guarantee, and the top level maps
+// to safe actions (Continue Mission / Hold / Return to Base / Emergency
+// Land — paper Fig. 1).
+//
+// This module is the paper's integrating technology: the EDDI layer feeds
+// evidence from SafeDrones / SafeML / DeepKnowledge / SINADRA / Security
+// EDDI into a ConSert network built with these primitives.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace sesame::conserts {
+
+class Condition;
+using ConditionPtr = std::shared_ptr<const Condition>;
+
+/// Context a condition tree is evaluated against: runtime-evidence values
+/// plus the guarantees currently provided by already-evaluated ConSerts.
+class EvaluationContext {
+ public:
+  /// Sets a runtime-evidence value (unset evidence evaluates to false).
+  void set_evidence(const std::string& name, bool value);
+  bool evidence(const std::string& name) const;
+  bool has_evidence(const std::string& name) const;
+
+  /// Records that `consert` currently provides `guarantee`.
+  void grant(const std::string& consert, const std::string& guarantee);
+  bool granted(const std::string& consert, const std::string& guarantee) const;
+
+  /// All evidence names that were set.
+  const std::map<std::string, bool>& all_evidence() const noexcept {
+    return evidence_;
+  }
+
+  void clear_grants();
+
+ private:
+  std::map<std::string, bool> evidence_;
+  std::set<std::pair<std::string, std::string>> grants_;
+};
+
+/// Boolean condition tree over runtime evidence and demands.
+class Condition {
+ public:
+  virtual ~Condition() = default;
+  virtual bool evaluate(const EvaluationContext& ctx) const = 0;
+
+  /// Names of runtime evidence referenced beneath this node.
+  virtual void collect_evidence(std::set<std::string>& out) const = 0;
+  /// (consert, guarantee) demands referenced beneath this node.
+  virtual void collect_demands(
+      std::set<std::pair<std::string, std::string>>& out) const = 0;
+
+  /// Leaf: a runtime-evidence flag.
+  static ConditionPtr evidence(std::string name);
+  /// Leaf: a demand on another ConSert's guarantee.
+  static ConditionPtr demand(std::string consert, std::string guarantee);
+  /// Constant (used for unconditional/default guarantees).
+  static ConditionPtr constant(bool value);
+  /// Conjunction / disjunction / negation.
+  static ConditionPtr all_of(std::vector<ConditionPtr> children);
+  static ConditionPtr any_of(std::vector<ConditionPtr> children);
+  static ConditionPtr negate(ConditionPtr child);
+};
+
+/// A conditional guarantee. Lower `rank` = stronger/preferred guarantee;
+/// the ConSert provides the satisfied guarantee with the smallest rank.
+struct Guarantee {
+  std::string name;
+  int rank = 0;
+  ConditionPtr condition;
+};
+
+/// One component's conditional safety certificate.
+class ConSert {
+ public:
+  explicit ConSert(std::string name);
+
+  const std::string& name() const noexcept { return name_; }
+
+  /// Adds a guarantee; names must be unique within the ConSert, and the
+  /// condition must be non-null.
+  ConSert& add_guarantee(std::string name, int rank, ConditionPtr condition);
+
+  const std::vector<Guarantee>& guarantees() const noexcept {
+    return guarantees_;
+  }
+  bool has_guarantee(const std::string& name) const;
+
+  /// Evaluates all guarantees against the context; returns the satisfied
+  /// guarantee names (the network grants all of them — a stronger
+  /// guarantee subsumes weaker ones only if modelled so).
+  std::vector<std::string> satisfied(const EvaluationContext& ctx) const;
+
+  /// The best (lowest-rank) satisfied guarantee, if any.
+  std::optional<std::string> best(const EvaluationContext& ctx) const;
+
+  /// All demands referenced by any guarantee: the ConSerts this one
+  /// depends on — used for topological evaluation order.
+  std::set<std::string> demanded_conserts() const;
+
+ private:
+  std::string name_;
+  std::vector<Guarantee> guarantees_;
+};
+
+/// Result of evaluating a network.
+struct NetworkEvaluation {
+  /// Every granted (consert, guarantee) pair.
+  std::set<std::pair<std::string, std::string>> grants;
+  /// Best guarantee per ConSert (absent = only the implicit default).
+  std::map<std::string, std::string> best;
+  /// Evaluation order used (for diagnostics).
+  std::vector<std::string> order;
+};
+
+/// Why a guarantee is currently not provided: the referenced runtime
+/// evidence that evaluates false and the demands that are not granted.
+/// For monotone (negation-free) conditions — all the Fig. 1 models — the
+/// guarantee is satisfiable exactly when both lists are empty.
+struct GuaranteeExplanation {
+  std::string consert;
+  std::string guarantee;
+  bool satisfied = false;
+  std::vector<std::string> missing_evidence;
+  std::vector<std::pair<std::string, std::string>> missing_demands;
+};
+
+/// Explains one guarantee of one ConSert against a context (typically the
+/// context after a network evaluation, so grants are populated). Throws
+/// std::invalid_argument when the guarantee does not exist.
+GuaranteeExplanation explain_guarantee(const ConSert& consert,
+                                       const std::string& guarantee,
+                                       const EvaluationContext& ctx);
+
+/// A hierarchical network of ConSerts evaluated bottom-up.
+class ConSertNetwork {
+ public:
+  /// Adds a ConSert; names must be unique.
+  void add(ConSert consert);
+
+  bool contains(const std::string& name) const;
+  const ConSert& at(const std::string& name) const;
+  std::size_t size() const noexcept { return conserts_.size(); }
+
+  /// Names of all ConSerts in the network (sorted).
+  std::vector<std::string> names() const;
+
+  /// Evaluates the whole network against the evidence in `ctx` (grants in
+  /// `ctx` are cleared first). Throws std::runtime_error on demand cycles
+  /// or demands on unknown ConSerts.
+  NetworkEvaluation evaluate(EvaluationContext& ctx) const;
+
+ private:
+  std::map<std::string, ConSert> conserts_;
+
+  std::vector<std::string> topological_order() const;
+};
+
+}  // namespace sesame::conserts

@@ -1,0 +1,175 @@
+#include "sesame/conserts/uav_network.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace sesame::conserts {
+
+namespace g = guarantees;
+
+std::string evidence_key(const std::string& uav, const std::string& field) {
+  return uav + "/" + field;
+}
+
+void apply_evidence(EvaluationContext& ctx, const std::string& uav,
+                    const UavEvidence& e) {
+  ctx.set_evidence(evidence_key(uav, "gps_quality_good"), e.gps_quality_good);
+  ctx.set_evidence(evidence_key(uav, "no_security_attack"), e.no_security_attack);
+  ctx.set_evidence(evidence_key(uav, "vision_sensor_healthy"),
+                   e.vision_sensor_healthy);
+  ctx.set_evidence(evidence_key(uav, "safeml_confidence_high"),
+                   e.safeml_confidence_high);
+  ctx.set_evidence(evidence_key(uav, "comm_link_good"), e.comm_link_good);
+  ctx.set_evidence(evidence_key(uav, "nearby_uav_available"),
+                   e.nearby_uav_available);
+  ctx.set_evidence(evidence_key(uav, "reliability_high"), e.reliability_high);
+  ctx.set_evidence(evidence_key(uav, "reliability_medium"),
+                   e.reliability_medium);
+  ctx.set_evidence(evidence_key(uav, "reliability_low"), e.reliability_low);
+}
+
+UavConsertNames uav_consert_names(const std::string& uav) {
+  UavConsertNames n;
+  n.gps_localization = uav + "/gps_localization";
+  n.vision_localization = uav + "/vision_localization";
+  n.comm_localization = uav + "/comm_localization";
+  n.navigation = uav + "/navigation";
+  n.safety = uav + "/safety_eddi";
+  n.uav = uav + "/uav";
+  return n;
+}
+
+void add_uav_conserts(ConSertNetwork& network, const std::string& uav) {
+  const UavConsertNames names = uav_consert_names(uav);
+  const auto ev = [&](const char* field) {
+    return Condition::evidence(evidence_key(uav, field));
+  };
+
+  // GPS-based localization: quality metrics nominal AND no active attack
+  // flagged by the Security EDDI.
+  ConSert gps(names.gps_localization);
+  gps.add_guarantee(g::kGpsAccurate, 0,
+                    Condition::all_of({ev("gps_quality_good"),
+                                       ev("no_security_attack")}));
+  network.add(std::move(gps));
+
+  // Vision-based localization: healthy sensor AND SafeML confidence.
+  ConSert vision(names.vision_localization);
+  vision.add_guarantee(g::kVisionAvailable, 0,
+                       Condition::all_of({ev("vision_sensor_healthy"),
+                                          ev("safeml_confidence_high")}));
+  network.add(std::move(vision));
+
+  // Communication-based localization: link health AND a nearby assistant.
+  ConSert comm(names.comm_localization);
+  comm.add_guarantee(g::kCommAvailable, 0,
+                     Condition::all_of({ev("comm_link_good"),
+                                        ev("nearby_uav_available")}));
+  network.add(std::move(comm));
+
+  // Navigation ConSert (Fig. 1 middle): grades accuracy from localization
+  // guarantees.
+  ConSert nav(names.navigation);
+  nav.add_guarantee(
+      g::kNavHighPerformance, 0,
+      Condition::demand(names.gps_localization, g::kGpsAccurate));
+  nav.add_guarantee(
+      g::kNavCollaborative, 1,
+      Condition::demand(names.comm_localization, g::kCommAvailable));
+  nav.add_guarantee(
+      g::kNavVision, 2,
+      Condition::demand(names.vision_localization, g::kVisionAvailable));
+  nav.add_guarantee(
+      g::kNavAssistant, 2,
+      Condition::all_of(
+          {Condition::demand(names.comm_localization, g::kCommAvailable),
+           Condition::demand(names.vision_localization, g::kVisionAvailable)}));
+  network.add(std::move(nav));
+
+  // Safety EDDI ConSert: SafeDrones reliability levels.
+  ConSert safety(names.safety);
+  safety.add_guarantee(g::kReliabilityHigh, 0, ev("reliability_high"));
+  safety.add_guarantee(g::kReliabilityMedium, 1, ev("reliability_medium"));
+  safety.add_guarantee(g::kReliabilityLow, 2, ev("reliability_low"));
+  network.add(std::move(safety));
+
+  // UAV ConSert (Fig. 1 bottom): action lattice.
+  ConSert top(names.uav);
+  const auto nav_high =
+      Condition::demand(names.navigation, g::kNavHighPerformance);
+  const auto nav_collab =
+      Condition::demand(names.navigation, g::kNavCollaborative);
+  const auto nav_vision = Condition::demand(names.navigation, g::kNavVision);
+  const auto nav_any = Condition::any_of({nav_high, nav_collab, nav_vision});
+  const auto rel_high = Condition::demand(names.safety, g::kReliabilityHigh);
+  const auto rel_medium =
+      Condition::demand(names.safety, g::kReliabilityMedium);
+  const auto rel_low = Condition::demand(names.safety, g::kReliabilityLow);
+  const auto rel_at_least_medium = Condition::any_of({rel_high, rel_medium});
+  const auto rel_any = Condition::any_of({rel_high, rel_medium, rel_low});
+
+  // Continue and take over extra tasks: best navigation + high reliability.
+  top.add_guarantee(g::kContinueExtended, 0,
+                    Condition::all_of({nav_high, rel_high}));
+  // Continue: navigation good enough (<0.75 m) + reliability >= medium.
+  top.add_guarantee(
+      g::kContinue, 1,
+      Condition::all_of({Condition::any_of({nav_high, nav_collab}),
+                         rel_at_least_medium}));
+  // Hold: some navigation, any reliability estimate — wait out transients.
+  top.add_guarantee(g::kHold, 2, Condition::all_of({nav_any, rel_any}));
+  // Return to base: a degraded-navigation route home is still possible.
+  top.add_guarantee(g::kReturnToBase, 3, nav_any);
+  // Default (no guarantee): Emergency Land — implicit.
+  network.add(std::move(top));
+}
+
+std::string uav_action_name(UavAction a) {
+  switch (a) {
+    case UavAction::kContinueExtended: return "ContinueMission+TakeOverTasks";
+    case UavAction::kContinue: return "ContinueMission";
+    case UavAction::kHold: return "HoldPosition";
+    case UavAction::kReturnToBase: return "ReturnToBase";
+    case UavAction::kEmergencyLand: return "EmergencyLand";
+  }
+  return "unknown";
+}
+
+UavAction uav_action(const NetworkEvaluation& eval, const std::string& uav) {
+  const auto it = eval.best.find(uav_consert_names(uav).uav);
+  if (it == eval.best.end()) return UavAction::kEmergencyLand;
+  const std::string& best = it->second;
+  if (best == g::kContinueExtended) return UavAction::kContinueExtended;
+  if (best == g::kContinue) return UavAction::kContinue;
+  if (best == g::kHold) return UavAction::kHold;
+  if (best == g::kReturnToBase) return UavAction::kReturnToBase;
+  throw std::logic_error("uav_action: unexpected guarantee " + best);
+}
+
+std::string mission_decision_name(MissionDecision d) {
+  switch (d) {
+    case MissionDecision::kCompleteAsPlanned: return "CompleteAsPlanned";
+    case MissionDecision::kRedistributeTasks: return "RedistributeTasks";
+    case MissionDecision::kCannotComplete: return "CannotComplete";
+  }
+  return "unknown";
+}
+
+MissionDecision decide_mission(const std::vector<UavAction>& uav_actions) {
+  if (uav_actions.empty()) return MissionDecision::kCannotComplete;
+  const auto continuing = [](UavAction a) {
+    return a == UavAction::kContinueExtended || a == UavAction::kContinue;
+  };
+  if (std::all_of(uav_actions.begin(), uav_actions.end(), continuing)) {
+    return MissionDecision::kCompleteAsPlanned;
+  }
+  // Some UAV drops out; redistribution needs at least one remaining UAV
+  // able to take over additional tasks.
+  const bool taker = std::any_of(
+      uav_actions.begin(), uav_actions.end(),
+      [](UavAction a) { return a == UavAction::kContinueExtended; });
+  return taker ? MissionDecision::kRedistributeTasks
+               : MissionDecision::kCannotComplete;
+}
+
+}  // namespace sesame::conserts

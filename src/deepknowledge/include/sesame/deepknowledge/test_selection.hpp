@@ -1,0 +1,39 @@
+// Coverage-guided test selection.
+//
+// DeepKnowledge is a *testing* technique at design time: inputs that hit
+// previously-unexercised transfer-knowledge-neuron behaviour are the
+// valuable test cases. This greedily ranks a candidate input pool by the
+// marginal TK-bucket coverage each input adds — the test-suite
+// prioritization workflow from the DeepKnowledge paper, reused by the SAR
+// use case to pick which captured frames deserve labelling.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "sesame/deepknowledge/analysis.hpp"
+
+namespace sesame::deepknowledge {
+
+/// One ranked candidate.
+struct RankedInput {
+  std::size_t pool_index = 0;   ///< index into the candidate pool
+  std::size_t new_buckets = 0;  ///< TK buckets first covered by this input
+  double cumulative_coverage = 0.0;  ///< suite coverage after including it
+};
+
+/// Greedy selection: repeatedly picks the candidate covering the most
+/// still-uncovered TK buckets, until `budget` inputs are selected or no
+/// candidate adds coverage. Ties resolve to the lower pool index, keeping
+/// the ranking deterministic. Throws std::invalid_argument on an empty
+/// pool or zero budget.
+std::vector<RankedInput> select_tests(
+    const Analyzer& analyzer, const Mlp& model,
+    const std::vector<std::vector<double>>& pool, std::size_t budget);
+
+/// Coverage achieved by an input set (fraction of TK buckets hit) —
+/// convenience wrapper over Analyzer::assess for suite-level reporting.
+double suite_coverage(const Analyzer& analyzer, const Mlp& model,
+                      const std::vector<std::vector<double>>& suite);
+
+}  // namespace sesame::deepknowledge

@@ -1,0 +1,70 @@
+#include "sesame/eddi/consert_ode.hpp"
+
+namespace sesame::eddi {
+
+ode::Value consert_network_to_ode(const conserts::ConSertNetwork& network) {
+  ode::Value doc;
+  doc["ode_version"] = "0.1";
+  doc["artefact"] = "ConSertNetwork";
+  doc["consert_count"] = network.size();
+
+  ode::Value conserts;
+  for (const auto& name : network.names()) {
+    const auto& consert = network.at(name);
+    ode::Value c;
+    c["name"] = name;
+
+    ode::Value guarantees;
+    for (const auto& g : consert.guarantees()) {
+      ode::Value gv;
+      gv["name"] = g.name;
+      gv["rank"] = g.rank;
+
+      std::set<std::string> evidence;
+      g.condition->collect_evidence(evidence);
+      ode::Value ev;
+      for (const auto& e : evidence) ev.push_back(e);
+      gv["evidence"] = ev.is_null() ? ode::Value(ode::Value::Array{}) : ev;
+
+      std::set<std::pair<std::string, std::string>> demands;
+      g.condition->collect_demands(demands);
+      ode::Value dv;
+      for (const auto& [target, guarantee] : demands) {
+        ode::Value d;
+        d["consert"] = target;
+        d["guarantee"] = guarantee;
+        dv.push_back(d);
+      }
+      gv["demands"] = dv.is_null() ? ode::Value(ode::Value::Array{}) : dv;
+      guarantees.push_back(gv);
+    }
+    c["guarantees"] = guarantees.is_null()
+                          ? ode::Value(ode::Value::Array{})
+                          : guarantees;
+    conserts.push_back(c);
+  }
+  doc["conserts"] = conserts.is_null() ? ode::Value(ode::Value::Array{})
+                                       : conserts;
+  return doc;
+}
+
+ode::Value assurance_trace_to_ode(
+    const std::vector<conserts::GuaranteeTransition>& transitions) {
+  ode::Value doc;
+  doc["ode_version"] = "0.1";
+  doc["artefact"] = "AssuranceTrace";
+  doc["transition_count"] = transitions.size();
+  ode::Value items{ode::Value::Array{}};
+  for (const auto& t : transitions) {
+    ode::Value item;
+    item["time_s"] = t.time_s;
+    item["consert"] = t.consert;
+    item["from"] = t.from.empty() ? ode::Value(nullptr) : ode::Value(t.from);
+    item["to"] = t.to.empty() ? ode::Value(nullptr) : ode::Value(t.to);
+    items.push_back(item);
+  }
+  doc["transitions"] = items;
+  return doc;
+}
+
+}  // namespace sesame::eddi

@@ -1,0 +1,27 @@
+// ODE export of ConSert networks.
+//
+// ConSerts are design-time artefacts exchanged along the supply chain (the
+// DDI/ODE workflow the paper builds on); this serializes a network's
+// structure — every ConSert, its guarantees with ranks, and each
+// guarantee's referenced runtime evidence and demands — into the same JSON
+// document model the EDDI export uses, so a complete system's assurance
+// models ship in one interchange format.
+#pragma once
+
+#include "sesame/conserts/assurance_trace.hpp"
+#include "sesame/conserts/consert.hpp"
+#include "sesame/eddi/ode.hpp"
+
+namespace sesame::eddi {
+
+/// Serializes the network structure. Conditions are exported as their
+/// flattened evidence/demand reference sets (sufficient to re-derive the
+/// dependency graph; the boolean structure itself is execution logic).
+ode::Value consert_network_to_ode(const conserts::ConSertNetwork& network);
+
+/// Serializes a runtime assurance trace (the best-guarantee transition
+/// timeline) — the runtime-evidence artefact filed with the mission record.
+ode::Value assurance_trace_to_ode(
+    const std::vector<conserts::GuaranteeTransition>& transitions);
+
+}  // namespace sesame::eddi

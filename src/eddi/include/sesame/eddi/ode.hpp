@@ -1,0 +1,66 @@
+// Minimal Open Dependability Exchange (ODE)-style model export.
+//
+// The paper's EDDIs are generated from design-time DDI models exchanged in
+// the ODE metamodel (Zeller et al., RAMS 2023). This module provides the
+// interchange substrate: a small JSON document model with a serializer,
+// used to export each EDDI's model inventory (fault trees, Markov models,
+// attack trees, monitors) in a machine-readable form.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace sesame::eddi::ode {
+
+/// A JSON-like value: null, bool, number, string, array, object.
+class Value {
+ public:
+  using Array = std::vector<Value>;
+  using Object = std::map<std::string, Value>;
+
+  Value() : data_(nullptr) {}
+  Value(std::nullptr_t) : data_(nullptr) {}
+  Value(bool b) : data_(b) {}
+  Value(double d) : data_(d) {}
+  Value(int i) : data_(static_cast<double>(i)) {}
+  Value(std::size_t u) : data_(static_cast<double>(u)) {}
+  Value(const char* s) : data_(std::string(s)) {}
+  Value(std::string s) : data_(std::move(s)) {}
+  Value(Array a) : data_(std::move(a)) {}
+  Value(Object o) : data_(std::move(o)) {}
+
+  bool is_null() const { return std::holds_alternative<std::nullptr_t>(data_); }
+  bool is_bool() const { return std::holds_alternative<bool>(data_); }
+  bool is_number() const { return std::holds_alternative<double>(data_); }
+  bool is_string() const { return std::holds_alternative<std::string>(data_); }
+  bool is_array() const { return std::holds_alternative<Array>(data_); }
+  bool is_object() const { return std::holds_alternative<Object>(data_); }
+
+  bool as_bool() const { return std::get<bool>(data_); }
+  double as_number() const { return std::get<double>(data_); }
+  const std::string& as_string() const { return std::get<std::string>(data_); }
+  const Array& as_array() const { return std::get<Array>(data_); }
+  const Object& as_object() const { return std::get<Object>(data_); }
+
+  /// Object field access; inserts when mutable.
+  Value& operator[](const std::string& key);
+  const Value& at(const std::string& key) const;
+
+  void push_back(Value v);
+
+  /// Serializes to compact JSON (stable key order via std::map).
+  std::string to_json() const;
+
+ private:
+  std::variant<std::nullptr_t, bool, double, std::string, Array, Object> data_;
+};
+
+/// Parses JSON produced by Value::to_json (round-trip support). Throws
+/// std::runtime_error on malformed input. Supports the full JSON grammar
+/// except unicode escapes beyond \uXXXX for the BMP.
+Value parse_json(const std::string& text);
+
+}  // namespace sesame::eddi::ode

@@ -1,0 +1,267 @@
+#include "sesame/eddi/ode.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace sesame::eddi::ode {
+
+Value& Value::operator[](const std::string& key) {
+  if (is_null()) data_ = Object{};
+  if (!is_object()) throw std::logic_error("ode::Value: not an object");
+  return std::get<Object>(data_)[key];
+}
+
+const Value& Value::at(const std::string& key) const {
+  if (!is_object()) throw std::logic_error("ode::Value: not an object");
+  const auto& obj = std::get<Object>(data_);
+  const auto it = obj.find(key);
+  if (it == obj.end()) throw std::out_of_range("ode::Value: no key " + key);
+  return it->second;
+}
+
+void Value::push_back(Value v) {
+  if (is_null()) data_ = Array{};
+  if (!is_array()) throw std::logic_error("ode::Value: not an array");
+  std::get<Array>(data_).push_back(std::move(v));
+}
+
+namespace {
+
+void escape_to(std::ostream& os, const std::string& s) {
+  os << '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\t': os << "\\t"; break;
+      case '\r': os << "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          os << buf;
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+void write(std::ostream& os, const Value& v) {
+  if (v.is_null()) {
+    os << "null";
+  } else if (v.is_bool()) {
+    os << (v.as_bool() ? "true" : "false");
+  } else if (v.is_number()) {
+    const double d = v.as_number();
+    if (d == std::floor(d) && std::abs(d) < 1e15) {
+      os << static_cast<long long>(d);
+    } else {
+      std::ostringstream tmp;
+      tmp.precision(17);
+      tmp << d;
+      os << tmp.str();
+    }
+  } else if (v.is_string()) {
+    escape_to(os, v.as_string());
+  } else if (v.is_array()) {
+    os << '[';
+    bool first = true;
+    for (const auto& item : v.as_array()) {
+      if (!first) os << ',';
+      first = false;
+      write(os, item);
+    }
+    os << ']';
+  } else {
+    os << '{';
+    bool first = true;
+    for (const auto& [key, val] : v.as_object()) {
+      if (!first) os << ',';
+      first = false;
+      escape_to(os, key);
+      os << ':';
+      write(os, val);
+    }
+    os << '}';
+  }
+}
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  Value parse() {
+    Value v = parse_value();
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing characters");
+    return v;
+  }
+
+ private:
+  const std::string& text_;
+  std::size_t pos_ = 0;
+
+  [[noreturn]] void fail(const std::string& why) const {
+    throw std::runtime_error("parse_json: " + why + " at offset " +
+                             std::to_string(pos_));
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  char next() {
+    const char c = peek();
+    ++pos_;
+    return c;
+  }
+
+  bool consume_literal(const char* lit) {
+    std::size_t n = 0;
+    while (lit[n]) ++n;
+    if (text_.compare(pos_, n, lit) == 0) {
+      pos_ += n;
+      return true;
+    }
+    return false;
+  }
+
+  Value parse_value() {
+    skip_ws();
+    const char c = peek();
+    if (c == '{') return parse_object();
+    if (c == '[') return parse_array();
+    if (c == '"') return Value(parse_string());
+    if (consume_literal("null")) return Value(nullptr);
+    if (consume_literal("true")) return Value(true);
+    if (consume_literal("false")) return Value(false);
+    return parse_number();
+  }
+
+  Value parse_object() {
+    next();  // {
+    Value::Object obj;
+    skip_ws();
+    if (peek() == '}') {
+      next();
+      return Value(std::move(obj));
+    }
+    while (true) {
+      skip_ws();
+      if (peek() != '"') fail("expected object key");
+      std::string key = parse_string();
+      skip_ws();
+      if (next() != ':') fail("expected ':'");
+      obj[std::move(key)] = parse_value();
+      skip_ws();
+      const char sep = next();
+      if (sep == '}') break;
+      if (sep != ',') fail("expected ',' or '}'");
+    }
+    return Value(std::move(obj));
+  }
+
+  Value parse_array() {
+    next();  // [
+    Value::Array arr;
+    skip_ws();
+    if (peek() == ']') {
+      next();
+      return Value(std::move(arr));
+    }
+    while (true) {
+      arr.push_back(parse_value());
+      skip_ws();
+      const char sep = next();
+      if (sep == ']') break;
+      if (sep != ',') fail("expected ',' or ']'");
+    }
+    return Value(std::move(arr));
+  }
+
+  std::string parse_string() {
+    if (next() != '"') fail("expected string");
+    std::string out;
+    while (true) {
+      const char c = next();
+      if (c == '"') break;
+      if (c == '\\') {
+        const char esc = next();
+        switch (esc) {
+          case '"': out.push_back('"'); break;
+          case '\\': out.push_back('\\'); break;
+          case '/': out.push_back('/'); break;
+          case 'n': out.push_back('\n'); break;
+          case 't': out.push_back('\t'); break;
+          case 'r': out.push_back('\r'); break;
+          case 'b': out.push_back('\b'); break;
+          case 'f': out.push_back('\f'); break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
+            const std::string hex = text_.substr(pos_, 4);
+            pos_ += 4;
+            const auto code = static_cast<unsigned>(std::stoul(hex, nullptr, 16));
+            // Encode BMP code point as UTF-8.
+            if (code < 0x80) {
+              out.push_back(static_cast<char>(code));
+            } else if (code < 0x800) {
+              out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+              out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+            } else {
+              out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+              out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+              out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+            }
+            break;
+          }
+          default: fail("bad escape");
+        }
+      } else {
+        out.push_back(c);
+      }
+    }
+    return out;
+  }
+
+  Value parse_number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) fail("expected value");
+    try {
+      return Value(std::stod(text_.substr(start, pos_ - start)));
+    } catch (const std::exception&) {
+      fail("bad number");
+    }
+  }
+};
+
+}  // namespace
+
+std::string Value::to_json() const {
+  std::ostringstream os;
+  write(os, *this);
+  return os.str();
+}
+
+Value parse_json(const std::string& text) { return Parser(text).parse(); }
+
+}  // namespace sesame::eddi::ode

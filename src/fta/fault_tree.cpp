@@ -1,0 +1,332 @@
+#include "sesame/fta/fault_tree.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace sesame::fta {
+
+namespace {
+
+double clamp01(double p) { return std::min(1.0, std::max(0.0, p)); }
+
+/// Removes non-minimal cut sets by absorption: a set is dropped when a
+/// strict subset of it is also a cut set.
+std::vector<CutSet> minimize(std::vector<CutSet> sets) {
+  std::sort(sets.begin(), sets.end(),
+            [](const CutSet& a, const CutSet& b) { return a.size() < b.size(); });
+  std::vector<CutSet> out;
+  for (const auto& s : sets) {
+    const bool absorbed = std::any_of(out.begin(), out.end(), [&](const CutSet& m) {
+      return std::includes(s.begin(), s.end(), m.begin(), m.end());
+    });
+    if (!absorbed) out.push_back(s);
+  }
+  return out;
+}
+
+class LeafNode final : public Node {
+ public:
+  LeafNode(std::string name, std::function<double(double)> model)
+      : Node(std::move(name)), model_(std::move(model)) {}
+
+  double probability(double t) const override {
+    const double p = model_(t);
+    assert(p >= -1e-9 && p <= 1.0 + 1e-9 && "complex basic event out of range");
+    return clamp01(p);
+  }
+
+  void collect_basic_events(std::set<std::string>& out) const override {
+    out.insert(name());
+  }
+
+  double probability_forced(double t, const std::string& target,
+                            double forced_p) const override {
+    return name() == target ? clamp01(forced_p) : probability(t);
+  }
+
+  std::vector<CutSet> cut_sets() const override { return {CutSet{name()}}; }
+
+ private:
+  std::function<double(double)> model_;
+};
+
+class GateNode : public Node {
+ public:
+  GateNode(std::string name, std::vector<NodePtr> children)
+      : Node(std::move(name)), children_(std::move(children)) {
+    if (children_.empty()) {
+      throw std::invalid_argument("fault-tree gate '" + Node::name() +
+                                  "' has no children");
+    }
+    for (const auto& c : children_) {
+      if (!c) throw std::invalid_argument("fault-tree gate: null child");
+    }
+  }
+
+  void collect_basic_events(std::set<std::string>& out) const override {
+    for (const auto& c : children_) c->collect_basic_events(out);
+  }
+
+ protected:
+  const std::vector<NodePtr>& children() const noexcept { return children_; }
+
+  std::vector<double> child_probabilities(double t) const {
+    std::vector<double> ps;
+    ps.reserve(children_.size());
+    for (const auto& c : children_) ps.push_back(c->probability(t));
+    return ps;
+  }
+
+  std::vector<double> child_probabilities_forced(double t,
+                                                 const std::string& target,
+                                                 double forced_p) const {
+    std::vector<double> ps;
+    ps.reserve(children_.size());
+    for (const auto& c : children_) {
+      ps.push_back(c->probability_forced(t, target, forced_p));
+    }
+    return ps;
+  }
+
+ private:
+  std::vector<NodePtr> children_;
+};
+
+class AndNode final : public GateNode {
+ public:
+  using GateNode::GateNode;
+
+  double probability(double t) const override {
+    double p = 1.0;
+    for (const auto& c : children()) p *= c->probability(t);
+    return p;
+  }
+
+  double probability_forced(double t, const std::string& target,
+                            double forced_p) const override {
+    double p = 1.0;
+    for (const auto& c : children()) p *= c->probability_forced(t, target, forced_p);
+    return p;
+  }
+
+  std::vector<CutSet> cut_sets() const override {
+    // Cartesian union-product of child cut sets.
+    std::vector<CutSet> acc{CutSet{}};
+    for (const auto& c : children()) {
+      std::vector<CutSet> next;
+      for (const auto& left : acc) {
+        for (const auto& right : c->cut_sets()) {
+          CutSet merged = left;
+          merged.insert(right.begin(), right.end());
+          next.push_back(std::move(merged));
+        }
+      }
+      acc = std::move(next);
+    }
+    return minimize(std::move(acc));
+  }
+};
+
+class OrNode final : public GateNode {
+ public:
+  using GateNode::GateNode;
+
+  double probability(double t) const override {
+    double q = 1.0;  // probability that no child fails
+    for (const auto& c : children()) q *= 1.0 - c->probability(t);
+    return 1.0 - q;
+  }
+
+  double probability_forced(double t, const std::string& target,
+                            double forced_p) const override {
+    double q = 1.0;
+    for (const auto& c : children()) {
+      q *= 1.0 - c->probability_forced(t, target, forced_p);
+    }
+    return 1.0 - q;
+  }
+
+  std::vector<CutSet> cut_sets() const override {
+    std::vector<CutSet> acc;
+    for (const auto& c : children()) {
+      auto cs = c->cut_sets();
+      acc.insert(acc.end(), cs.begin(), cs.end());
+    }
+    return minimize(std::move(acc));
+  }
+};
+
+/// Exact probability that at least k of independent events with
+/// probabilities ps occur: O(n*k) dynamic programme.
+double at_least_k(const std::vector<double>& ps, std::size_t k) {
+  const std::size_t n = ps.size();
+  // dp[j] = P(exactly j failures among the first i children), capped at k.
+  std::vector<double> dp(std::min(k, n) + 1, 0.0);
+  dp[0] = 1.0;
+  double p_at_least_k = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double p = ps[i];
+    // Walk j downward so each child is counted once.
+    for (std::size_t j = std::min(i + 1, k); j-- > 0;) {
+      const double promoted = dp[j] * p;
+      if (j + 1 == k) {
+        p_at_least_k += promoted;
+      } else {
+        dp[j + 1] += promoted;
+      }
+      dp[j] *= 1.0 - p;
+    }
+  }
+  return clamp01(p_at_least_k);
+}
+
+class KofNNode final : public GateNode {
+ public:
+  KofNNode(std::string name, std::size_t k, std::vector<NodePtr> children)
+      : GateNode(std::move(name), std::move(children)), k_(k) {
+    if (k_ == 0 || k_ > this->children().size()) {
+      throw std::invalid_argument("k-of-N gate: k out of range");
+    }
+  }
+
+  double probability(double t) const override {
+    return at_least_k(child_probabilities(t), k_);
+  }
+
+  double probability_forced(double t, const std::string& target,
+                            double forced_p) const override {
+    return at_least_k(child_probabilities_forced(t, target, forced_p), k_);
+  }
+
+  std::vector<CutSet> cut_sets() const override {
+    // Expand to OR over all k-sized child combinations of AND.
+    const auto& cs = children();
+    std::vector<CutSet> acc;
+    std::vector<std::size_t> idx(k_);
+    // Iterative combination enumeration.
+    for (std::size_t i = 0; i < k_; ++i) idx[i] = i;
+    while (true) {
+      // AND-combine the cut sets of the selected children.
+      std::vector<CutSet> combo{CutSet{}};
+      for (std::size_t i : idx) {
+        std::vector<CutSet> next;
+        for (const auto& left : combo) {
+          for (const auto& right : cs[i]->cut_sets()) {
+            CutSet merged = left;
+            merged.insert(right.begin(), right.end());
+            next.push_back(std::move(merged));
+          }
+        }
+        combo = std::move(next);
+      }
+      acc.insert(acc.end(), combo.begin(), combo.end());
+      // Advance combination.
+      std::size_t pos = k_;
+      while (pos > 0) {
+        --pos;
+        if (idx[pos] != pos + cs.size() - k_) break;
+        if (pos == 0) return minimize(std::move(acc));
+      }
+      if (idx[pos] == pos + cs.size() - k_) return minimize(std::move(acc));
+      ++idx[pos];
+      for (std::size_t i = pos + 1; i < k_; ++i) idx[i] = idx[i - 1] + 1;
+    }
+  }
+
+ private:
+  std::size_t k_;
+};
+
+}  // namespace
+
+NodePtr make_basic(std::string name, double probability) {
+  if (probability < 0.0 || probability > 1.0) {
+    throw std::invalid_argument("make_basic: probability out of [0,1]");
+  }
+  return std::make_shared<LeafNode>(
+      std::move(name), [probability](double) { return probability; });
+}
+
+NodePtr make_exponential(std::string name, double lambda_per_s) {
+  if (lambda_per_s < 0.0) {
+    throw std::invalid_argument("make_exponential: negative rate");
+  }
+  return std::make_shared<LeafNode>(std::move(name), [lambda_per_s](double t) {
+    return 1.0 - std::exp(-lambda_per_s * std::max(0.0, t));
+  });
+}
+
+NodePtr make_complex(std::string name, std::function<double(double)> model) {
+  if (!model) throw std::invalid_argument("make_complex: empty model");
+  return std::make_shared<LeafNode>(std::move(name), std::move(model));
+}
+
+NodePtr make_and(std::string name, std::vector<NodePtr> children) {
+  return std::make_shared<AndNode>(std::move(name), std::move(children));
+}
+
+NodePtr make_or(std::string name, std::vector<NodePtr> children) {
+  return std::make_shared<OrNode>(std::move(name), std::move(children));
+}
+
+NodePtr make_k_of_n(std::string name, std::size_t k,
+                    std::vector<NodePtr> children) {
+  return std::make_shared<KofNNode>(std::move(name), k, std::move(children));
+}
+
+FaultTree::FaultTree(std::string name, NodePtr top)
+    : name_(std::move(name)), top_(std::move(top)) {
+  if (!top_) throw std::invalid_argument("FaultTree: null top node");
+}
+
+std::set<std::string> FaultTree::basic_events() const {
+  std::set<std::string> out;
+  top_->collect_basic_events(out);
+  return out;
+}
+
+std::vector<CutSet> FaultTree::minimal_cut_sets() const {
+  return top_->cut_sets();
+}
+
+double FaultTree::birnbaum_importance(const std::string& event, double t) const {
+  const auto events = basic_events();
+  if (events.find(event) == events.end()) {
+    throw std::invalid_argument("birnbaum_importance: unknown event " + event);
+  }
+  return top_->probability_forced(t, event, 1.0) -
+         top_->probability_forced(t, event, 0.0);
+}
+
+std::vector<ImportanceEntry> rank_importance(const FaultTree& tree, double t) {
+  std::vector<ImportanceEntry> out;
+  for (const auto& event : tree.basic_events()) {
+    ImportanceEntry entry;
+    entry.event = event;
+    entry.birnbaum = tree.birnbaum_importance(event, t);
+    entry.fussell_vesely = tree.fussell_vesely_importance(event, t);
+    out.push_back(std::move(entry));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const ImportanceEntry& a, const ImportanceEntry& b) {
+              if (a.birnbaum != b.birnbaum) return a.birnbaum > b.birnbaum;
+              return a.event < b.event;
+            });
+  return out;
+}
+
+double FaultTree::fussell_vesely_importance(const std::string& event,
+                                            double t) const {
+  const auto events = basic_events();
+  if (events.find(event) == events.end()) {
+    throw std::invalid_argument("fussell_vesely_importance: unknown event " + event);
+  }
+  const double p_top = top_->probability(t);
+  if (p_top <= 0.0) return 0.0;
+  const double p_without = top_->probability_forced(t, event, 0.0);
+  return clamp01((p_top - p_without) / p_top);
+}
+
+}  // namespace sesame::fta

@@ -1,0 +1,125 @@
+// Fault Tree Analysis engine with *complex basic events*.
+//
+// SafeDrones' key mechanism (Kabir et al., IMBSA 2019; Aslansefat et al.,
+// IMBSA 2022) is a fault tree whose leaves are not constant-probability
+// events but "complex basic events" evaluated by an underlying dynamic
+// model — here, a callable that maps mission time to failure probability,
+// typically backed by a CTMC (sesame::markov). Gates combine leaf
+// probabilities assuming statistical independence; minimal cut sets and
+// Birnbaum importance support design-time analysis.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace sesame::fta {
+
+class Node;
+using NodePtr = std::shared_ptr<const Node>;
+
+/// A cut set is a set of basic-event names whose joint occurrence fails the
+/// top event.
+using CutSet = std::set<std::string>;
+
+/// Base class of fault-tree nodes. Immutable after construction; trees are
+/// shared via shared_ptr so sub-trees can be reused across trees (the same
+/// battery model appears under several UAV-level trees).
+class Node {
+ public:
+  virtual ~Node() = default;
+
+  /// Failure probability of this (sub)tree at mission time t (seconds),
+  /// assuming independent basic events.
+  virtual double probability(double t) const = 0;
+
+  /// Human-readable name for reporting.
+  const std::string& name() const noexcept { return name_; }
+
+  /// Collects the names of all basic events beneath this node.
+  virtual void collect_basic_events(std::set<std::string>& out) const = 0;
+
+  /// Evaluates with one basic event forced to a fixed probability —
+  /// used for Birnbaum importance. `target` is matched by name.
+  virtual double probability_forced(double t, const std::string& target,
+                                    double forced_p) const = 0;
+
+  /// Minimal cut sets of this subtree (MOCUS-style expansion).
+  virtual std::vector<CutSet> cut_sets() const = 0;
+
+ protected:
+  explicit Node(std::string name) : name_(std::move(name)) {}
+
+ private:
+  std::string name_;
+};
+
+/// Basic event with a constant failure probability.
+NodePtr make_basic(std::string name, double probability);
+
+/// Basic event with exponential lifetime: P(t) = 1 - exp(-lambda t).
+NodePtr make_exponential(std::string name, double lambda_per_s);
+
+/// Complex basic event: probability supplied by an arbitrary dynamic model
+/// (Markov chain, degradation model, learned estimator...). The callable
+/// must be pure in t and return values in [0, 1]; out-of-range results are
+/// clamped and flag a model defect in debug builds.
+NodePtr make_complex(std::string name, std::function<double(double)> model);
+
+/// AND gate: all children must fail.
+NodePtr make_and(std::string name, std::vector<NodePtr> children);
+
+/// OR gate: any child failing fails the gate.
+NodePtr make_or(std::string name, std::vector<NodePtr> children);
+
+/// k-out-of-N (voter) gate: fails when at least k of the N children have
+/// failed. Exact evaluation by dynamic programming over independent
+/// non-identical children.
+NodePtr make_k_of_n(std::string name, std::size_t k, std::vector<NodePtr> children);
+
+/// A complete fault tree: a named wrapper around the top node with
+/// analysis entry points.
+class FaultTree {
+ public:
+  FaultTree(std::string name, NodePtr top);
+
+  const std::string& name() const noexcept { return name_; }
+  const NodePtr& top() const noexcept { return top_; }
+
+  /// Top-event probability at mission time t.
+  double top_probability(double t) const { return top_->probability(t); }
+
+  /// All basic-event names in the tree.
+  std::set<std::string> basic_events() const;
+
+  /// Minimal cut sets (minimality enforced by absorption).
+  std::vector<CutSet> minimal_cut_sets() const;
+
+  /// Birnbaum importance of a basic event at time t:
+  /// I_B = P(top | e fails) - P(top | e works).
+  double birnbaum_importance(const std::string& event, double t) const;
+
+  /// Fussell-Vesely importance: fraction of top-event probability
+  /// attributable to cut sets containing the event (rare-event approx).
+  double fussell_vesely_importance(const std::string& event, double t) const;
+
+ private:
+  std::string name_;
+  NodePtr top_;
+};
+
+/// One row of an importance ranking.
+struct ImportanceEntry {
+  std::string event;
+  double birnbaum = 0.0;
+  double fussell_vesely = 0.0;
+};
+
+/// Ranks every basic event of `tree` at mission time t, descending by
+/// Birnbaum importance (ties broken by name for determinism) — the
+/// maintenance-priority table a reliability report leads with.
+std::vector<ImportanceEntry> rank_importance(const FaultTree& tree, double t);
+
+}  // namespace sesame::fta

@@ -1,0 +1,116 @@
+#include "sesame/geo/fix.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "sesame/mathx/matrix.hpp"
+
+namespace sesame::geo {
+
+FixResult fuse_range_bearing(const std::vector<RangeBearingObservation>& obs) {
+  if (obs.empty()) {
+    throw std::invalid_argument("fuse_range_bearing: no observations");
+  }
+  // Project every observation to a candidate point, then average in a local
+  // frame anchored at the first observer (inverse-variance weighting).
+  const LocalFrame frame(obs.front().observer);
+  double we = 0.0, wn = 0.0, wu = 0.0, wsum = 0.0;
+  std::vector<EnuPoint> candidates;
+  candidates.reserve(obs.size());
+  for (const auto& o : obs) {
+    if (o.range_sigma_m <= 0.0) {
+      throw std::invalid_argument("fuse_range_bearing: non-positive sigma");
+    }
+    const GeoPoint projected = destination(o.observer, o.bearing_deg, o.range_m);
+    const EnuPoint e = frame.to_enu(projected);
+    candidates.push_back(e);
+    const double w = 1.0 / (o.range_sigma_m * o.range_sigma_m);
+    we += w * e.east_m;
+    wn += w * e.north_m;
+    wu += w * e.up_m;
+    wsum += w;
+  }
+  EnuPoint fused{we / wsum, wn / wsum, wu / wsum};
+
+  double ss = 0.0;
+  for (const auto& c : candidates) {
+    const double d = enu_ground_distance_m(c, fused);
+    ss += d * d;
+  }
+  FixResult r;
+  r.position = frame.to_geo(fused);
+  r.rms_residual_m = std::sqrt(ss / static_cast<double>(candidates.size()));
+  r.iterations = 0;
+  r.converged = true;
+  return r;
+}
+
+std::optional<FixResult> trilaterate(const std::vector<RangeObservation>& obs,
+                                     int max_iterations, double tol_m) {
+  if (obs.size() < 3) return std::nullopt;
+  const LocalFrame frame(obs.front().observer);
+
+  // Initial guess: centroid of observers.
+  double cx = 0.0, cy = 0.0, calt = 0.0;
+  std::vector<EnuPoint> anchors;
+  anchors.reserve(obs.size());
+  for (const auto& o : obs) {
+    if (o.range_sigma_m <= 0.0) return std::nullopt;
+    const EnuPoint a = frame.to_enu(o.observer);
+    anchors.push_back(a);
+    cx += a.east_m;
+    cy += a.north_m;
+    calt += a.up_m;
+  }
+  const double n = static_cast<double>(obs.size());
+  double x = cx / n, y = cy / n;
+  const double alt = calt / n;
+
+  int iter = 0;
+  for (; iter < max_iterations; ++iter) {
+    // Weighted Gauss-Newton step on residuals r_i = ||p - a_i|| - range_i.
+    double h11 = 0.0, h12 = 0.0, h22 = 0.0, g1 = 0.0, g2 = 0.0;
+    for (std::size_t i = 0; i < anchors.size(); ++i) {
+      const double dx = x - anchors[i].east_m;
+      const double dy = y - anchors[i].north_m;
+      double dist = std::sqrt(dx * dx + dy * dy);
+      if (dist < 1e-9) dist = 1e-9;
+      const double w = 1.0 / (obs[i].range_sigma_m * obs[i].range_sigma_m);
+      const double res = dist - obs[i].range_m;
+      const double jx = dx / dist;
+      const double jy = dy / dist;
+      h11 += w * jx * jx;
+      h12 += w * jx * jy;
+      h22 += w * jy * jy;
+      g1 += w * jx * res;
+      g2 += w * jy * res;
+    }
+    const double det = h11 * h22 - h12 * h12;
+    if (std::abs(det) < 1e-12) return std::nullopt;  // degenerate geometry
+    const double step_x = (h22 * g1 - h12 * g2) / det;
+    const double step_y = (h11 * g2 - h12 * g1) / det;
+    x -= step_x;
+    y -= step_y;
+    if (std::sqrt(step_x * step_x + step_y * step_y) < tol_m) {
+      ++iter;
+      break;
+    }
+  }
+
+  double ss = 0.0;
+  for (std::size_t i = 0; i < anchors.size(); ++i) {
+    const double dx = x - anchors[i].east_m;
+    const double dy = y - anchors[i].north_m;
+    const double res = std::sqrt(dx * dx + dy * dy) - obs[i].range_m;
+    ss += res * res;
+  }
+  FixResult r;
+  r.position = frame.to_geo(EnuPoint{x, y, alt});
+  r.rms_residual_m = std::sqrt(ss / n);
+  r.iterations = iter;
+  r.converged = iter < max_iterations;
+  if (!std::isfinite(x) || !std::isfinite(y)) return std::nullopt;
+  return r;
+}
+
+}  // namespace sesame::geo

@@ -1,0 +1,91 @@
+#include "sesame/geo/geodesy.hpp"
+
+#include <algorithm>
+
+namespace sesame::geo {
+
+double haversine_m(const GeoPoint& a, const GeoPoint& b) {
+  const double phi1 = deg_to_rad(a.lat_deg);
+  const double phi2 = deg_to_rad(b.lat_deg);
+  const double dphi = deg_to_rad(b.lat_deg - a.lat_deg);
+  const double dlam = deg_to_rad(b.lon_deg - a.lon_deg);
+  const double sin_dphi = std::sin(dphi / 2.0);
+  const double sin_dlam = std::sin(dlam / 2.0);
+  const double h =
+      sin_dphi * sin_dphi + std::cos(phi1) * std::cos(phi2) * sin_dlam * sin_dlam;
+  return 2.0 * kEarthRadiusM * std::asin(std::min(1.0, std::sqrt(h)));
+}
+
+double slant_range_m(const GeoPoint& a, const GeoPoint& b) {
+  const double ground = haversine_m(a, b);
+  const double dz = b.alt_m - a.alt_m;
+  return std::sqrt(ground * ground + dz * dz);
+}
+
+double bearing_deg(const GeoPoint& a, const GeoPoint& b) {
+  const double phi1 = deg_to_rad(a.lat_deg);
+  const double phi2 = deg_to_rad(b.lat_deg);
+  const double dlam = deg_to_rad(b.lon_deg - a.lon_deg);
+  const double y = std::sin(dlam) * std::cos(phi2);
+  const double x = std::cos(phi1) * std::sin(phi2) -
+                   std::sin(phi1) * std::cos(phi2) * std::cos(dlam);
+  double brg = rad_to_deg(std::atan2(y, x));
+  if (brg < 0.0) brg += 360.0;
+  return brg;
+}
+
+GeoPoint destination(const GeoPoint& origin, double bearing, double distance_m) {
+  const double delta = distance_m / kEarthRadiusM;
+  const double theta = deg_to_rad(bearing);
+  const double phi1 = deg_to_rad(origin.lat_deg);
+  const double lam1 = deg_to_rad(origin.lon_deg);
+  const double sin_phi2 = std::sin(phi1) * std::cos(delta) +
+                          std::cos(phi1) * std::sin(delta) * std::cos(theta);
+  const double phi2 = std::asin(std::clamp(sin_phi2, -1.0, 1.0));
+  const double y = std::sin(theta) * std::sin(delta) * std::cos(phi1);
+  const double x = std::cos(delta) - std::sin(phi1) * sin_phi2;
+  const double lam2 = lam1 + std::atan2(y, x);
+  GeoPoint out;
+  out.lat_deg = rad_to_deg(phi2);
+  out.lon_deg = rad_to_deg(lam2);
+  // Normalize longitude to [-180, 180).
+  while (out.lon_deg >= 180.0) out.lon_deg -= 360.0;
+  while (out.lon_deg < -180.0) out.lon_deg += 360.0;
+  out.alt_m = origin.alt_m;
+  return out;
+}
+
+LocalFrame::LocalFrame(const GeoPoint& origin)
+    : origin_(origin), cos_lat_(std::cos(deg_to_rad(origin.lat_deg))) {}
+
+EnuPoint LocalFrame::to_enu(const GeoPoint& p) const {
+  EnuPoint e;
+  e.east_m = deg_to_rad(p.lon_deg - origin_.lon_deg) * kEarthRadiusM * cos_lat_;
+  e.north_m = deg_to_rad(p.lat_deg - origin_.lat_deg) * kEarthRadiusM;
+  e.up_m = p.alt_m - origin_.alt_m;
+  return e;
+}
+
+GeoPoint LocalFrame::to_geo(const EnuPoint& p) const {
+  GeoPoint g;
+  g.lat_deg = origin_.lat_deg + rad_to_deg(p.north_m / kEarthRadiusM);
+  g.lon_deg =
+      origin_.lon_deg + rad_to_deg(p.east_m / (kEarthRadiusM * cos_lat_));
+  g.alt_m = origin_.alt_m + p.up_m;
+  return g;
+}
+
+double enu_distance_m(const EnuPoint& a, const EnuPoint& b) {
+  const double de = a.east_m - b.east_m;
+  const double dn = a.north_m - b.north_m;
+  const double du = a.up_m - b.up_m;
+  return std::sqrt(de * de + dn * dn + du * du);
+}
+
+double enu_ground_distance_m(const EnuPoint& a, const EnuPoint& b) {
+  const double de = a.east_m - b.east_m;
+  const double dn = a.north_m - b.north_m;
+  return std::sqrt(de * de + dn * dn);
+}
+
+}  // namespace sesame::geo

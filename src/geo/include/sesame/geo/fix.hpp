@@ -1,0 +1,56 @@
+// Position-fix estimation from range and bearing observations, the
+// geometric core of Collaborative Localization: assisting UAVs observe the
+// affected UAV with a camera (bearing) and monocular depth estimate (range)
+// and the observations are fused into a single geodetic fix via
+// trigonometric projection and, for ranges-only sets, nonlinear least
+// squares (Gauss-Newton) trilateration.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "sesame/geo/geodesy.hpp"
+
+namespace sesame::geo {
+
+/// One observation of a target made by an observer at a known position.
+struct RangeBearingObservation {
+  GeoPoint observer;      ///< observer's own (trusted) position
+  double range_m = 0.0;   ///< estimated slant/ground range to the target
+  double bearing_deg = 0.0;  ///< estimated bearing to the target, deg from N
+  /// 1-sigma uncertainty of the range estimate; used as an inverse-variance
+  /// fusion weight. Must be > 0.
+  double range_sigma_m = 1.0;
+};
+
+/// Range-only observation (e.g. RF time-of-flight between UAVs).
+struct RangeObservation {
+  GeoPoint observer;
+  double range_m = 0.0;
+  double range_sigma_m = 1.0;
+};
+
+/// Result of a fused fix.
+struct FixResult {
+  GeoPoint position;       ///< fused estimate
+  double rms_residual_m = 0.0;  ///< RMS of per-observation residuals
+  int iterations = 0;      ///< Gauss-Newton iterations consumed (0 for direct)
+  bool converged = true;
+};
+
+/// Projects each range/bearing observation to a point with `destination`
+/// and fuses the points with inverse-variance weights. This is the
+/// projection-plus-Haversine-refinement scheme of the paper (Section III-C).
+/// Requires at least one observation.
+FixResult fuse_range_bearing(const std::vector<RangeBearingObservation>& obs);
+
+/// Gauss-Newton trilateration from >= 3 range-only observations (2-D fix in
+/// a local tangent frame, altitude is taken as the weighted mean of
+/// observer altitudes minus nothing — callers provide target altitude out of
+/// band). Returns nullopt when the geometry is degenerate (observers nearly
+/// collinear) or the iteration diverges.
+std::optional<FixResult> trilaterate(const std::vector<RangeObservation>& obs,
+                                     int max_iterations = 25,
+                                     double tol_m = 1e-4);
+
+}  // namespace sesame::geo

@@ -1,0 +1,21 @@
+#include "sesame/mw/bus.hpp"
+
+namespace sesame::mw {
+
+Subscription Bus::add_tap(TapFn tap) {
+  const std::uint64_t id = next_sub_id_++;
+  taps_.emplace(id, std::move(tap));
+  return Subscription([this, id] { taps_.erase(id); });
+}
+
+void Bus::restrict_publisher(const std::string& topic,
+                             const std::string& source) {
+  acl_[topic] = source;
+}
+
+std::size_t Bus::subscriber_count(const std::string& topic) const {
+  const auto it = subscribers_.find(topic);
+  return it == subscribers_.end() ? 0 : it->second.size();
+}
+
+}  // namespace sesame::mw

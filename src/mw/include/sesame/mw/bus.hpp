@@ -1,0 +1,184 @@
+// In-process typed publish/subscribe middleware.
+//
+// Stands in for ROS in the paper's architecture: UAV nodes, the ground
+// control station, EDDIs and the IDS all communicate over named topics.
+// Deliberately reproduces the property the paper exploits in its security
+// scenario — *any* participant can publish to any topic (no authentication),
+// so a spoofing node can inject falsified telemetry/waypoints. The IDS taps
+// the bus through `add_tap` to inspect traffic.
+#pragma once
+
+#include <any>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <typeindex>
+#include <vector>
+
+namespace sesame::mw {
+
+/// Metadata attached to every published message.
+struct MessageHeader {
+  std::uint64_t seq = 0;       ///< bus-wide sequence number
+  double time_s = 0.0;         ///< publisher's notion of mission time
+  std::string source;          ///< publishing node name (unauthenticated!)
+  std::string topic;
+};
+
+/// Journal entry kept for diagnostics and the IDS.
+struct JournalEntry {
+  MessageHeader header;
+  std::string type_name;  ///< mangled C++ type of the payload
+};
+
+/// Token returned by subscribe/tap registration; unsubscribes on release.
+class Subscription {
+ public:
+  Subscription() = default;
+  explicit Subscription(std::function<void()> unsubscribe)
+      : unsubscribe_(std::move(unsubscribe)) {}
+  Subscription(Subscription&&) = default;
+  Subscription& operator=(Subscription&& o) {
+    reset();
+    unsubscribe_ = std::move(o.unsubscribe_);
+    o.unsubscribe_ = nullptr;
+    return *this;
+  }
+  Subscription(const Subscription&) = delete;
+  Subscription& operator=(const Subscription&) = delete;
+  ~Subscription() { reset(); }
+
+  void reset() {
+    if (unsubscribe_) {
+      unsubscribe_();
+      unsubscribe_ = nullptr;
+    }
+  }
+  bool active() const noexcept { return static_cast<bool>(unsubscribe_); }
+
+ private:
+  std::function<void()> unsubscribe_;
+};
+
+/// The message bus. Single-threaded by design (the simulator steps the
+/// world deterministically); delivery is synchronous and in subscription
+/// order, which keeps every experiment reproducible.
+class Bus {
+ public:
+  /// Publishes a payload on `topic`. Delivery is immediate. The payload
+  /// type must match subscribers' expected type exactly; a mismatch throws
+  /// std::runtime_error (it is a programming error, not an attack vector).
+  ///
+  /// When the topic carries a publisher restriction (restrict_publisher —
+  /// the SROS2-style authentication mitigation), publications from any
+  /// other source are dropped before reaching subscribers; taps (IDS)
+  /// still observe the attempt, as a network IDS would.
+  template <typename T>
+  void publish(const std::string& topic, const T& payload,
+               const std::string& source, double time_s) {
+    MessageHeader h;
+    h.seq = next_seq_++;
+    h.time_s = time_s;
+    h.source = source;
+    h.topic = topic;
+    if (journal_enabled_) {
+      journal_.push_back({h, typeid(T).name()});
+    }
+    // Taps see everything, before subscribers.
+    for (const auto& [id, tap] : taps_) {
+      (void)id;
+      tap(h, std::any(std::cref(payload)), std::type_index(typeid(T)));
+    }
+    if (const auto acl = acl_.find(topic);
+        acl != acl_.end() && acl->second != source) {
+      ++rejected_publications_;
+      return;  // authenticated transport: unauthorized publication dropped
+    }
+    const auto it = subscribers_.find(topic);
+    if (it == subscribers_.end()) return;
+    // Copy the handler list: handlers may (un)subscribe re-entrantly.
+    auto handlers = it->second;
+    for (const auto& s : handlers) {
+      if (s.type != std::type_index(typeid(T))) {
+        throw std::runtime_error("Bus: type mismatch on topic '" + topic +
+                                 "': published " + typeid(T).name() +
+                                 " but a subscriber expects a different type");
+      }
+      s.handler(h, &payload);
+    }
+  }
+
+  /// Subscribes a handler to `topic`. Returns a token whose destruction
+  /// unsubscribes.
+  template <typename T>
+  [[nodiscard]] Subscription subscribe(
+      const std::string& topic,
+      std::function<void(const MessageHeader&, const T&)> handler) {
+    const std::uint64_t id = next_sub_id_++;
+    Entry e;
+    e.id = id;
+    e.type = std::type_index(typeid(T));
+    e.handler = [handler = std::move(handler)](const MessageHeader& h,
+                                               const void* payload) {
+      handler(h, *static_cast<const T*>(payload));
+    };
+    subscribers_[topic].push_back(std::move(e));
+    return Subscription([this, topic, id] {
+      auto& list = subscribers_[topic];
+      for (auto it = list.begin(); it != list.end(); ++it) {
+        if (it->id == id) {
+          list.erase(it);
+          break;
+        }
+      }
+    });
+  }
+
+  /// Tap invoked for every message on every topic (IDS / diagnostics).
+  /// The std::any carries a std::reference_wrapper<const T>.
+  using TapFn = std::function<void(const MessageHeader&, const std::any&,
+                                   std::type_index)>;
+  [[nodiscard]] Subscription add_tap(TapFn tap);
+
+  /// Number of registered subscribers on a topic.
+  std::size_t subscriber_count(const std::string& topic) const;
+
+  /// Message journal (headers only); enabled by default.
+  void enable_journal(bool on) { journal_enabled_ = on; }
+  const std::vector<JournalEntry>& journal() const noexcept { return journal_; }
+  void clear_journal() { journal_.clear(); }
+
+  std::uint64_t messages_published() const noexcept { return next_seq_; }
+
+  /// Enables authenticated publishing on `topic`: only `source` may
+  /// publish there; other publications are dropped (and counted). This is
+  /// the paper's mitigation for the ROS spoofing vulnerability — without
+  /// it the bus accepts traffic from any node.
+  void restrict_publisher(const std::string& topic, const std::string& source);
+
+  /// Publications dropped by publisher restrictions so far.
+  std::uint64_t rejected_publications() const noexcept {
+    return rejected_publications_;
+  }
+
+ private:
+  struct Entry {
+    std::uint64_t id = 0;
+    std::type_index type = std::type_index(typeid(void));
+    std::function<void(const MessageHeader&, const void*)> handler;
+  };
+
+  std::map<std::string, std::vector<Entry>> subscribers_;
+  std::map<std::string, std::string> acl_;  // topic -> sole allowed source
+  std::uint64_t rejected_publications_ = 0;
+  std::map<std::uint64_t, TapFn> taps_;
+  std::vector<JournalEntry> journal_;
+  bool journal_enabled_ = true;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t next_sub_id_ = 0;
+};
+
+}  // namespace sesame::mw

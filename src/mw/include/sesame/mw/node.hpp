@@ -1,0 +1,42 @@
+// Node handle: the ROS-style participant facade over the bus.
+//
+// Components publish under a fixed node identity; threading the source
+// string through every publish call is error-prone (and a mistyped source
+// silently defeats the IDS's authorization rules). A NodeHandle bakes the
+// identity in, mirroring how ROS nodes carry their name.
+#pragma once
+
+#include <string>
+#include <utility>
+
+#include "sesame/mw/bus.hpp"
+
+namespace sesame::mw {
+
+class NodeHandle {
+ public:
+  /// `name` is the node's bus identity (the MessageHeader::source of every
+  /// publication). Throws std::invalid_argument on an empty name.
+  NodeHandle(Bus& bus, std::string name);
+
+  const std::string& name() const noexcept { return name_; }
+  Bus& bus() noexcept { return *bus_; }
+
+  template <typename T>
+  void publish(const std::string& topic, const T& payload, double time_s) {
+    bus_->publish(topic, payload, name_, time_s);
+  }
+
+  template <typename T>
+  [[nodiscard]] Subscription subscribe(
+      const std::string& topic,
+      std::function<void(const MessageHeader&, const T&)> handler) {
+    return bus_->subscribe<T>(topic, std::move(handler));
+  }
+
+ private:
+  Bus* bus_;
+  std::string name_;
+};
+
+}  // namespace sesame::mw

@@ -1,0 +1,12 @@
+#include "sesame/mw/node.hpp"
+
+#include <stdexcept>
+
+namespace sesame::mw {
+
+NodeHandle::NodeHandle(Bus& bus, std::string name)
+    : bus_(&bus), name_(std::move(name)) {
+  if (name_.empty()) throw std::invalid_argument("NodeHandle: empty name");
+}
+
+}  // namespace sesame::mw

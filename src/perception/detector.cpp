@@ -1,0 +1,94 @@
+#include "sesame/perception/detector.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace sesame::perception {
+
+PersonDetector::PersonDetector(DetectorConfig config, sim::CameraConfig camera)
+    : config_(config), camera_(camera) {
+  if (config_.gsd_ref_m <= 0.0 || config_.gsd_falloff <= 0.0) {
+    throw std::invalid_argument("PersonDetector: non-positive GSD parameters");
+  }
+  if (config_.peak_detection_probability <= 0.0 ||
+      config_.peak_detection_probability > 1.0) {
+    throw std::invalid_argument("PersonDetector: peak probability out of (0,1]");
+  }
+  if (config_.false_alarm_rate < 0.0 || config_.false_alarm_rate >= 1.0) {
+    throw std::invalid_argument("PersonDetector: false alarm rate out of [0,1)");
+  }
+}
+
+double PersonDetector::detection_probability(double altitude_m) const {
+  if (altitude_m <= 0.0) return 0.0;
+  const double gsd = camera_.ground_sample_distance_m(altitude_m);
+  // Logistic decay in GSD beyond the reference resolution, normalized so
+  // that zero excess yields exactly the peak probability.
+  const double excess = std::max(0.0, gsd - config_.gsd_ref_m);
+  const double s = 1.0 / (1.0 + std::exp(config_.gsd_falloff * excess - 4.0));
+  return config_.peak_detection_probability * s * (1.0 + std::exp(-4.0));
+}
+
+std::vector<Detection> PersonDetector::detect(
+    const geo::EnuPoint& uav_pos, const std::vector<sim::Person>& persons,
+    mathx::Rng& rng) const {
+  std::vector<Detection> out;
+  const double alt = uav_pos.up_m;
+  if (alt <= 0.0) return out;
+  const auto fp = camera_.footprint(uav_pos);
+  const double p_det = detection_probability(alt);
+  const double gsd = camera_.ground_sample_distance_m(alt);
+  const double sigma =
+      config_.base_position_sigma_m * std::max(1.0, gsd / config_.gsd_ref_m);
+
+  for (std::size_t i = 0; i < persons.size(); ++i) {
+    if (!fp.contains(persons[i].position)) continue;
+    if (!rng.bernoulli(p_det)) continue;
+    Detection d;
+    d.person_index = i;
+    // Confidence concentrates near p_det with altitude-dependent spread.
+    d.confidence = std::clamp(rng.normal(p_det, 0.05 + 0.1 * (1.0 - p_det)),
+                              0.01, 0.999);
+    d.estimated_position = persons[i].position;
+    d.estimated_position.east_m += rng.normal(0.0, sigma);
+    d.estimated_position.north_m += rng.normal(0.0, sigma);
+    out.push_back(d);
+  }
+
+  if (rng.bernoulli(config_.false_alarm_rate)) {
+    Detection fa;
+    fa.person_index = std::nullopt;
+    fa.confidence = std::clamp(rng.normal(0.35, 0.15), 0.01, 0.9);
+    fa.estimated_position = {
+        fp.center_east_m + rng.uniform(-fp.half_width_m, fp.half_width_m),
+        fp.center_north_m + rng.uniform(-fp.half_height_m, fp.half_height_m),
+        0.0};
+    out.push_back(fa);
+  }
+  return out;
+}
+
+FrameFeatures PersonDetector::frame_features(double altitude_m,
+                                             mathx::Rng& rng) const {
+  FrameFeatures f;
+  const double gsd =
+      std::max(1e-4, camera_.ground_sample_distance_m(std::max(1.0, altitude_m)));
+  // Sharpness ~ 1/gsd with sensor noise; contrast washes out with range;
+  // apparent scale (px) of a 0.5 m-wide person.
+  f.sharpness = config_.gsd_ref_m / gsd + rng.normal(0.0, 0.03);
+  f.contrast = 0.8 * std::exp(-altitude_m / 120.0) + rng.normal(0.0, 0.02);
+  f.target_scale = 0.5 / gsd + rng.normal(0.0, 0.5);
+  return f;
+}
+
+std::vector<double> PersonDetector::detection_features(const Detection& det,
+                                                       double altitude_m,
+                                                       mathx::Rng& rng) const {
+  const double gsd =
+      std::max(1e-4, camera_.ground_sample_distance_m(std::max(1.0, altitude_m)));
+  const FrameFeatures f = frame_features(altitude_m, rng);
+  return {gsd / config_.gsd_ref_m, det.confidence, f.target_scale, f.contrast};
+}
+
+}  // namespace sesame::perception

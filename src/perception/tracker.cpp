@@ -1,0 +1,93 @@
+#include "sesame/perception/tracker.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace sesame::perception {
+
+PersonTracker::PersonTracker(TrackerConfig config) : config_(config) {
+  if (config_.gate_m <= 0.0 || config_.confirm_hits == 0 ||
+      config_.max_misses == 0) {
+    throw std::invalid_argument("PersonTracker: bad config");
+  }
+}
+
+void PersonTracker::update(const std::vector<Detection>& detections) {
+  ++frames_;
+  std::vector<bool> track_updated(tracks_.size(), false);
+
+  for (const auto& det : detections) {
+    // Greedy nearest-neighbour association within the gate, preferring
+    // tracks not yet updated this frame.
+    std::size_t best = tracks_.size();
+    double best_d = config_.gate_m;
+    for (std::size_t i = 0; i < tracks_.size(); ++i) {
+      if (track_updated[i]) continue;
+      const double d =
+          geo::enu_ground_distance_m(tracks_[i].position, det.estimated_position);
+      if (d <= best_d) {
+        best_d = d;
+        best = i;
+      }
+    }
+    if (best < tracks_.size()) {
+      Track& t = tracks_[best];
+      // Running average sharpens the position as hits accumulate.
+      const double n = static_cast<double>(t.hits);
+      t.position.east_m =
+          (t.position.east_m * n + det.estimated_position.east_m) / (n + 1.0);
+      t.position.north_m =
+          (t.position.north_m * n + det.estimated_position.north_m) / (n + 1.0);
+      ++t.hits;
+      t.misses = 0;
+      t.last_confidence = det.confidence;
+      if (t.hits >= config_.confirm_hits) t.confirmed = true;
+      track_updated[best] = true;
+    } else {
+      Track t;
+      t.id = next_id_++;
+      t.position = det.estimated_position;
+      t.hits = 1;
+      t.last_confidence = det.confidence;
+      t.confirmed = config_.confirm_hits <= 1;
+      tracks_.push_back(t);
+      track_updated.push_back(true);
+    }
+  }
+
+  // Age unmatched tracks; tentative ones die, confirmed ones persist.
+  for (std::size_t i = 0; i < tracks_.size(); ++i) {
+    if (!track_updated[i]) ++tracks_[i].misses;
+  }
+  tracks_.erase(std::remove_if(tracks_.begin(), tracks_.end(),
+                               [this](const Track& t) {
+                                 return !t.confirmed &&
+                                        t.misses > config_.max_misses;
+                               }),
+                tracks_.end());
+}
+
+std::vector<Track> PersonTracker::confirmed() const {
+  std::vector<Track> out;
+  for (const auto& t : tracks_) {
+    if (t.confirmed) out.push_back(t);
+  }
+  return out;
+}
+
+std::optional<Track> PersonTracker::nearest_confirmed(
+    const geo::EnuPoint& p) const {
+  std::optional<Track> best;
+  double best_d = config_.gate_m;
+  for (const auto& t : tracks_) {
+    if (!t.confirmed) continue;
+    const double d = geo::enu_ground_distance_m(t.position, p);
+    if (d <= best_d) {
+      best_d = d;
+      best = t;
+    }
+  }
+  return best;
+}
+
+}  // namespace sesame::perception

@@ -1,0 +1,160 @@
+#include "sesame/platform/config_io.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace sesame::platform {
+
+namespace ode = eddi::ode;
+
+eddi::ode::Value config_to_json(const RunnerConfig& config) {
+  ode::Value doc;
+  doc["sesame_enabled"] = config.sesame_enabled;
+  doc["dt_s"] = config.dt_s;
+  doc["max_time_s"] = config.max_time_s;
+  doc["consert_period_s"] = config.consert_period_s;
+  doc["battery_swap_time_s"] = config.battery_swap_time_s;
+  doc["baseline_rtb_soc"] = config.baseline_rtb_soc;
+  doc["n_uavs"] = config.n_uavs;
+  doc["n_persons"] = config.n_persons;
+  doc["descend_altitude_m"] = config.descend_altitude_m;
+  doc["descend_patience"] = config.descend_patience;
+  doc["seed"] = static_cast<double>(config.seed);
+
+  ode::Value area;
+  area["east_min"] = config.area.east_min;
+  area["east_max"] = config.area.east_max;
+  area["north_min"] = config.area.north_min;
+  area["north_max"] = config.area.north_max;
+  doc["area"] = area;
+
+  ode::Value coverage;
+  coverage["altitude_m"] = config.coverage.altitude_m;
+  coverage["lane_spacing_m"] = config.coverage.lane_spacing_m;
+  coverage["along_track_spacing_m"] = config.coverage.along_track_spacing_m;
+  doc["coverage"] = coverage;
+
+  if (config.battery_fault) {
+    ode::Value ev;
+    ev["uav"] = config.battery_fault->uav;
+    ev["time_s"] = config.battery_fault->time_s;
+    ev["soc_after"] = config.battery_fault->soc_after;
+    ev["temp_c"] = config.battery_fault->temp_c;
+    doc["battery_fault"] = ev;
+  }
+  if (config.spoofing) {
+    ode::Value ev;
+    ev["uav"] = config.spoofing->uav;
+    ev["time_s"] = config.spoofing->time_s;
+    ev["walk_mps"] = config.spoofing->walk_mps;
+    doc["spoofing"] = ev;
+  }
+  return doc;
+}
+
+namespace {
+
+[[noreturn]] void unknown_key(const std::string& scope, const std::string& key) {
+  throw std::runtime_error("config_from_json: unknown key '" + key + "' in " +
+                           scope);
+}
+
+double number(const ode::Value& v, const char* what) {
+  if (!v.is_number()) {
+    throw std::invalid_argument(std::string("config_from_json: ") + what +
+                                " must be a number");
+  }
+  return v.as_number();
+}
+
+}  // namespace
+
+RunnerConfig config_from_json(const eddi::ode::Value& doc) {
+  if (!doc.is_object()) {
+    throw std::invalid_argument("config_from_json: top level must be an object");
+  }
+  RunnerConfig config;
+  for (const auto& [key, value] : doc.as_object()) {
+    if (key == "sesame_enabled") {
+      if (!value.is_bool()) {
+        throw std::invalid_argument("config_from_json: sesame_enabled bool");
+      }
+      config.sesame_enabled = value.as_bool();
+    } else if (key == "dt_s") {
+      config.dt_s = number(value, "dt_s");
+    } else if (key == "max_time_s") {
+      config.max_time_s = number(value, "max_time_s");
+    } else if (key == "consert_period_s") {
+      config.consert_period_s = number(value, "consert_period_s");
+    } else if (key == "battery_swap_time_s") {
+      config.battery_swap_time_s = number(value, "battery_swap_time_s");
+    } else if (key == "baseline_rtb_soc") {
+      config.baseline_rtb_soc = number(value, "baseline_rtb_soc");
+    } else if (key == "n_uavs") {
+      config.n_uavs = static_cast<std::size_t>(number(value, "n_uavs"));
+    } else if (key == "n_persons") {
+      config.n_persons = static_cast<std::size_t>(number(value, "n_persons"));
+    } else if (key == "descend_altitude_m") {
+      config.descend_altitude_m = number(value, "descend_altitude_m");
+    } else if (key == "descend_patience") {
+      config.descend_patience =
+          static_cast<int>(number(value, "descend_patience"));
+    } else if (key == "seed") {
+      config.seed = static_cast<std::uint64_t>(number(value, "seed"));
+    } else if (key == "area") {
+      for (const auto& [akey, avalue] : value.as_object()) {
+        if (akey == "east_min") config.area.east_min = number(avalue, akey.c_str());
+        else if (akey == "east_max") config.area.east_max = number(avalue, akey.c_str());
+        else if (akey == "north_min") config.area.north_min = number(avalue, akey.c_str());
+        else if (akey == "north_max") config.area.north_max = number(avalue, akey.c_str());
+        else unknown_key("area", akey);
+      }
+    } else if (key == "coverage") {
+      for (const auto& [ckey, cvalue] : value.as_object()) {
+        if (ckey == "altitude_m") config.coverage.altitude_m = number(cvalue, ckey.c_str());
+        else if (ckey == "lane_spacing_m") config.coverage.lane_spacing_m = number(cvalue, ckey.c_str());
+        else if (ckey == "along_track_spacing_m") config.coverage.along_track_spacing_m = number(cvalue, ckey.c_str());
+        else unknown_key("coverage", ckey);
+      }
+    } else if (key == "battery_fault") {
+      BatteryFaultEvent ev;
+      for (const auto& [ekey, evalue] : value.as_object()) {
+        if (ekey == "uav") ev.uav = evalue.as_string();
+        else if (ekey == "time_s") ev.time_s = number(evalue, ekey.c_str());
+        else if (ekey == "soc_after") ev.soc_after = number(evalue, ekey.c_str());
+        else if (ekey == "temp_c") ev.temp_c = number(evalue, ekey.c_str());
+        else unknown_key("battery_fault", ekey);
+      }
+      config.battery_fault = ev;
+    } else if (key == "spoofing") {
+      SpoofingEvent ev;
+      for (const auto& [ekey, evalue] : value.as_object()) {
+        if (ekey == "uav") ev.uav = evalue.as_string();
+        else if (ekey == "time_s") ev.time_s = number(evalue, ekey.c_str());
+        else if (ekey == "walk_mps") ev.walk_mps = number(evalue, ekey.c_str());
+        else unknown_key("spoofing", ekey);
+      }
+      config.spoofing = ev;
+    } else {
+      unknown_key("config", key);
+    }
+  }
+  return config;
+}
+
+void save_config(const RunnerConfig& config, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("save_config: cannot open " + path);
+  out << config_to_json(config).to_json() << '\n';
+}
+
+RunnerConfig load_config(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("load_config: cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return config_from_json(eddi::ode::parse_json(buffer.str()));
+}
+
+}  // namespace sesame::platform

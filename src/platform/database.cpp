@@ -1,0 +1,54 @@
+#include "sesame/platform/database.hpp"
+
+#include <stdexcept>
+
+namespace sesame::platform {
+
+DatabaseManager::DatabaseManager(mw::Bus& bus, std::size_t history_limit)
+    : bus_(&bus), history_limit_(history_limit) {
+  if (history_limit_ == 0) {
+    throw std::invalid_argument("DatabaseManager: zero history limit");
+  }
+}
+
+void DatabaseManager::attach_uav(const std::string& name) {
+  if (store_.count(name)) return;  // already attached
+  store_[name];  // create the (empty) history slot
+  subscriptions_.push_back(bus_->subscribe<sim::Telemetry>(
+      sim::telemetry_topic(name),
+      [this, name](const mw::MessageHeader&, const sim::Telemetry& t) {
+        auto& history = store_[name];
+        history.push_back(t);
+        if (history.size() > history_limit_) history.pop_front();
+        ++records_stored_;
+      }));
+}
+
+void DatabaseManager::allow_client(const std::string& source) {
+  allowed_clients_.insert(source);
+}
+
+void DatabaseManager::check_client(const std::string& client) const {
+  if (!allowed_clients_.count(client)) {
+    throw std::runtime_error("DatabaseManager: client '" + client +
+                             "' is outside the platform network");
+  }
+}
+
+std::optional<sim::Telemetry> DatabaseManager::latest(
+    const std::string& client, const std::string& uav) const {
+  check_client(client);
+  const auto it = store_.find(uav);
+  if (it == store_.end() || it->second.empty()) return std::nullopt;
+  return it->second.back();
+}
+
+std::vector<sim::Telemetry> DatabaseManager::history(
+    const std::string& client, const std::string& uav) const {
+  check_client(client);
+  const auto it = store_.find(uav);
+  if (it == store_.end()) return {};
+  return {it->second.begin(), it->second.end()};
+}
+
+}  // namespace sesame::platform

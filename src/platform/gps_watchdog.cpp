@@ -1,0 +1,51 @@
+#include "sesame/platform/gps_watchdog.hpp"
+
+#include <stdexcept>
+
+#include "sesame/security/ids.hpp"
+
+namespace sesame::platform {
+
+GpsWatchdog::GpsWatchdog(mw::Bus& bus, GpsWatchdogConfig config)
+    : bus_(&bus), config_(config) {
+  if (config_.consecutive_losses == 0) {
+    throw std::invalid_argument("GpsWatchdog: zero loss threshold");
+  }
+}
+
+void GpsWatchdog::watch_uav(const std::string& name) {
+  subscriptions_.push_back(bus_->subscribe<sim::Telemetry>(
+      sim::telemetry_topic(name),
+      [this, name](const mw::MessageHeader&, const sim::Telemetry& t) {
+        on_telemetry(name, t);
+      }));
+}
+
+void GpsWatchdog::on_telemetry(const std::string& name,
+                               const sim::Telemetry& t) {
+  const bool airborne = t.mode == sim::FlightMode::kTakeoff ||
+                        t.mode == sim::FlightMode::kMission ||
+                        t.mode == sim::FlightMode::kHold ||
+                        t.mode == sim::FlightMode::kReturnToBase;
+  if (!airborne || t.gps_fix) {
+    loss_streak_[name] = 0;
+    alerted_[name] = false;  // fix recovered: re-arm
+    return;
+  }
+  if (++loss_streak_[name] < config_.consecutive_losses || alerted_[name]) {
+    return;
+  }
+  alerted_[name] = true;
+  ++alerts_raised_;
+  security::IdsAlert alert;
+  alert.rule = "gps_fix_lost";
+  alert.capec_id = "CAPEC-601";
+  alert.topic = sim::telemetry_topic(name);
+  alert.source = name;
+  alert.time_s = t.time_s;
+  alert.detail = std::to_string(loss_streak_[name]) +
+                 " consecutive airborne samples without a GNSS fix";
+  bus_->publish(security::ids_alert_topic(), alert, "gps_watchdog", t.time_s);
+}
+
+}  // namespace sesame::platform

@@ -1,0 +1,32 @@
+// Scenario-configuration files.
+//
+// Batch experimentation (parameter sweeps, CI regression scenarios) wants
+// runner configurations as data, not code. This serializes RunnerConfig
+// to/from the same JSON document model the ODE exports use. Unknown keys
+// are rejected (a typo silently reverting to a default is the worst
+// failure mode for an experiment config); absent keys keep their
+// defaults, so files only state what they change.
+#pragma once
+
+#include <string>
+
+#include "sesame/eddi/ode.hpp"
+#include "sesame/platform/mission_runner.hpp"
+
+namespace sesame::platform {
+
+/// Serializes every scenario-level field (fleet, area, coverage, events,
+/// timing, seed). Monitor-calibration internals are runtime-derived and
+/// not part of the file format.
+eddi::ode::Value config_to_json(const RunnerConfig& config);
+
+/// Parses a configuration, starting from defaults. Throws
+/// std::runtime_error on malformed JSON or unknown keys, and
+/// std::invalid_argument on structurally wrong values.
+RunnerConfig config_from_json(const eddi::ode::Value& doc);
+
+/// File convenience wrappers.
+void save_config(const RunnerConfig& config, const std::string& path);
+RunnerConfig load_config(const std::string& path);
+
+}  // namespace sesame::platform

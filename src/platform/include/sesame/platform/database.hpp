@@ -1,0 +1,55 @@
+// Database manager of the multi-UAV control platform (paper Section IV-A).
+//
+// Provides an API for telemetry storage and retrieval. UAVs report their
+// state over the bus; the manager persists the latest record and a bounded
+// history per vehicle. Access mirrors the paper's behaviour: requests must
+// come from sources inside the platform network (a whitelist here), so
+// external clients cannot read fleet state.
+#pragma once
+
+#include <deque>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "sesame/mw/bus.hpp"
+#include "sesame/sim/world.hpp"
+
+namespace sesame::platform {
+
+class DatabaseManager {
+ public:
+  /// `history_limit` bounds the per-UAV history (oldest entries dropped).
+  explicit DatabaseManager(mw::Bus& bus, std::size_t history_limit = 4096);
+
+  /// Starts persisting telemetry of the named UAV.
+  void attach_uav(const std::string& name);
+
+  /// Whitelists a client source for queries.
+  void allow_client(const std::string& source);
+
+  /// Latest telemetry; `client` must be whitelisted or std::runtime_error
+  /// is thrown (the paper's network-origin check).
+  std::optional<sim::Telemetry> latest(const std::string& client,
+                                       const std::string& uav) const;
+
+  /// Full stored history (oldest first).
+  std::vector<sim::Telemetry> history(const std::string& client,
+                                      const std::string& uav) const;
+
+  std::size_t records_stored() const noexcept { return records_stored_; }
+
+ private:
+  mw::Bus* bus_;
+  std::size_t history_limit_;
+  std::set<std::string> allowed_clients_;
+  std::map<std::string, std::deque<sim::Telemetry>> store_;
+  std::vector<mw::Subscription> subscriptions_;
+  std::size_t records_stored_ = 0;
+
+  void check_client(const std::string& client) const;
+};
+
+}  // namespace sesame::platform

@@ -1,0 +1,46 @@
+// GPS watchdog: the physical-layer attack sensor.
+//
+// The paper notes the Security EDDI framework "can incorporate additional
+// sensors for physical attack detection" beyond the network IDS. GNSS
+// jamming is the canonical case: it is invisible to traffic inspection but
+// obvious in telemetry — an airborne vehicle that suddenly reports no fix.
+// The watchdog monitors fleet telemetry and publishes a CAPEC-601 alert on
+// the IDS alert topic after N consecutive fix-less samples, feeding the
+// denial-of-navigation attack tree (make_jamming_attack_tree).
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sesame/mw/bus.hpp"
+#include "sesame/sim/world.hpp"
+
+namespace sesame::platform {
+
+struct GpsWatchdogConfig {
+  /// Consecutive airborne no-fix telemetry samples before alerting.
+  std::size_t consecutive_losses = 3;
+};
+
+class GpsWatchdog {
+ public:
+  GpsWatchdog(mw::Bus& bus, GpsWatchdogConfig config = {});
+
+  /// Starts monitoring a UAV's telemetry.
+  void watch_uav(const std::string& name);
+
+  std::size_t alerts_raised() const noexcept { return alerts_raised_; }
+
+ private:
+  mw::Bus* bus_;
+  GpsWatchdogConfig config_;
+  std::vector<mw::Subscription> subscriptions_;
+  std::map<std::string, std::size_t> loss_streak_;
+  std::map<std::string, bool> alerted_;  // once per outage
+  std::size_t alerts_raised_ = 0;
+
+  void on_telemetry(const std::string& name, const sim::Telemetry& t);
+};
+
+}  // namespace sesame::platform

@@ -1,0 +1,84 @@
+// UAV Manager and Task Manager of the multi-UAV control platform
+// (paper Section IV-A).
+//
+// The UAV Manager identifies each vehicle (type, id, equipment), tracks
+// battery level, and translates platform-level commands — in particular
+// the ConSert action lattice — into vehicle-compatible instructions. The
+// Task Manager exposes cooperation algorithms (coverage planning, task
+// redistribution) as services that can be extended without disrupting the
+// platform.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sesame/conserts/uav_network.hpp"
+#include "sesame/sar/coverage.hpp"
+#include "sesame/sim/world.hpp"
+
+namespace sesame::platform {
+
+/// Registration record of a vehicle.
+struct UavInfo {
+  std::string name;
+  std::string type = "hexarotor";  ///< airframe/vendor identification
+  std::vector<std::string> equipment;  ///< e.g. {"rgb_camera", "jetson_nx"}
+};
+
+class UavManager {
+ public:
+  explicit UavManager(sim::World& world);
+
+  /// Registers a vehicle that exists in the world.
+  void register_uav(UavInfo info);
+
+  const UavInfo& info(const std::string& name) const;
+  std::vector<std::string> registered() const;
+
+  /// Current battery level in [0, 1].
+  double battery_level(const std::string& name) const;
+
+  /// Translates a ConSert action into vehicle commands. Returns true when
+  /// the command changed the vehicle's mode.
+  bool apply_action(const std::string& name, conserts::UavAction action);
+
+  /// The action last applied to each UAV (diagnostics).
+  std::optional<conserts::UavAction> last_action(const std::string& name) const;
+
+ private:
+  sim::World* world_;
+  std::map<std::string, UavInfo> infos_;
+  std::map<std::string, conserts::UavAction> last_actions_;
+
+  void check_registered(const std::string& name) const;
+};
+
+/// A cooperation algorithm offered as a service: maps a mission area and
+/// fleet size to per-UAV sweep plans.
+using CoverageService =
+    std::function<std::vector<sar::SweepPlan>(const sar::Area&, std::size_t,
+                                              const sar::CoverageConfig&)>;
+
+class TaskManager {
+ public:
+  TaskManager();
+
+  /// Registers/overrides a named algorithm. The default "boustrophedon"
+  /// service wraps sar::plan_coverage.
+  void register_service(const std::string& name, CoverageService service);
+
+  std::vector<std::string> services() const;
+
+  /// Runs a registered service; throws std::out_of_range on unknown name.
+  std::vector<sar::SweepPlan> plan(const std::string& service,
+                                   const sar::Area& area, std::size_t n_uavs,
+                                   const sar::CoverageConfig& config) const;
+
+ private:
+  std::map<std::string, CoverageService> services_;
+};
+
+}  // namespace sesame::platform

@@ -1,0 +1,197 @@
+// End-to-end SAR scenario engine: the paper's Fig. 4 platform.
+//
+// Wires the world simulator, the SAR mission, the per-UAV EDDIs, the IDS +
+// Security EDDI, and the ConSert network into one stepped loop, with the
+// event injections the evaluation section uses (battery thermal fault,
+// message spoofing) and the with/without-SESAME comparison switch.
+//
+// Behavioural contract mirroring Section V:
+//  - SESAME on: the fleet flies while SafeDrones' P(fail) stays below the
+//    abort threshold (0.9); crossing it forces an emergency landing. The
+//    ConSert network maps degraded evidence onto Hold/Return actions; SAR
+//    uncertainty above the 90% threshold triggers the SINADRA descend-and-
+//    rescan adaptation.
+//  - SESAME off (baseline): naive firmware only — a battery fault triggers
+//    an immediate return-to-base and battery swap; spoofing and perception
+//    degradation go unnoticed.
+#pragma once
+
+#include <map>
+#include <set>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sesame/conserts/assurance_trace.hpp"
+#include "sesame/eddi/uav_eddi.hpp"
+#include "sesame/localization/collaborative.hpp"
+#include "sesame/platform/database.hpp"
+#include "sesame/platform/managers.hpp"
+#include "sesame/sar/mission.hpp"
+#include "sesame/security/ids.hpp"
+#include "sesame/sim/comm_link.hpp"
+#include "sesame/security/security_eddi.hpp"
+#include "sesame/sim/world.hpp"
+
+namespace sesame::platform {
+
+/// Scenario event: battery thermal fault (paper Fig. 5).
+struct BatteryFaultEvent {
+  std::string uav;
+  double time_s = 250.0;
+  double soc_after = 0.40;
+  double temp_c = 70.0;
+};
+
+/// Scenario event: ROS message spoofing attack (paper Figs. 6-7). From
+/// `time_s` an attacker node injects counterfeit position fixes for `uav`,
+/// walking its estimate east at `walk_mps`. With SESAME enabled the
+/// Security EDDI detects the injection; the platform response disables the
+/// victim's GPS input and hands it to Collaborative Localization for a
+/// safe landing at its home pad. Without SESAME the attack goes unnoticed.
+struct SpoofingEvent {
+  std::string uav;
+  double time_s = 60.0;
+  double walk_mps = 2.0;
+};
+
+struct RunnerConfig {
+  bool sesame_enabled = true;
+  double dt_s = 1.0;
+  double max_time_s = 1500.0;
+  /// ConSert evaluation period (paper: runtime evaluation, not per-frame).
+  double consert_period_s = 5.0;
+  /// Baseline battery-swap turnaround on the ground.
+  double battery_swap_time_s = 60.0;
+  /// Baseline returns to base when state of charge falls below this.
+  double baseline_rtb_soc = 0.45;
+  std::size_t n_uavs = 3;
+  sar::Area area{0.0, 300.0, 0.0, 300.0};
+  sar::CoverageConfig coverage;
+  std::size_t n_persons = 8;
+  std::optional<BatteryFaultEvent> battery_fault;
+  std::optional<SpoofingEvent> spoofing;
+  /// Mission altitude the SINADRA descend adaptation drops to.
+  double descend_altitude_m = 18.0;
+  /// Consecutive over-threshold assessments before descending.
+  int descend_patience = 3;
+  eddi::UavEddiConfig eddi;
+  /// C2 link budget: each UAV's comm_link_good evidence comes from the
+  /// link quality at its range from the ground station (its home pad).
+  sim::CommLinkConfig comm_link;
+  std::uint64_t seed = 7;
+};
+
+/// One time-series sample for one UAV.
+struct UavTickRecord {
+  double time_s = 0.0;
+  double p_fail = 0.0;
+  double soc = 1.0;
+  double battery_temp_c = 25.0;
+  sim::FlightMode mode = sim::FlightMode::kIdle;
+  conserts::UavAction action = conserts::UavAction::kContinue;
+  double altitude_m = 0.0;
+  double sar_uncertainty = 0.0;
+};
+
+/// Scenario outcome.
+struct RunnerResult {
+  std::map<std::string, std::vector<UavTickRecord>> series;
+  sar::DetectionStats detection;
+  /// Time at which every waypoint was consumed; nullopt when never.
+  std::optional<double> mission_complete_time_s;
+  double total_time_s = 0.0;
+  /// Fraction of scenario time each UAV was *available* (airborne in
+  /// Takeoff/Mission/Hold, i.e. able to serve the mission): the
+  /// availability metric of Fig. 5. Return-to-base legs, battery swaps on
+  /// the ground, emergency landings and grounded time count as
+  /// unavailable.
+  std::map<std::string, double> availability_per_uav;
+  /// Fleet mean of availability_per_uav.
+  double availability = 0.0;
+  /// Number of waypoints moved between UAVs by task redistribution.
+  std::size_t waypoints_redistributed = 0;
+  /// Whether the SINADRA descend adaptation fired (Section V-B).
+  bool descended = false;
+  conserts::MissionDecision final_decision =
+      conserts::MissionDecision::kCannotComplete;
+  /// Security outcome of a SpoofingEvent scenario.
+  bool attack_detected = false;
+  double attack_detection_time_s = -1.0;
+  /// Final ground distance between the spoofed UAV and its home pad
+  /// (meaningful when a spoofing event ran; the safe-landing error).
+  double spoofed_uav_landing_error_m = -1.0;
+  /// Peak ground-truth deviation of the spoofed UAV from its estimate.
+  double spoofed_uav_peak_error_m = 0.0;
+  /// Fraction of the mission area actually imaged by camera footprints.
+  double area_coverage = 0.0;
+  /// Best-guarantee transitions recorded by the assurance trace (SESAME
+  /// runs only): the runtime certification evidence trail.
+  std::vector<conserts::GuaranteeTransition> assurance_trace;
+};
+
+class MissionRunner {
+ public:
+  explicit MissionRunner(RunnerConfig config);
+
+  /// Runs the scenario to completion (all UAVs grounded and mission over,
+  /// or max_time reached) and returns the recorded outcome.
+  RunnerResult run();
+
+  /// Access to the world (benches inspect trajectories after run()).
+  sim::World& world() noexcept { return *world_; }
+
+  /// UAV names used by the scenario ("uav1".."uavN").
+  const std::vector<std::string>& uav_names() const noexcept { return names_; }
+
+  /// The named UAV's EDDI (SESAME runs only; throws std::out_of_range
+  /// otherwise) — diagnostics access to per-monitor assessments.
+  const eddi::UavEddi& uav_eddi(const std::string& name) const {
+    return *eddis_.at(name);
+  }
+
+ private:
+  RunnerConfig config_;
+  std::unique_ptr<sim::World> world_;
+  std::vector<std::string> names_;
+  std::map<std::string, geo::EnuPoint> home_enu_;
+  std::vector<sar::SweepPlan> plans_;  // parallel to names_
+  std::unique_ptr<sar::SarMission> mission_;
+  std::unique_ptr<UavManager> uav_manager_;
+  std::unique_ptr<TaskManager> task_manager_;
+  std::unique_ptr<DatabaseManager> database_;
+  std::unique_ptr<security::IntrusionDetectionSystem> ids_;
+  std::shared_ptr<security::SecurityEddi> security_;
+  std::map<std::string, std::unique_ptr<eddi::UavEddi>> eddis_;
+  conserts::ConSertNetwork consert_network_;
+  std::unique_ptr<conserts::AssuranceTrace> assurance_trace_;
+  sim::CommLink comm_link_{sim::CommLinkConfig{}};
+
+  // Baseline battery-swap state.
+  std::map<std::string, double> swap_until_;
+  bool fault_injected_ = false;
+  int over_threshold_streak_ = 0;
+  bool descended_ = false;
+
+  // Spoofing-scenario state. Attack attribution is per-UAV: an IDS alert
+  // on a vehicle's fix topic marks only that vehicle compromised, so the
+  // rest of the fleet keeps its GPS-based navigation guarantees.
+  std::set<std::string> compromised_;
+  mw::Subscription alert_subscription_;
+  double spoof_offset_m_ = 0.0;
+  bool spoof_response_started_ = false;
+  std::unique_ptr<localization::CollaborativeLocalizer> cl_;
+  std::unique_ptr<localization::SafeLandingGuide> landing_guide_;
+
+  void inject_spoofed_fix(RunnerResult& result);
+  void start_spoof_response(const std::string& victim, RunnerResult& result);
+
+  void setup_world();
+  void setup_sesame();
+  std::vector<std::vector<double>> collect_safeml_reference();
+  eddi::EddiInputs gather_inputs(const std::string& name);
+  void baseline_policy(const std::string& name, RunnerResult& result);
+};
+
+}  // namespace sesame::platform

@@ -1,0 +1,25 @@
+// Result export: scenario time series and summaries as CSV, so the
+// figures can be regenerated with any external plotting tool (the repo's
+// benches print the same data as text tables).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "sesame/platform/mission_runner.hpp"
+
+namespace sesame::platform {
+
+/// Writes the per-UAV time series as CSV with header
+/// `uav,time_s,p_fail,soc,battery_temp_c,mode,action,altitude_m,sar_uncertainty`.
+void write_series_csv(const RunnerResult& result, std::ostream& out);
+
+/// Writes a one-row-per-UAV summary CSV (availability etc.).
+void write_summary_csv(const RunnerResult& result, std::ostream& out);
+
+/// Convenience: both writers to files; throws std::runtime_error when a
+/// file cannot be opened.
+void export_result(const RunnerResult& result, const std::string& series_path,
+                   const std::string& summary_path);
+
+}  // namespace sesame::platform

@@ -1,0 +1,108 @@
+#include "sesame/platform/managers.hpp"
+
+#include <stdexcept>
+
+namespace sesame::platform {
+
+UavManager::UavManager(sim::World& world) : world_(&world) {}
+
+void UavManager::register_uav(UavInfo info) {
+  world_->uav_by_name(info.name);  // throws when the vehicle does not exist
+  const std::string name = info.name;
+  if (!infos_.emplace(name, std::move(info)).second) {
+    throw std::invalid_argument("UavManager: duplicate registration " + name);
+  }
+}
+
+const UavInfo& UavManager::info(const std::string& name) const {
+  check_registered(name);
+  return infos_.at(name);
+}
+
+std::vector<std::string> UavManager::registered() const {
+  std::vector<std::string> out;
+  out.reserve(infos_.size());
+  for (const auto& [name, info] : infos_) {
+    (void)info;
+    out.push_back(name);
+  }
+  return out;
+}
+
+double UavManager::battery_level(const std::string& name) const {
+  check_registered(name);
+  return world_->uav_by_name(name).battery().soc();
+}
+
+bool UavManager::apply_action(const std::string& name,
+                              conserts::UavAction action) {
+  check_registered(name);
+  sim::Uav& uav = world_->uav_by_name(name);
+  const sim::FlightMode before = uav.mode();
+  switch (action) {
+    case conserts::UavAction::kContinueExtended:
+    case conserts::UavAction::kContinue:
+      if (uav.mode() == sim::FlightMode::kHold) uav.command_resume_mission();
+      break;
+    case conserts::UavAction::kHold:
+      uav.command_hold();
+      break;
+    case conserts::UavAction::kReturnToBase:
+      uav.command_return_to_base();
+      break;
+    case conserts::UavAction::kEmergencyLand:
+      uav.command_emergency_land();
+      break;
+  }
+  last_actions_[name] = action;
+  return uav.mode() != before;
+}
+
+std::optional<conserts::UavAction> UavManager::last_action(
+    const std::string& name) const {
+  const auto it = last_actions_.find(name);
+  if (it == last_actions_.end()) return std::nullopt;
+  return it->second;
+}
+
+void UavManager::check_registered(const std::string& name) const {
+  if (!infos_.count(name)) {
+    throw std::out_of_range("UavManager: unregistered UAV " + name);
+  }
+}
+
+TaskManager::TaskManager() {
+  register_service("boustrophedon",
+                   [](const sar::Area& area, std::size_t n,
+                      const sar::CoverageConfig& cfg) {
+                     return sar::plan_coverage(area, n, cfg);
+                   });
+}
+
+void TaskManager::register_service(const std::string& name,
+                                   CoverageService service) {
+  if (!service) throw std::invalid_argument("TaskManager: null service");
+  services_[name] = std::move(service);
+}
+
+std::vector<std::string> TaskManager::services() const {
+  std::vector<std::string> out;
+  out.reserve(services_.size());
+  for (const auto& [name, svc] : services_) {
+    (void)svc;
+    out.push_back(name);
+  }
+  return out;
+}
+
+std::vector<sar::SweepPlan> TaskManager::plan(
+    const std::string& service, const sar::Area& area, std::size_t n_uavs,
+    const sar::CoverageConfig& config) const {
+  const auto it = services_.find(service);
+  if (it == services_.end()) {
+    throw std::out_of_range("TaskManager: unknown service " + service);
+  }
+  return it->second(area, n_uavs, config);
+}
+
+}  // namespace sesame::platform

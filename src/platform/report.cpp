@@ -1,0 +1,44 @@
+#include "sesame/platform/report.hpp"
+
+#include <fstream>
+#include <ostream>
+#include <stdexcept>
+
+namespace sesame::platform {
+
+void write_series_csv(const RunnerResult& result, std::ostream& out) {
+  out << "uav,time_s,p_fail,soc,battery_temp_c,mode,action,altitude_m,"
+         "sar_uncertainty\n";
+  for (const auto& [name, series] : result.series) {
+    for (const auto& r : series) {
+      out << name << ',' << r.time_s << ',' << r.p_fail << ',' << r.soc << ','
+          << r.battery_temp_c << ',' << sim::flight_mode_name(r.mode) << ','
+          << conserts::uav_action_name(r.action) << ',' << r.altitude_m << ','
+          << r.sar_uncertainty << '\n';
+    }
+  }
+}
+
+void write_summary_csv(const RunnerResult& result, std::ostream& out) {
+  out << "uav,availability\n";
+  for (const auto& [name, availability] : result.availability_per_uav) {
+    out << name << ',' << availability << '\n';
+  }
+  out << "fleet," << result.availability << '\n';
+}
+
+void export_result(const RunnerResult& result, const std::string& series_path,
+                   const std::string& summary_path) {
+  std::ofstream series(series_path);
+  if (!series) {
+    throw std::runtime_error("export_result: cannot open " + series_path);
+  }
+  write_series_csv(result, series);
+  std::ofstream summary(summary_path);
+  if (!summary) {
+    throw std::runtime_error("export_result: cannot open " + summary_path);
+  }
+  write_summary_csv(result, summary);
+}
+
+}  // namespace sesame::platform

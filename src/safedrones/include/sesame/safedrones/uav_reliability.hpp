@@ -1,0 +1,105 @@
+// UAV-level runtime reliability evaluation: the SafeDrones EDDI.
+//
+// Composes the subsystem Markov models into a fault tree
+//   UAV_failure = OR(propulsion, battery, processor, comms)
+// whose leaves are complex basic events parameterized by live telemetry
+// (battery state of charge & temperature, motors lost, processor
+// temperature). The monitor exposes the probability of failure over the
+// remaining mission horizon and the discrete reliability level that the
+// ConSert network consumes (High / Medium / Low, paper Fig. 1).
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "sesame/fta/fault_tree.hpp"
+#include "sesame/safedrones/models.hpp"
+
+namespace sesame::safedrones {
+
+/// Discrete reliability guarantee levels (paper Fig. 1 Safety EDDI ConSert).
+enum class ReliabilityLevel { kHigh, kMedium, kLow };
+
+std::string reliability_level_name(ReliabilityLevel r);
+
+/// Live telemetry consumed at every evaluation.
+struct TelemetrySnapshot {
+  double battery_soc = 1.0;
+  double battery_temp_c = 25.0;
+  double processor_temp_c = 40.0;
+  std::size_t motors_failed = 0;
+};
+
+struct ReliabilityConfig {
+  PropulsionConfig propulsion;
+  BatteryModelConfig battery;
+  ProcessorModelConfig processor;
+  CommsModelConfig comms;
+  /// P(fail) thresholds separating High/Medium/Low reliability.
+  double medium_threshold = 0.30;
+  double low_threshold = 0.70;
+  /// Mission-abort threshold used by the Fig. 5 scenario (paper: 0.9).
+  double abort_threshold = 0.90;
+};
+
+/// One evaluation result.
+struct ReliabilityEstimate {
+  double probability_of_failure = 0.0;  ///< over the evaluated horizon
+  double p_propulsion = 0.0;
+  double p_battery = 0.0;
+  double p_processor = 0.0;
+  double p_comms = 0.0;
+  ReliabilityLevel level = ReliabilityLevel::kHigh;
+  bool abort_recommended = false;
+};
+
+/// Runtime reliability monitor for one UAV.
+class ReliabilityMonitor {
+ public:
+  explicit ReliabilityMonitor(ReliabilityConfig config = {});
+
+  const ReliabilityConfig& config() const noexcept { return config_; }
+
+  /// Evaluates the probability of UAV failure within `horizon_s` given the
+  /// current telemetry.
+  ReliabilityEstimate evaluate(const TelemetrySnapshot& telemetry,
+                               double horizon_s) const;
+
+  /// Composes externally computed subsystem probabilities (e.g. the
+  /// cumulative battery probability of a BatteryRuntimeTracker) into a
+  /// UAV-level estimate with this monitor's thresholds.
+  ReliabilityEstimate compose(double p_propulsion, double p_battery,
+                              double p_processor, double p_comms) const;
+
+  /// The static design-time fault tree (nominal-condition leaves) for
+  /// cut-set/importance analysis. The tree's complex basic events borrow
+  /// this monitor's models: the monitor must outlive the returned tree.
+  fta::FaultTree design_time_tree(double mission_duration_s) const;
+
+  /// Probability of this UAV failing by mission time t under nominal
+  /// conditions (the design_time_tree top event).
+  double nominal_failure_probability(double t) const;
+
+ private:
+  ReliabilityConfig config_;
+  PropulsionModel propulsion_;
+  BatteryModel battery_;
+  ProcessorModel processor_;
+  CommsModel comms_;
+};
+
+/// Fleet-level mission reliability: the probability that the mission-level
+/// ConSert outcome "mission cannot be fully completed" is avoided, i.e.
+/// that at least `min_capable` of the fleet's UAVs are still operational
+/// at mission time t. Built as a k-of-N fault tree over the per-UAV
+/// nominal failure models (k = N - min_capable + 1 failures sink the
+/// mission). Current per-UAV telemetry enters through per-monitor
+/// `current` estimates when provided (same order as `monitors`).
+///
+/// Throws std::invalid_argument on an empty fleet or min_capable out of
+/// [1, N].
+double fleet_mission_reliability(
+    const std::vector<const ReliabilityMonitor*>& monitors,
+    std::size_t min_capable, double t);
+
+}  // namespace sesame::safedrones

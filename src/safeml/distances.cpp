@@ -1,0 +1,195 @@
+#include "sesame/safeml/distances.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace sesame::safeml {
+
+namespace {
+
+void require_samples(const std::vector<double>& a, const std::vector<double>& b,
+                     const char* who) {
+  if (a.empty() || b.empty()) {
+    throw std::invalid_argument(std::string(who) + ": empty sample");
+  }
+}
+
+/// Walks the merged sorted samples, invoking cb(fa, fb, x, dx_to_next) at
+/// every step of the joint ECDF. `dx_to_next` is 0 at the final point.
+template <typename Callback>
+void walk_ecdfs(std::vector<double> a, std::vector<double> b, Callback&& cb) {
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  const double na = static_cast<double>(a.size());
+  const double nb = static_cast<double>(b.size());
+  std::size_t ia = 0, ib = 0;
+  while (ia < a.size() || ib < b.size()) {
+    double x;
+    if (ib >= b.size() || (ia < a.size() && a[ia] <= b[ib])) {
+      x = a[ia];
+    } else {
+      x = b[ib];
+    }
+    while (ia < a.size() && a[ia] == x) ++ia;
+    while (ib < b.size() && b[ib] == x) ++ib;
+    const double fa = static_cast<double>(ia) / na;
+    const double fb = static_cast<double>(ib) / nb;
+    double next = x;
+    bool have_next = false;
+    if (ia < a.size()) {
+      next = a[ia];
+      have_next = true;
+    }
+    if (ib < b.size()) {
+      next = have_next ? std::min(next, b[ib]) : b[ib];
+      have_next = true;
+    }
+    const double dx = have_next ? next - x : 0.0;
+    cb(fa, fb, x, dx);
+  }
+}
+
+}  // namespace
+
+std::string measure_name(Measure m) {
+  switch (m) {
+    case Measure::kKolmogorovSmirnov: return "KS";
+    case Measure::kKuiper: return "Kuiper";
+    case Measure::kAndersonDarling: return "AndersonDarling";
+    case Measure::kCramerVonMises: return "CramerVonMises";
+    case Measure::kWasserstein: return "Wasserstein";
+    case Measure::kDts: return "DTS";
+  }
+  return "unknown";
+}
+
+const std::vector<Measure>& all_measures() {
+  static const std::vector<Measure> ms{
+      Measure::kKolmogorovSmirnov, Measure::kKuiper,
+      Measure::kAndersonDarling,   Measure::kCramerVonMises,
+      Measure::kWasserstein,       Measure::kDts};
+  return ms;
+}
+
+double ks_distance(const std::vector<double>& a, const std::vector<double>& b) {
+  require_samples(a, b, "ks_distance");
+  double best = 0.0;
+  walk_ecdfs(a, b, [&](double fa, double fb, double, double) {
+    best = std::max(best, std::abs(fa - fb));
+  });
+  return best;
+}
+
+double kuiper_distance(const std::vector<double>& a, const std::vector<double>& b) {
+  require_samples(a, b, "kuiper_distance");
+  double dplus = 0.0, dminus = 0.0;
+  walk_ecdfs(a, b, [&](double fa, double fb, double, double) {
+    dplus = std::max(dplus, fa - fb);
+    dminus = std::max(dminus, fb - fa);
+  });
+  return dplus + dminus;
+}
+
+double anderson_darling_distance(const std::vector<double>& a,
+                                 const std::vector<double>& b) {
+  require_samples(a, b, "anderson_darling_distance");
+  const double na = static_cast<double>(a.size());
+  const double nb = static_cast<double>(b.size());
+  const double n = na + nb;
+  double acc = 0.0;
+  // Integrate (Fa-Fb)^2 / (H(1-H)) dH-steps over the pooled ECDF H.
+  walk_ecdfs(a, b, [&](double fa, double fb, double, double) {
+    const double h = (na * fa + nb * fb) / n;
+    const double w = h * (1.0 - h);
+    if (w > 1e-12) {
+      const double d = fa - fb;
+      acc += d * d / w;
+    }
+  });
+  // Normalize by the number of joint steps so the statistic is comparable
+  // across window sizes (runtime monitors use fixed windows anyway).
+  return acc * (na * nb) / (n * n);
+}
+
+double cramer_von_mises_distance(const std::vector<double>& a,
+                                 const std::vector<double>& b) {
+  require_samples(a, b, "cramer_von_mises_distance");
+  const double na = static_cast<double>(a.size());
+  const double nb = static_cast<double>(b.size());
+  const double n = na + nb;
+  double acc = 0.0;
+  walk_ecdfs(a, b, [&](double fa, double fb, double, double) {
+    const double d = fa - fb;
+    acc += d * d;
+  });
+  return acc * (na * nb) / (n * n);
+}
+
+double wasserstein_distance(const std::vector<double>& a,
+                            const std::vector<double>& b) {
+  require_samples(a, b, "wasserstein_distance");
+  double acc = 0.0;
+  walk_ecdfs(a, b, [&](double fa, double fb, double, double dx) {
+    acc += std::abs(fa - fb) * dx;
+  });
+  return acc;
+}
+
+double dts_distance(const std::vector<double>& a, const std::vector<double>& b) {
+  require_samples(a, b, "dts_distance");
+  const double na = static_cast<double>(a.size());
+  const double nb = static_cast<double>(b.size());
+  const double n = na + nb;
+  double acc = 0.0;
+  walk_ecdfs(a, b, [&](double fa, double fb, double, double dx) {
+    const double h = (na * fa + nb * fb) / n;
+    const double w = h * (1.0 - h);
+    if (w > 1e-12) {
+      const double d = fa - fb;
+      acc += (d * d / w) * dx;
+    }
+  });
+  return acc;
+}
+
+double distance(Measure m, const std::vector<double>& a,
+                const std::vector<double>& b) {
+  switch (m) {
+    case Measure::kKolmogorovSmirnov: return ks_distance(a, b);
+    case Measure::kKuiper: return kuiper_distance(a, b);
+    case Measure::kAndersonDarling: return anderson_darling_distance(a, b);
+    case Measure::kCramerVonMises: return cramer_von_mises_distance(a, b);
+    case Measure::kWasserstein: return wasserstein_distance(a, b);
+    case Measure::kDts: return dts_distance(a, b);
+  }
+  throw std::invalid_argument("distance: unknown measure");
+}
+
+double permutation_p_value(Measure m, const std::vector<double>& a,
+                           const std::vector<double>& b, mathx::Rng& rng,
+                           int iterations) {
+  require_samples(a, b, "permutation_p_value");
+  if (iterations <= 0) {
+    throw std::invalid_argument("permutation_p_value: iterations <= 0");
+  }
+  const double observed = distance(m, a, b);
+  std::vector<double> pooled;
+  pooled.reserve(a.size() + b.size());
+  pooled.insert(pooled.end(), a.begin(), a.end());
+  pooled.insert(pooled.end(), b.begin(), b.end());
+  int exceed = 0;
+  std::vector<double> pa(a.size()), pb(b.size());
+  for (int it = 0; it < iterations; ++it) {
+    rng.shuffle(pooled);
+    std::copy(pooled.begin(), pooled.begin() + static_cast<long>(a.size()),
+              pa.begin());
+    std::copy(pooled.begin() + static_cast<long>(a.size()), pooled.end(),
+              pb.begin());
+    if (distance(m, pa, pb) >= observed) ++exceed;
+  }
+  // Add-one smoothing keeps the p-value away from exactly 0.
+  return (exceed + 1.0) / (iterations + 1.0);
+}
+
+}  // namespace sesame::safeml

@@ -1,0 +1,33 @@
+#include "sesame/safeml/drift.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace sesame::safeml {
+
+DriftDetector::DriftDetector(DriftDetectorConfig config) : config_(config) {
+  if (config_.slack < 0.0 || config_.threshold <= 0.0) {
+    throw std::invalid_argument("DriftDetector: bad config");
+  }
+}
+
+bool DriftDetector::push(double dissimilarity) {
+  ++samples_;
+  if (alarmed_) return true;  // latched
+  statistic_ = std::max(
+      0.0, statistic_ + dissimilarity - config_.reference - config_.slack);
+  if (statistic_ >= config_.threshold) {
+    alarmed_ = true;
+    alarm_index_ = samples_ - 1;
+  }
+  return alarmed_;
+}
+
+void DriftDetector::reset() {
+  statistic_ = 0.0;
+  alarmed_ = false;
+  samples_ = 0;
+  alarm_index_.reset();
+}
+
+}  // namespace sesame::safeml

@@ -1,0 +1,40 @@
+// Training-time calibration of the SafeML monitor.
+//
+// The monitor maps a raw statistical distance onto a confidence via a
+// `full_scale` parameter; picking it by hand is fragile because the
+// no-shift ("self") distance of a finite window is measure-, window- and
+// data-dependent. This helper bootstraps windows from the reference data
+// itself, measures the self-distance noise floor, and sizes the scale so
+// that in-distribution windows land at/above the High-confidence
+// threshold — the calibration step a deployment would run once at design
+// time, alongside model training.
+#pragma once
+
+#include <vector>
+
+#include "sesame/mathx/rng.hpp"
+#include "sesame/safeml/monitor.hpp"
+
+namespace sesame::safeml {
+
+struct CalibrationReport {
+  MonitorConfig config;          ///< ready-to-use monitor configuration
+  double self_distance_p50 = 0.0;  ///< bootstrap self-distance median
+  double self_distance_p95 = 0.0;  ///< ... and 95th percentile (noise floor)
+};
+
+/// Calibrates a MonitorConfig for the given measure/window against
+/// multi-feature reference data (same layout as Monitor's constructor).
+/// `trials` bootstrap windows are drawn per feature. The returned
+/// full_scale places the p95 self-distance exactly at `high_threshold`
+/// confidence, so clean data classifies High with ~95% probability.
+/// Throws std::invalid_argument on empty reference, window < 2, trials < 10
+/// or thresholds outside 0 < low < high < 1.
+CalibrationReport calibrate_monitor(Measure measure,
+                                    const std::vector<std::vector<double>>& reference,
+                                    std::size_t window, mathx::Rng& rng,
+                                    int trials = 200,
+                                    double high_threshold = 0.75,
+                                    double low_threshold = 0.40);
+
+}  // namespace sesame::safeml

@@ -1,0 +1,72 @@
+// Two-sample statistical distance measures over empirical CDFs.
+//
+// SafeML (Aslansefat et al., IMBSA 2020) estimates the dissimilarity
+// between the data distribution seen at runtime and the distribution the
+// ML model was trained on. All measures here are the ECDF-based statistics
+// of that paper: Kolmogorov-Smirnov, Kuiper, Anderson-Darling,
+// Cramer-von Mises, Wasserstein-1, and the DTS (combined) measure.
+// Larger values mean the runtime data looks less like the training data.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "sesame/mathx/rng.hpp"
+
+namespace sesame::safeml {
+
+/// Identifier for a distance measure (used by config/reporting and the
+/// ablation benchmark).
+enum class Measure {
+  kKolmogorovSmirnov,
+  kKuiper,
+  kAndersonDarling,
+  kCramerVonMises,
+  kWasserstein,
+  kDts,  ///< Wasserstein weighted by the AD variance term
+};
+
+/// Human-readable measure name ("KS", "Kuiper", ...).
+std::string measure_name(Measure m);
+
+/// All measures, for sweep code.
+const std::vector<Measure>& all_measures();
+
+/// Kolmogorov-Smirnov statistic: sup |F_a - F_b|. Range [0, 1].
+double ks_distance(const std::vector<double>& a, const std::vector<double>& b);
+
+/// Kuiper statistic: sup (F_a - F_b) + sup (F_b - F_a). Range [0, 2];
+/// sensitive to shifts in the tails as well as the median.
+double kuiper_distance(const std::vector<double>& a, const std::vector<double>& b);
+
+/// Two-sample Anderson-Darling statistic (normalized variant), tail-weighted.
+double anderson_darling_distance(const std::vector<double>& a,
+                                 const std::vector<double>& b);
+
+/// Two-sample Cramer-von Mises statistic.
+double cramer_von_mises_distance(const std::vector<double>& a,
+                                 const std::vector<double>& b);
+
+/// 1-Wasserstein (earth mover's) distance between empirical distributions;
+/// in the units of the underlying feature.
+double wasserstein_distance(const std::vector<double>& a,
+                            const std::vector<double>& b);
+
+/// DTS measure: Wasserstein transport cost with Anderson-Darling-style
+/// variance weighting (the "ECDF-based distance with taste of both"
+/// combined statistic used in the SafeML tooling).
+double dts_distance(const std::vector<double>& a, const std::vector<double>& b);
+
+/// Evaluates any measure by enum.
+double distance(Measure m, const std::vector<double>& a,
+                const std::vector<double>& b);
+
+/// Permutation-test p-value for the hypothesis that `a` and `b` come from
+/// the same distribution, under the given measure. Small p-values indicate
+/// distributional shift. `iterations` permutations are used.
+double permutation_p_value(Measure m, const std::vector<double>& a,
+                           const std::vector<double>& b, mathx::Rng& rng,
+                           int iterations = 200);
+
+}  // namespace sesame::safeml

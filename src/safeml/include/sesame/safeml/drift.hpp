@@ -1,0 +1,56 @@
+// Sequential drift detection on the monitor's dissimilarity stream.
+//
+// The sliding-window monitor gives a point-in-time verdict; deciding *when
+// a persistent shift began* (as opposed to a transient blip the mission
+// should ride through) is a sequential change-detection problem. This is a
+// one-sided CUSUM on the dissimilarity sequence: the statistic accumulates
+// excess dissimilarity above a reference level and alarms when it crosses
+// a decision threshold — the standard minimal-delay detector for a mean
+// shift, here tuned by the same bootstrap calibration as the monitor.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+
+namespace sesame::safeml {
+
+struct DriftDetectorConfig {
+  /// Expected dissimilarity under no drift (e.g. the calibration's p50).
+  double reference = 0.1;
+  /// Slack below which deviations are ignored (CUSUM "k", in dissimilarity
+  /// units; typically half the shift worth detecting).
+  double slack = 0.05;
+  /// Alarm threshold on the accumulated statistic (CUSUM "h").
+  double threshold = 0.5;
+};
+
+class DriftDetector {
+ public:
+  explicit DriftDetector(DriftDetectorConfig config = {});
+
+  const DriftDetectorConfig& config() const noexcept { return config_; }
+
+  /// Feeds one dissimilarity sample; returns true when the alarm fires
+  /// (it stays latched until reset()).
+  bool push(double dissimilarity);
+
+  bool alarmed() const noexcept { return alarmed_; }
+  double statistic() const noexcept { return statistic_; }
+  std::size_t samples_seen() const noexcept { return samples_; }
+
+  /// Sample index at which the alarm fired (0-based), if it has.
+  std::optional<std::size_t> alarm_index() const noexcept {
+    return alarm_index_;
+  }
+
+  void reset();
+
+ private:
+  DriftDetectorConfig config_;
+  double statistic_ = 0.0;
+  bool alarmed_ = false;
+  std::size_t samples_ = 0;
+  std::optional<std::size_t> alarm_index_;
+};
+
+}  // namespace sesame::safeml

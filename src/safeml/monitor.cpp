@@ -1,0 +1,87 @@
+#include "sesame/safeml/monitor.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace sesame::safeml {
+
+std::string confidence_level_name(ConfidenceLevel c) {
+  switch (c) {
+    case ConfidenceLevel::kHigh: return "High";
+    case ConfidenceLevel::kMedium: return "Medium";
+    case ConfidenceLevel::kLow: return "Low";
+  }
+  return "unknown";
+}
+
+Monitor::Monitor(MonitorConfig config, std::vector<std::vector<double>> reference)
+    : config_(config), reference_(std::move(reference)) {
+  if (reference_.empty()) {
+    throw std::invalid_argument("Monitor: no reference features");
+  }
+  for (const auto& f : reference_) {
+    if (f.empty()) throw std::invalid_argument("Monitor: empty reference sample");
+  }
+  if (config_.window < 2) throw std::invalid_argument("Monitor: window < 2");
+  if (config_.full_scale <= 0.0) {
+    throw std::invalid_argument("Monitor: full_scale <= 0");
+  }
+  if (!(config_.low_threshold < config_.high_threshold) ||
+      config_.low_threshold < 0.0 || config_.high_threshold > 1.0) {
+    throw std::invalid_argument("Monitor: bad thresholds");
+  }
+  window_.resize(reference_.size());
+}
+
+void Monitor::push(const std::vector<double>& features) {
+  if (features.size() != reference_.size()) {
+    throw std::invalid_argument("Monitor::push: feature count mismatch");
+  }
+  for (std::size_t i = 0; i < features.size(); ++i) {
+    window_[i].push_back(features[i]);
+    if (window_[i].size() > config_.window) window_[i].pop_front();
+  }
+}
+
+std::size_t Monitor::buffered() const noexcept {
+  return window_.empty() ? 0 : window_.front().size();
+}
+
+bool Monitor::ready() const noexcept { return buffered() >= config_.window; }
+
+std::vector<double> Monitor::per_feature_dissimilarity() const {
+  if (!ready()) return {};
+  std::vector<double> out;
+  out.reserve(reference_.size());
+  for (std::size_t i = 0; i < reference_.size(); ++i) {
+    const std::vector<double> runtime(window_[i].begin(), window_[i].end());
+    out.push_back(distance(config_.measure, reference_[i], runtime));
+  }
+  return out;
+}
+
+std::optional<Assessment> Monitor::assess() const {
+  if (!ready()) return std::nullopt;
+  const auto per_feature = per_feature_dissimilarity();
+  double total = 0.0;
+  for (double d : per_feature) total += d;
+  const double dissimilarity = total / static_cast<double>(reference_.size());
+  Assessment a;
+  a.dissimilarity = dissimilarity;
+  a.confidence = std::clamp(1.0 - dissimilarity / config_.full_scale, 0.0, 1.0);
+  a.level = classify(a.confidence);
+  a.window_size = buffered();
+  return a;
+}
+
+void Monitor::reset() {
+  for (auto& w : window_) w.clear();
+}
+
+ConfidenceLevel Monitor::classify(double confidence) const {
+  if (confidence >= config_.high_threshold) return ConfidenceLevel::kHigh;
+  if (confidence >= config_.low_threshold) return ConfidenceLevel::kMedium;
+  return ConfidenceLevel::kLow;
+}
+
+}  // namespace sesame::safeml

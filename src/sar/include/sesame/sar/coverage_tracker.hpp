@@ -1,0 +1,54 @@
+// Ground-coverage accounting.
+//
+// The platform's stated mission goal is "maximizing area coverage"; this
+// tracker rasterizes the mission area into cells and marks every cell seen
+// by a camera footprint, yielding the covered-area fraction over time —
+// the metric that validates lane-spacing choices and quantifies what a
+// dropped-out UAV costs before task redistribution kicks in.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "sesame/sar/coverage.hpp"
+#include "sesame/sim/camera.hpp"
+
+namespace sesame::sar {
+
+class CoverageTracker {
+ public:
+  /// Rasterizes `area` into square cells of `cell_m` metres. Throws
+  /// std::invalid_argument on a degenerate area or non-positive cell size.
+  CoverageTracker(const Area& area, double cell_m = 5.0);
+
+  std::size_t cells_east() const noexcept { return cells_east_; }
+  std::size_t cells_north() const noexcept { return cells_north_; }
+  std::size_t cells_total() const noexcept { return covered_.size(); }
+  std::size_t cells_covered() const noexcept { return covered_count_; }
+
+  /// Fraction of the area's cells seen at least once.
+  double fraction_covered() const;
+
+  /// Marks every cell whose centre lies inside the footprint.
+  void mark(const sim::Footprint& footprint);
+
+  /// Whether the cell containing the point has been covered. Points
+  /// outside the area return false.
+  bool covered_at(const geo::EnuPoint& p) const;
+
+  void reset();
+
+ private:
+  Area area_;
+  double cell_m_;
+  std::size_t cells_east_;
+  std::size_t cells_north_;
+  std::vector<bool> covered_;
+  std::size_t covered_count_ = 0;
+
+  std::size_t index(std::size_t ie, std::size_t in) const {
+    return in * cells_east_ + ie;
+  }
+};
+
+}  // namespace sesame::sar

@@ -1,0 +1,108 @@
+// SAR mission orchestration: assigns sweep plans to UAVs, runs the person
+// detector every tick, keeps detection/accuracy bookkeeping, and supports
+// the task-redistribution behaviour of the mission-level ConSert ("&
+// redistribute task among remaining capable UAVs", paper Fig. 1).
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sesame/perception/detector.hpp"
+#include "sesame/perception/tracker.hpp"
+#include "sesame/sar/coverage.hpp"
+#include "sesame/sar/coverage_tracker.hpp"
+#include "sesame/sim/world.hpp"
+
+namespace sesame::sar {
+
+/// Aggregate detection quality statistics of a mission.
+struct DetectionStats {
+  std::size_t frames = 0;
+  std::size_t true_detections = 0;   ///< detections matching a real person
+  std::size_t false_alarms = 0;
+  std::size_t persons_total = 0;
+  std::size_t persons_found = 0;
+
+  /// Precision of raw detections (1.0 when no detections yet).
+  double precision() const;
+  /// Fraction of persons found so far.
+  double recall() const;
+};
+
+class SarMission {
+ public:
+  /// Assigns one sweep plan per UAV (sizes must match; UAVs are world
+  /// names). Waypoints are pushed to the vehicles; takeoff must be
+  /// commanded by the caller (the platform layer owns mode decisions).
+  SarMission(sim::World& world, std::vector<std::string> uav_names,
+             std::vector<SweepPlan> plans, perception::DetectorConfig detector = {});
+
+  /// Runs one detection tick: every airborne mission UAV images the ground
+  /// and detections are matched against the world's persons (marking them
+  /// detected). Call once per world step.
+  void tick();
+
+  const DetectionStats& stats() const noexcept { return stats_; }
+
+  /// Remaining waypoints of one UAV.
+  std::size_t remaining_waypoints(const std::string& uav) const;
+
+  /// Total remaining waypoints across the fleet.
+  std::size_t total_remaining() const;
+
+  /// True when every UAV consumed its plan.
+  bool complete() const;
+
+  /// Fraction of the originally assigned waypoints already consumed,
+  /// in [0, 1] (redistributed waypoints count against the fleet total).
+  double progress() const;
+
+  /// Estimated seconds to consume the remaining waypoints, from the
+  /// remaining leg lengths at `fleet_speed_mps` with the work split across
+  /// the active vehicles. 0 when complete; conservative (ignores turns).
+  double eta_s(double fleet_speed_mps) const;
+
+  /// Removes `failed_uav` from the mission and appends its unfinished
+  /// waypoints to `takeover_uav`'s queue (task redistribution). Returns
+  /// the number of reassigned waypoints.
+  std::size_t redistribute(const std::string& failed_uav,
+                           const std::string& takeover_uav);
+
+  /// UAVs currently carrying mission tasks.
+  const std::vector<std::string>& active_uavs() const noexcept {
+    return active_uavs_;
+  }
+
+  const perception::PersonDetector& detector() const noexcept {
+    return detector_;
+  }
+
+  /// Enables ground-coverage accounting over `area`; every subsequent tick
+  /// marks the cells inside each airborne UAV's camera footprint.
+  void enable_coverage_tracking(const Area& area, double cell_m = 5.0);
+
+  /// The tracker, or nullptr when tracking was not enabled.
+  const CoverageTracker* coverage() const noexcept {
+    return tracker_ ? &*tracker_ : nullptr;
+  }
+
+  /// The multi-frame person tracker fed by every tick's detections: its
+  /// confirmed tracks are the persons the GCS reports (raw detections are
+  /// noisy and include false alarms).
+  const perception::PersonTracker& person_tracker() const noexcept {
+    return person_tracker_;
+  }
+
+ private:
+  sim::World* world_;
+  std::vector<std::string> active_uavs_;
+  perception::PersonDetector detector_;
+  perception::PersonTracker person_tracker_;
+  DetectionStats stats_;
+  std::optional<CoverageTracker> tracker_;
+  std::size_t total_assigned_ = 0;
+};
+
+}  // namespace sesame::sar

@@ -1,0 +1,131 @@
+#include "sesame/sar/mission.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace sesame::sar {
+
+double DetectionStats::precision() const {
+  const std::size_t total = true_detections + false_alarms;
+  if (total == 0) return 1.0;
+  return static_cast<double>(true_detections) / static_cast<double>(total);
+}
+
+double DetectionStats::recall() const {
+  if (persons_total == 0) return 1.0;
+  return static_cast<double>(persons_found) / static_cast<double>(persons_total);
+}
+
+SarMission::SarMission(sim::World& world, std::vector<std::string> uav_names,
+                       std::vector<SweepPlan> plans,
+                       perception::DetectorConfig detector)
+    : world_(&world), active_uavs_(std::move(uav_names)), detector_(detector) {
+  if (active_uavs_.size() != plans.size() || active_uavs_.empty()) {
+    throw std::invalid_argument("SarMission: UAV/plan count mismatch");
+  }
+  for (std::size_t i = 0; i < active_uavs_.size(); ++i) {
+    sim::Uav& uav = world_->uav_by_name(active_uavs_[i]);
+    uav.clear_waypoints();
+    for (const auto& wp : plans[i].waypoints) uav.add_waypoint(wp);
+  }
+  stats_.persons_total = world_->persons().size();
+  total_assigned_ = total_remaining();
+}
+
+double SarMission::progress() const {
+  if (total_assigned_ == 0) return 1.0;
+  const std::size_t remaining = total_remaining();
+  return 1.0 - static_cast<double>(remaining) /
+                   static_cast<double>(total_assigned_);
+}
+
+double SarMission::eta_s(double fleet_speed_mps) const {
+  if (fleet_speed_mps <= 0.0) {
+    throw std::invalid_argument("SarMission::eta_s: non-positive speed");
+  }
+  double longest_m = 0.0;
+  double total_m = 0.0;
+  std::size_t active_airborne = 0;
+  for (const auto& name : active_uavs_) {
+    const double d = world_->uav_by_name(name).remaining_path_length_m();
+    total_m += d;
+    longest_m = std::max(longest_m, d);
+    ++active_airborne;
+  }
+  if (total_m == 0.0 || active_airborne == 0) return 0.0;
+  // The fleet finishes when its most-loaded member does; with balanced
+  // strips that is close to total / fleet, so take the max of both bounds.
+  return std::max(longest_m,
+                  total_m / static_cast<double>(active_airborne)) /
+         fleet_speed_mps;
+}
+
+void SarMission::enable_coverage_tracking(const Area& area, double cell_m) {
+  tracker_.emplace(area, cell_m);
+}
+
+void SarMission::tick() {
+  ++stats_.frames;
+  auto& persons = world_->persons();
+  for (const auto& name : active_uavs_) {
+    const sim::Uav& uav = world_->uav_by_name(name);
+    if (!uav.airborne()) continue;
+    if (!uav.vision_sensor_healthy()) continue;  // camera blind: no frames
+    if (tracker_) {
+      tracker_->mark(detector_.camera().footprint(uav.true_position()));
+    }
+    const auto detections =
+        detector_.detect(uav.true_position(), persons, world_->rng());
+    person_tracker_.update(detections);
+    for (const auto& d : detections) {
+      if (d.person_index.has_value()) {
+        ++stats_.true_detections;
+        auto& person = persons[*d.person_index];
+        if (!person.detected) {
+          person.detected = true;
+          ++stats_.persons_found;
+        }
+      } else {
+        ++stats_.false_alarms;
+      }
+    }
+  }
+}
+
+std::size_t SarMission::remaining_waypoints(const std::string& uav) const {
+  return world_->uav_by_name(uav).waypoints_remaining();
+}
+
+std::size_t SarMission::total_remaining() const {
+  std::size_t total = 0;
+  for (const auto& name : active_uavs_) total += remaining_waypoints(name);
+  return total;
+}
+
+bool SarMission::complete() const { return total_remaining() == 0; }
+
+std::size_t SarMission::redistribute(const std::string& failed_uav,
+                                     const std::string& takeover_uav) {
+  const auto it =
+      std::find(active_uavs_.begin(), active_uavs_.end(), failed_uav);
+  if (it == active_uavs_.end()) {
+    throw std::invalid_argument("redistribute: unknown mission UAV " + failed_uav);
+  }
+  if (failed_uav == takeover_uav) {
+    throw std::invalid_argument("redistribute: takeover UAV equals failed UAV");
+  }
+  if (std::find(active_uavs_.begin(), active_uavs_.end(), takeover_uav) ==
+      active_uavs_.end()) {
+    throw std::invalid_argument("redistribute: unknown takeover UAV " +
+                                takeover_uav);
+  }
+
+  sim::Uav& failed = world_->uav_by_name(failed_uav);
+  sim::Uav& takeover = world_->uav_by_name(takeover_uav);
+
+  const std::size_t moved = failed.transfer_waypoints_to(takeover);
+  active_uavs_.erase(it);
+  return moved;
+}
+
+}  // namespace sesame::sar

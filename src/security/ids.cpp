@@ -1,0 +1,104 @@
+#include "sesame/security/ids.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace sesame::security {
+
+IntrusionDetectionSystem::IntrusionDetectionSystem(mw::Bus& bus, IdsConfig config)
+    : bus_(&bus), config_(config) {
+  if (config_.max_speed_mps <= 0.0 || config_.flood_threshold == 0 ||
+      config_.flood_window_s <= 0.0) {
+    throw std::invalid_argument("IntrusionDetectionSystem: bad config");
+  }
+  tap_ = bus_->add_tap([this](const mw::MessageHeader& h, const std::any& payload,
+                              std::type_index type) {
+    inspect(h, payload, type);
+  });
+}
+
+void IntrusionDetectionSystem::authorize(const std::string& topic,
+                                         const std::string& source) {
+  authorized_[topic] = source;
+}
+
+void IntrusionDetectionSystem::track_position_topic(const std::string& topic) {
+  position_topics_.push_back(topic);
+}
+
+void IntrusionDetectionSystem::inspect(const mw::MessageHeader& h,
+                                       const std::any& payload,
+                                       std::type_index type) {
+  // Ignore our own alert traffic (and avoid re-entrant self-inspection).
+  if (publishing_alert_ || h.topic == ids_alert_topic()) return;
+
+  // Rule 1: unauthorized source.
+  if (const auto it = authorized_.find(h.topic); it != authorized_.end()) {
+    if (it->second != h.source) {
+      IdsAlert a;
+      a.rule = "unauthorized_source";
+      a.capec_id = "CAPEC-594";
+      a.topic = h.topic;
+      a.source = h.source;
+      a.time_s = h.time_s;
+      a.detail = "expected publisher '" + it->second + "'";
+      raise(std::move(a));
+    }
+  }
+
+  // Rule 2: implied-velocity jump on tracked position topics.
+  if (type == std::type_index(typeid(geo::GeoPoint)) &&
+      std::find(position_topics_.begin(), position_topics_.end(), h.topic) !=
+          position_topics_.end()) {
+    const auto& p =
+        std::any_cast<std::reference_wrapper<const geo::GeoPoint>>(payload).get();
+    const auto it = last_position_.find(h.topic);
+    if (it != last_position_.end()) {
+      const double dt = h.time_s - it->second.second;
+      if (dt > 1e-6) {
+        const double speed = geo::haversine_m(it->second.first, p) / dt;
+        if (speed > config_.max_speed_mps) {
+          IdsAlert a;
+          a.rule = "position_jump";
+          a.capec_id = "CAPEC-627";
+          a.topic = h.topic;
+          a.source = h.source;
+          a.time_s = h.time_s;
+          std::ostringstream os;
+          os << "implied speed " << speed << " m/s exceeds "
+             << config_.max_speed_mps;
+          a.detail = os.str();
+          raise(std::move(a));
+        }
+      }
+    }
+    last_position_[h.topic] = {p, h.time_s};
+  }
+
+  // Rule 3: flooding per source.
+  auto& times = recent_times_[h.source];
+  times.push_back(h.time_s);
+  while (!times.empty() && times.front() < h.time_s - config_.flood_window_s) {
+    times.pop_front();
+  }
+  if (times.size() > config_.flood_threshold) {
+    IdsAlert a;
+    a.rule = "flooding";
+    a.capec_id = "CAPEC-125";
+    a.topic = h.topic;
+    a.source = h.source;
+    a.time_s = h.time_s;
+    a.detail = std::to_string(times.size()) + " msgs in window";
+    raise(std::move(a));
+    times.clear();  // re-arm instead of alerting on every further message
+  }
+}
+
+void IntrusionDetectionSystem::raise(IdsAlert alert) {
+  ++alerts_raised_;
+  publishing_alert_ = true;
+  bus_->publish(ids_alert_topic(), alert, "ids", alert.time_s);
+  publishing_alert_ = false;
+}
+
+}  // namespace sesame::security

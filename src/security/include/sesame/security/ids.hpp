@@ -1,0 +1,75 @@
+// Rule-based Intrusion Detection System.
+//
+// Taps the message bus (the paper's IDS inspects network traffic) and
+// publishes alerts on the broker topic `ids/alerts`, which Security EDDIs
+// subscribe to — mirroring the paper's MQTT alerting pipeline. Rules:
+//   - unauthorized source: a topic's traffic must come from its registered
+//     publisher; anything else alerts (identity/injection, CAPEC-151/594).
+//   - position jump: consecutive telemetry/fix positions for one UAV that
+//     imply a physically impossible velocity (GPS walk-off, CAPEC-627).
+//   - flooding: per-source message rate above a threshold (CAPEC-125).
+#pragma once
+
+#include <deque>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sesame/geo/geodesy.hpp"
+#include "sesame/mw/bus.hpp"
+
+namespace sesame::security {
+
+/// Alert published on `ids/alerts`.
+struct IdsAlert {
+  std::string rule;        ///< "unauthorized_source" | "position_jump" | "flooding"
+  std::string capec_id;    ///< attack-tree leaf this maps to
+  std::string topic;       ///< offending topic
+  std::string source;      ///< offending publisher
+  double time_s = 0.0;
+  std::string detail;
+};
+
+/// Broker topic the IDS publishes alerts on.
+inline const char* ids_alert_topic() { return "ids/alerts"; }
+
+struct IdsConfig {
+  /// Maximum plausible UAV ground speed; faster implied motion alerts.
+  double max_speed_mps = 25.0;
+  /// Messages per source within `flood_window_s` before a flooding alert.
+  std::size_t flood_threshold = 50;
+  double flood_window_s = 1.0;
+};
+
+class IntrusionDetectionSystem {
+ public:
+  /// Attaches to the bus; alerts are published back onto the same bus
+  /// under `ids/alerts` (the in-process stand-in for the MQTT broker).
+  IntrusionDetectionSystem(mw::Bus& bus, IdsConfig config = {});
+
+  /// Registers the only legitimate publisher for a topic.
+  void authorize(const std::string& topic, const std::string& source);
+
+  /// Registers a topic as carrying geo::GeoPoint positions for one UAV so
+  /// the position-jump rule can track it.
+  void track_position_topic(const std::string& topic);
+
+  std::size_t alerts_raised() const noexcept { return alerts_raised_; }
+
+ private:
+  mw::Bus* bus_;
+  IdsConfig config_;
+  mw::Subscription tap_;
+  std::map<std::string, std::string> authorized_;  // topic -> source
+  std::map<std::string, std::pair<geo::GeoPoint, double>> last_position_;
+  std::map<std::string, std::deque<double>> recent_times_;  // per source
+  std::vector<std::string> position_topics_;
+  std::size_t alerts_raised_ = 0;
+  bool publishing_alert_ = false;
+
+  void inspect(const mw::MessageHeader& h, const std::any& payload,
+               std::type_index type);
+  void raise(IdsAlert alert);
+};
+
+}  // namespace sesame::security

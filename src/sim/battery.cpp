@@ -1,0 +1,62 @@
+#include "sesame/sim/battery.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace sesame::sim {
+
+Battery::Battery(BatteryConfig config)
+    : config_(config), soc_(config.initial_soc),
+      temperature_c_(config.ambient_temp_c) {
+  if (config_.capacity_wh <= 0.0) {
+    throw std::invalid_argument("Battery: non-positive capacity");
+  }
+  if (config_.initial_soc < 0.0 || config_.initial_soc > 1.0) {
+    throw std::invalid_argument("Battery: initial_soc out of [0,1]");
+  }
+}
+
+void Battery::step(double dt_s, BatteryLoad load) {
+  if (dt_s < 0.0) throw std::invalid_argument("Battery::step: negative dt");
+  double draw_w = config_.idle_draw_w;
+  double target_temp = config_.ambient_temp_c;
+  switch (load) {
+    case BatteryLoad::kIdle:
+      break;
+    case BatteryLoad::kCruise:
+      draw_w = config_.cruise_draw_w;
+      target_temp += config_.load_temp_rise_c;
+      break;
+    case BatteryLoad::kHover:
+      draw_w = config_.hover_draw_w;
+      target_temp += config_.load_temp_rise_c * 1.1;
+      break;
+  }
+  const double used_wh = draw_w * dt_s / 3600.0;
+  soc_ = std::max(0.0, soc_ - used_wh / config_.capacity_wh);
+
+  // First-order thermal relaxation toward the load-dependent target; a
+  // faulted cell holds its elevated temperature.
+  if (!fault_active_) {
+    const double tau_s = 120.0;
+    temperature_c_ +=
+        (target_temp - temperature_c_) * std::min(1.0, dt_s / tau_s);
+  }
+}
+
+void Battery::inject_thermal_fault(double soc_after, double temp_c) {
+  if (soc_after < 0.0 || soc_after > 1.0) {
+    throw std::invalid_argument("inject_thermal_fault: soc_after out of [0,1]");
+  }
+  soc_ = std::min(soc_, soc_after);
+  temperature_c_ = temp_c;
+  fault_active_ = true;
+}
+
+void Battery::swap() {
+  soc_ = 1.0;
+  temperature_c_ = config_.ambient_temp_c;
+  fault_active_ = false;
+}
+
+}  // namespace sesame::sim

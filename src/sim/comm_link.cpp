@@ -1,0 +1,49 @@
+#include "sesame/sim/comm_link.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace sesame::sim {
+
+CommLink::CommLink(CommLinkConfig config) : config_(config) {
+  if (config_.nominal_range_m <= 0.0 ||
+      config_.max_range_m <= config_.nominal_range_m) {
+    throw std::invalid_argument("CommLink: need 0 < nominal < max range");
+  }
+  if (config_.fading_sigma < 0.0) {
+    throw std::invalid_argument("CommLink: negative fading sigma");
+  }
+  if (config_.usable_threshold <= 0.0 || config_.usable_threshold >= 1.0) {
+    throw std::invalid_argument("CommLink: usable threshold out of (0,1)");
+  }
+}
+
+double CommLink::quality(double distance_m) const {
+  if (distance_m < 0.0) {
+    throw std::invalid_argument("CommLink::quality: negative distance");
+  }
+  if (distance_m <= config_.nominal_range_m) return 1.0;
+  if (distance_m >= config_.max_range_m) return 0.0;
+  // Linear in log-range between nominal and max: matches the dB-linear
+  // path-loss picture without needing a full link budget.
+  const double log_d = std::log(distance_m);
+  const double log_lo = std::log(config_.nominal_range_m);
+  const double log_hi = std::log(config_.max_range_m);
+  return 1.0 - (log_d - log_lo) / (log_hi - log_lo);
+}
+
+double CommLink::sample_quality(double distance_m, mathx::Rng& rng) const {
+  const double q = quality(distance_m);
+  if (config_.fading_sigma <= 0.0 || q <= 0.0) return q;
+  return std::clamp(q * (1.0 + rng.normal(0.0, config_.fading_sigma)), 0.0, 1.0);
+}
+
+double CommLink::usable_range_m() const {
+  // Invert the log-linear segment at the usable threshold.
+  const double log_lo = std::log(config_.nominal_range_m);
+  const double log_hi = std::log(config_.max_range_m);
+  return std::exp(log_lo + (1.0 - config_.usable_threshold) * (log_hi - log_lo));
+}
+
+}  // namespace sesame::sim

@@ -1,0 +1,61 @@
+// Battery model with thermal fault injection.
+//
+// Reproduces the Fig. 5 scenario substrate: a UAV battery discharging
+// under mission load whose state of charge can drop sharply when a
+// high-temperature fault is injected (80% -> 40% at the 250th second in
+// the paper). SafeDrones consumes state of charge and temperature to drive
+// its Markov battery-degradation model.
+#pragma once
+
+namespace sesame::sim {
+
+/// Battery configuration. Defaults approximate a DJI Matrice 300 TB60 pack
+/// flying a mapping mission: ~30 min endurance from full charge.
+struct BatteryConfig {
+  double capacity_wh = 274.0;       ///< nominal energy capacity
+  double cruise_draw_w = 450.0;     ///< average draw in forward flight
+  double hover_draw_w = 500.0;      ///< hover draw (slightly above cruise)
+  double idle_draw_w = 30.0;        ///< avionics-only draw on ground
+  double initial_soc = 1.0;         ///< state of charge in [0, 1]
+  double ambient_temp_c = 25.0;
+  /// Healthy operating temperature rise above ambient under load.
+  double load_temp_rise_c = 12.0;
+};
+
+/// Battery load profile for one step.
+enum class BatteryLoad { kIdle, kCruise, kHover };
+
+/// Simulated smart battery.
+class Battery {
+ public:
+  explicit Battery(BatteryConfig config = {});
+
+  /// Advances the battery by dt seconds under the given load.
+  void step(double dt_s, BatteryLoad load);
+
+  /// State of charge in [0, 1].
+  double soc() const noexcept { return soc_; }
+
+  /// Cell temperature in Celsius.
+  double temperature_c() const noexcept { return temperature_c_; }
+
+  bool depleted() const noexcept { return soc_ <= 0.0; }
+  bool fault_active() const noexcept { return fault_active_; }
+
+  /// Injects the paper's thermal fault: the cell overheats and the usable
+  /// charge collapses to `soc_after` (e.g. 0.40) while temperature jumps to
+  /// `temp_c`. Subsequent discharge continues from the collapsed level.
+  void inject_thermal_fault(double soc_after, double temp_c);
+
+  /// Replaces the pack (return-to-base battery swap in the baseline
+  /// scenario): restores full charge and clears the fault.
+  void swap();
+
+ private:
+  BatteryConfig config_;
+  double soc_;
+  double temperature_c_;
+  bool fault_active_ = false;
+};
+
+}  // namespace sesame::sim

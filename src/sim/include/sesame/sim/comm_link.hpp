@@ -1,0 +1,52 @@
+// Command-and-control RF link model.
+//
+// The platform's "communication-based localization" ConSert and the
+// comms-loss branch of the SafeDrones fault tree both hinge on link
+// health. This models a C2 link budget in the simplest useful form: full
+// quality inside a nominal range, log-like falloff beyond it, zero past
+// the maximum range, with optional Rayleigh-style fading jitter.
+#pragma once
+
+#include "sesame/geo/geodesy.hpp"
+#include "sesame/mathx/rng.hpp"
+
+namespace sesame::sim {
+
+struct CommLinkConfig {
+  /// Range with full link margin (quality 1.0).
+  double nominal_range_m = 500.0;
+  /// Range at which the link drops out entirely (quality 0.0).
+  double max_range_m = 1500.0;
+  /// 1-sigma multiplicative fading jitter applied per sample (0 = none).
+  double fading_sigma = 0.05;
+  /// Quality below which the link is considered unusable for C2.
+  double usable_threshold = 0.35;
+};
+
+class CommLink {
+ public:
+  explicit CommLink(CommLinkConfig config = {});
+
+  const CommLinkConfig& config() const noexcept { return config_; }
+
+  /// Deterministic link quality in [0, 1] at the given range: 1 inside the
+  /// nominal range, falling linearly in log-range to 0 at max range.
+  double quality(double distance_m) const;
+
+  /// Quality with fading jitter applied (clamped to [0, 1]).
+  double sample_quality(double distance_m, mathx::Rng& rng) const;
+
+  /// Whether a (deterministic) link at this range is usable for C2.
+  bool usable(double distance_m) const {
+    return quality(distance_m) >= config_.usable_threshold;
+  }
+
+  /// Range at which quality crosses the usable threshold (the fleet's
+  /// operational radius for this link).
+  double usable_range_m() const;
+
+ private:
+  CommLinkConfig config_;
+};
+
+}  // namespace sesame::sim

@@ -1,0 +1,73 @@
+// GPS receiver model with spoofing and signal-loss injection.
+//
+// The paper's security scenario (Figs. 6-7) hinges on falsified position
+// data steering a UAV off its mapping trajectory, and on flying the victim
+// home *without* GPS once the attack is detected. This model produces
+// fixes = truth + white noise under normal conditions, applies an
+// attacker-controlled drift when spoofed, and reports no fix when the
+// signal is lost or the receiver is disabled after attack detection.
+#pragma once
+
+#include <optional>
+
+#include "sesame/geo/geodesy.hpp"
+#include "sesame/mathx/rng.hpp"
+
+namespace sesame::sim {
+
+/// Quality metadata a real receiver would report alongside the fix.
+struct GpsFix {
+  geo::GeoPoint position;
+  double horizontal_accuracy_m = 0.0;  ///< receiver-claimed 1-sigma accuracy
+  int satellites = 0;
+  /// Note: a *spoofed* receiver still reports good quality figures — the
+  /// attack is not visible in this struct, which is exactly the problem.
+};
+
+struct GpsConfig {
+  double noise_sigma_m = 0.4;       ///< healthy horizontal noise
+  int healthy_satellites = 14;
+  /// Spoofing drift rate: how fast the attacker walks the fix away from
+  /// the true position (metres of offset added per second of attack).
+  double spoof_drift_m_per_s = 2.0;
+  double spoof_bearing_deg = 90.0;  ///< direction the fix is walked toward
+};
+
+/// Simulated GPS receiver bound to one UAV.
+class Gps {
+ public:
+  Gps(GpsConfig config, mathx::Rng& rng);
+
+  /// Produces the fix for the current true position, advancing internal
+  /// attack state by dt seconds. Returns nullopt when the signal is lost
+  /// or the receiver has been disabled.
+  std::optional<GpsFix> read(const geo::GeoPoint& true_position, double dt_s);
+
+  /// Starts/stops a spoofing attack. While active, the reported fix drifts
+  /// away from the truth at the configured rate.
+  void start_spoofing();
+  void stop_spoofing();
+  bool spoofing_active() const noexcept { return spoofing_; }
+
+  /// Current accumulated spoof offset magnitude (metres).
+  double spoof_offset_m() const noexcept { return spoof_offset_m_; }
+
+  /// Simulates total signal loss (e.g. jamming or canyon shadowing).
+  void set_signal_lost(bool lost) { signal_lost_ = lost; }
+  bool signal_lost() const noexcept { return signal_lost_; }
+
+  /// Operator/ConSert-commanded receiver disable: once the Security EDDI
+  /// flags spoofing, navigation must stop trusting this receiver.
+  void set_disabled(bool disabled) { disabled_ = disabled; }
+  bool disabled() const noexcept { return disabled_; }
+
+ private:
+  GpsConfig config_;
+  mathx::Rng* rng_;
+  bool spoofing_ = false;
+  bool signal_lost_ = false;
+  bool disabled_ = false;
+  double spoof_offset_m_ = 0.0;
+};
+
+}  // namespace sesame::sim

@@ -1,0 +1,168 @@
+// Kinematic UAV model.
+//
+// Deliberately closed-loop on the *estimated* position: the vehicle flies
+// so that its position estimate reaches the waypoint, which is how GPS
+// spoofing translates into real trajectory deviation (paper Fig. 6). When
+// no GPS fix is available the estimator dead-reckons on the commanded
+// velocity, accumulating error until an external fix (Collaborative
+// Localization) corrects it.
+#pragma once
+
+#include <deque>
+#include <optional>
+#include <string>
+
+#include "sesame/geo/geodesy.hpp"
+#include "sesame/sim/battery.hpp"
+#include "sesame/sim/gps.hpp"
+
+namespace sesame::sim {
+
+/// Flight modes mirroring the ConSert action lattice: Continue Mission /
+/// Hold Position / Return to Base / Emergency Land (paper Fig. 1).
+enum class FlightMode {
+  kIdle,
+  kTakeoff,
+  kMission,
+  kHold,
+  kReturnToBase,
+  kEmergencyLand,
+  kLanded,
+};
+
+std::string flight_mode_name(FlightMode m);
+
+struct UavConfig {
+  std::string name = "uav";
+  double cruise_speed_mps = 8.0;
+  double climb_rate_mps = 2.5;
+  double descent_rate_mps = 1.5;
+  double waypoint_capture_m = 2.0;
+  double mission_altitude_m = 30.0;
+  /// Motor losses the airframe tolerates with reconfiguration (hexarotor
+  /// default: one); one more loss means loss of control.
+  std::size_t tolerable_motor_failures = 1;
+  /// Cruise-speed penalty per tolerated motor loss (reduced authority).
+  double motor_failure_speed_penalty = 0.30;
+  BatteryConfig battery;
+  GpsConfig gps;
+};
+
+/// Steady wind with gusts; shared by all UAVs in a world.
+struct Wind {
+  double east_mps = 0.0;
+  double north_mps = 0.0;
+  double gust_sigma_mps = 0.0;
+};
+
+/// One simulated multirotor.
+class Uav {
+ public:
+  /// `home` is the takeoff/landing point; the world's local frame is used
+  /// for all ENU conversions.
+  Uav(UavConfig config, const geo::LocalFrame& frame, const geo::GeoPoint& home,
+      mathx::Rng& rng);
+
+  const std::string& name() const noexcept { return config_.name; }
+  FlightMode mode() const noexcept { return mode_; }
+  const Battery& battery() const noexcept { return battery_; }
+  Battery& battery() noexcept { return battery_; }
+  Gps& gps() noexcept { return gps_; }
+  const Gps& gps() const noexcept { return gps_; }
+
+  /// Ground-truth position (world ENU).
+  const geo::EnuPoint& true_position() const noexcept { return true_pos_; }
+  geo::GeoPoint true_geo() const { return frame_->to_geo(true_pos_); }
+
+  /// Navigation estimate the vehicle currently believes (world ENU).
+  const geo::EnuPoint& estimated_position() const noexcept { return est_pos_; }
+  geo::GeoPoint estimated_geo() const { return frame_->to_geo(est_pos_); }
+
+  /// Estimation error magnitude (metres, ground plane).
+  double estimation_error_m() const;
+
+  /// Appends a mission waypoint (world ENU; up_m is the target altitude).
+  void add_waypoint(const geo::EnuPoint& wp);
+  void clear_waypoints();
+  std::size_t waypoints_remaining() const noexcept { return waypoints_.size(); }
+
+  /// Moves all remaining waypoints onto the back of `other`'s queue (task
+  /// redistribution between fleet members); returns the number moved.
+  std::size_t transfer_waypoints_to(Uav& other);
+
+  /// Length of the remaining route: estimated position through every
+  /// queued waypoint (metres; 0 when the queue is empty).
+  double remaining_path_length_m() const;
+
+  /// Caps every queued waypoint's altitude at `altitude_m` (the SINADRA
+  /// descend-and-rescan adaptation lowers the remaining sweep).
+  void lower_waypoints_to(double altitude_m);
+
+  /// Injects a motor failure. Tolerated failures degrade cruise authority
+  /// (reconfiguration sheds the opposite motor); exceeding the airframe's
+  /// tolerance forces an immediate emergency landing.
+  void fail_motor();
+  std::size_t motors_failed() const noexcept { return motors_failed_; }
+
+  /// Vision-sensor health (camera/IMU fault injection). A failed sensor
+  /// removes the vision-based localization guarantee and blinds the
+  /// person detector; navigation itself is unaffected.
+  void set_vision_sensor_healthy(bool healthy) {
+    vision_sensor_healthy_ = healthy;
+  }
+  bool vision_sensor_healthy() const noexcept { return vision_sensor_healthy_; }
+
+  /// Cruise speed after reconfiguration penalties.
+  double effective_cruise_speed() const;
+
+  /// Mode commands (the ConSert/platform layer calls these).
+  void command_takeoff();
+  void command_hold();
+  void command_resume_mission();
+  void command_return_to_base();
+  void command_emergency_land();
+
+  /// Feeds an externally computed position fix (Collaborative
+  /// Localization) into the estimator.
+  void correct_estimate(const geo::GeoPoint& fix);
+
+  /// Advances the vehicle by dt seconds under the given wind.
+  void step(double dt_s, const Wind& wind);
+
+  /// Distance flown since construction (true path length, metres).
+  double odometer_m() const noexcept { return odometer_m_; }
+
+  /// True when the vehicle is airborne.
+  bool airborne() const noexcept;
+
+ private:
+  UavConfig config_;
+  const geo::LocalFrame* frame_;
+  mathx::Rng* rng_;
+  Battery battery_;
+  Gps gps_;
+
+  geo::EnuPoint true_pos_;
+  geo::EnuPoint est_pos_;
+  geo::EnuPoint home_;
+  // Position-hold anchor latched when an emergency landing is commanded;
+  // the vehicle station-keeps over it (using its estimate) while
+  // descending instead of drifting with the wind.
+  geo::EnuPoint emergency_anchor_;
+  std::deque<geo::EnuPoint> waypoints_;
+  FlightMode mode_ = FlightMode::kIdle;
+
+  double odometer_m_ = 0.0;
+  std::size_t motors_failed_ = 0;
+  bool vision_sensor_healthy_ = true;
+  // Commanded velocity of the last step, for dead reckoning.
+  double cmd_east_mps_ = 0.0;
+  double cmd_north_mps_ = 0.0;
+  double cmd_up_mps_ = 0.0;
+
+  void navigate_towards(const geo::EnuPoint& target, double dt_s);
+  void update_estimate(double dt_s);
+  void apply_motion(double dt_s, const Wind& wind);
+};
+
+}  // namespace sesame::sim

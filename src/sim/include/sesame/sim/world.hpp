@@ -1,0 +1,96 @@
+// The multi-UAV world: vehicles, persons to be found, wind, the mission
+// clock, and the message-bus wiring that mirrors the paper's ROS setup.
+//
+// Every step the world advances each UAV and publishes its telemetry on
+// `uav/<name>/telemetry`. Each UAV also *subscribes* to
+// `uav/<name>/position_fix` (geo::GeoPoint payload) and trusts whatever
+// arrives there — this is the unauthenticated ROS-style channel both
+// Collaborative Localization (legitimate corrections) and the spoofing
+// attacker (falsified corrections) use, exactly the property the paper's
+// security scenario exploits.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sesame/geo/geodesy.hpp"
+#include "sesame/mathx/rng.hpp"
+#include "sesame/mw/bus.hpp"
+#include "sesame/sim/uav.hpp"
+
+namespace sesame::sim {
+
+/// Telemetry sample published by each UAV every step.
+struct Telemetry {
+  std::string uav;
+  geo::GeoPoint reported_position;  ///< the UAV's own estimate (spoofable)
+  double altitude_m = 0.0;
+  double battery_soc = 1.0;
+  double battery_temp_c = 25.0;
+  FlightMode mode = FlightMode::kIdle;
+  double time_s = 0.0;
+  bool gps_fix = true;
+};
+
+/// A person to be located by the SAR mission.
+struct Person {
+  geo::EnuPoint position;
+  bool detected = false;
+};
+
+/// Topic helpers shared by the platform, EDDIs and attackers.
+std::string telemetry_topic(const std::string& uav_name);
+std::string position_fix_topic(const std::string& uav_name);
+
+class World {
+ public:
+  /// `origin` anchors the local ENU frame (mission-area corner).
+  World(const geo::GeoPoint& origin, std::uint64_t seed = 1);
+
+  const geo::LocalFrame& frame() const noexcept { return frame_; }
+  mw::Bus& bus() noexcept { return bus_; }
+  mathx::Rng& rng() noexcept { return rng_; }
+  double time_s() const noexcept { return time_s_; }
+  Wind& wind() noexcept { return wind_; }
+
+  /// Adds a UAV at `home`; returns its index. Wires telemetry publication
+  /// and the position-fix subscription.
+  std::size_t add_uav(UavConfig config, const geo::GeoPoint& home);
+
+  std::size_t num_uavs() const noexcept { return uavs_.size(); }
+  Uav& uav(std::size_t i) { return *uavs_.at(i).uav; }
+  const Uav& uav(std::size_t i) const { return *uavs_.at(i).uav; }
+
+  /// Finds a UAV by name; throws std::out_of_range when absent.
+  Uav& uav_by_name(const std::string& name);
+
+  /// Persons placed in the mission area.
+  void add_person(const geo::EnuPoint& position);
+  std::vector<Person>& persons() noexcept { return persons_; }
+  const std::vector<Person>& persons() const noexcept { return persons_; }
+  std::size_t persons_detected() const;
+
+  /// Advances the whole world by dt seconds: steps every UAV, publishes
+  /// telemetry, increments the clock.
+  void step(double dt_s);
+
+  /// Runs `n` steps of dt seconds each.
+  void run(std::size_t n, double dt_s);
+
+ private:
+  geo::LocalFrame frame_;
+  mathx::Rng rng_;
+  mw::Bus bus_;
+  Wind wind_;
+  double time_s_ = 0.0;
+
+  struct Slot {
+    std::unique_ptr<Uav> uav;
+    mw::Subscription fix_subscription;
+  };
+  std::vector<Slot> uavs_;
+  std::vector<Person> persons_;
+};
+
+}  // namespace sesame::sim

@@ -1,0 +1,81 @@
+#include "sesame/sim/world.hpp"
+
+#include <stdexcept>
+
+namespace sesame::sim {
+
+std::string telemetry_topic(const std::string& uav_name) {
+  return "uav/" + uav_name + "/telemetry";
+}
+
+std::string position_fix_topic(const std::string& uav_name) {
+  return "uav/" + uav_name + "/position_fix";
+}
+
+World::World(const geo::GeoPoint& origin, std::uint64_t seed)
+    : frame_(origin), rng_(seed) {}
+
+std::size_t World::add_uav(UavConfig config, const geo::GeoPoint& home) {
+  for (const auto& slot : uavs_) {
+    if (slot.uav->name() == config.name) {
+      throw std::invalid_argument("World::add_uav: duplicate name " + config.name);
+    }
+  }
+  Slot slot;
+  slot.uav = std::make_unique<Uav>(std::move(config), frame_, home, rng_);
+  Uav* raw = slot.uav.get();
+  // The fix channel is trusted verbatim — the deliberate vulnerability.
+  slot.fix_subscription = bus_.subscribe<geo::GeoPoint>(
+      position_fix_topic(raw->name()),
+      [raw](const mw::MessageHeader&, const geo::GeoPoint& fix) {
+        raw->correct_estimate(fix);
+      });
+  uavs_.push_back(std::move(slot));
+  return uavs_.size() - 1;
+}
+
+Uav& World::uav_by_name(const std::string& name) {
+  for (auto& slot : uavs_) {
+    if (slot.uav->name() == name) return *slot.uav;
+  }
+  throw std::out_of_range("World::uav_by_name: " + name);
+}
+
+void World::add_person(const geo::EnuPoint& position) {
+  persons_.push_back(Person{position, false});
+}
+
+std::size_t World::persons_detected() const {
+  std::size_t n = 0;
+  for (const auto& p : persons_) {
+    if (p.detected) ++n;
+  }
+  return n;
+}
+
+void World::step(double dt_s) {
+  if (dt_s <= 0.0) throw std::invalid_argument("World::step: non-positive dt");
+  for (auto& slot : uavs_) {
+    slot.uav->step(dt_s, wind_);
+  }
+  time_s_ += dt_s;
+  for (auto& slot : uavs_) {
+    const Uav& u = *slot.uav;
+    Telemetry t;
+    t.uav = u.name();
+    t.reported_position = u.estimated_geo();
+    t.altitude_m = u.true_position().up_m;
+    t.battery_soc = u.battery().soc();
+    t.battery_temp_c = u.battery().temperature_c();
+    t.mode = u.mode();
+    t.time_s = time_s_;
+    t.gps_fix = !u.gps().signal_lost() && !u.gps().disabled();
+    bus_.publish(telemetry_topic(u.name()), t, u.name(), time_s_);
+  }
+}
+
+void World::run(std::size_t n, double dt_s) {
+  for (std::size_t i = 0; i < n; ++i) step(dt_s);
+}
+
+}  // namespace sesame::sim

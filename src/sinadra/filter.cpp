@@ -1,0 +1,69 @@
+#include "sesame/sinadra/filter.hpp"
+
+#include <stdexcept>
+
+namespace sesame::sinadra {
+
+RiskFilter::RiskFilter(FilterConfig config) : config_(config) {
+  if (config_.alpha <= 0.0 || config_.alpha > 1.0) {
+    throw std::invalid_argument("RiskFilter: alpha out of (0,1]");
+  }
+  if (config_.hysteresis < 0.0) {
+    throw std::invalid_argument("RiskFilter: negative hysteresis");
+  }
+}
+
+Adaptation RiskFilter::recommend(double criticality) const {
+  // Escalation thresholds as in the raw model; de-escalation needs the
+  // smoothed value to clear the threshold by the hysteresis margin.
+  const double rescan = config_.thresholds.rescan_threshold;
+  const double descend = config_.thresholds.descend_threshold;
+  switch (current_) {
+    case Adaptation::kProceed:
+      if (criticality >= descend) return Adaptation::kDescendAndRescan;
+      if (criticality >= rescan) return Adaptation::kRescan;
+      return Adaptation::kProceed;
+    case Adaptation::kRescan:
+      if (criticality >= descend) return Adaptation::kDescendAndRescan;
+      if (criticality < rescan - config_.hysteresis) {
+        return Adaptation::kProceed;
+      }
+      return Adaptation::kRescan;
+    case Adaptation::kDescendAndRescan:
+      if (criticality < rescan - config_.hysteresis) {
+        return Adaptation::kProceed;
+      }
+      if (criticality < descend - config_.hysteresis) {
+        return Adaptation::kRescan;
+      }
+      return Adaptation::kDescendAndRescan;
+  }
+  return Adaptation::kProceed;
+}
+
+RiskAssessment RiskFilter::update(const RiskAssessment& raw) {
+  if (!primed_) {
+    smoothed_ = raw.criticality;
+    primed_ = true;
+  } else {
+    smoothed_ += config_.alpha * (raw.criticality - smoothed_);
+  }
+  const Adaptation next = recommend(smoothed_);
+  if (next != current_) {
+    current_ = next;
+    ++transitions_;
+  }
+  RiskAssessment out = raw;
+  out.criticality = smoothed_;
+  out.recommendation = current_;
+  return out;
+}
+
+void RiskFilter::reset() {
+  smoothed_ = 0.0;
+  primed_ = false;
+  current_ = Adaptation::kProceed;
+  transitions_ = 0;
+}
+
+}  // namespace sesame::sinadra

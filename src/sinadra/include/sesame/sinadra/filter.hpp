@@ -1,0 +1,51 @@
+// Temporal filtering of SINADRA risk assessments.
+//
+// Raw per-tick criticality is noisy (detector confidence fluctuates frame
+// to frame); acting on every sample would make the fleet flap between
+// Proceed and Rescan. The filter applies exponential smoothing to the
+// criticality and hysteresis to the recommended adaptation: escalation is
+// immediate once the smoothed value crosses a threshold, de-escalation
+// requires the value to drop a margin below it — the standard pattern for
+// runtime adaptation debouncing.
+#pragma once
+
+#include "sesame/sinadra/risk.hpp"
+
+namespace sesame::sinadra {
+
+struct FilterConfig {
+  /// Smoothing factor in (0, 1]: weight of the newest sample.
+  double alpha = 0.25;
+  /// De-escalation margin: recommendations relax only when the smoothed
+  /// criticality falls this far below the escalation threshold.
+  double hysteresis = 0.08;
+  RiskConfig thresholds;  ///< same thresholds the raw model uses
+};
+
+class RiskFilter {
+ public:
+  explicit RiskFilter(FilterConfig config = {});
+
+  /// Feeds one raw assessment; returns the filtered assessment (smoothed
+  /// criticality, debounced recommendation).
+  RiskAssessment update(const RiskAssessment& raw);
+
+  double smoothed_criticality() const noexcept { return smoothed_; }
+  Adaptation current_recommendation() const noexcept { return current_; }
+
+  /// Number of recommendation changes so far (flap metric).
+  std::size_t transitions() const noexcept { return transitions_; }
+
+  void reset();
+
+ private:
+  FilterConfig config_;
+  double smoothed_ = 0.0;
+  bool primed_ = false;
+  Adaptation current_ = Adaptation::kProceed;
+  std::size_t transitions_ = 0;
+
+  Adaptation recommend(double criticality) const;
+};
+
+}  // namespace sesame::sinadra

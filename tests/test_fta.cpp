@@ -1,0 +1,246 @@
+// Tests for the fault-tree engine: gate algebra, complex basic events,
+// minimal cut sets, and importance measures.
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "sesame/fta/fault_tree.hpp"
+#include "sesame/markov/ctmc.hpp"
+#include "sesame/mathx/rng.hpp"
+
+namespace fta = sesame::fta;
+namespace mk = sesame::markov;
+
+TEST(BasicEvent, ConstantProbability) {
+  auto e = fta::make_basic("e", 0.3);
+  EXPECT_DOUBLE_EQ(e->probability(0.0), 0.3);
+  EXPECT_DOUBLE_EQ(e->probability(100.0), 0.3);
+  EXPECT_THROW(fta::make_basic("bad", 1.5), std::invalid_argument);
+  EXPECT_THROW(fta::make_basic("bad", -0.1), std::invalid_argument);
+}
+
+TEST(ExponentialEvent, MatchesClosedForm) {
+  auto e = fta::make_exponential("e", 0.001);
+  EXPECT_DOUBLE_EQ(e->probability(0.0), 0.0);
+  EXPECT_NEAR(e->probability(1000.0), 1.0 - std::exp(-1.0), 1e-12);
+  EXPECT_THROW(fta::make_exponential("bad", -1.0), std::invalid_argument);
+}
+
+TEST(ComplexEvent, DelegatesToModel) {
+  auto e = fta::make_complex("markov", [](double t) { return t / 100.0; });
+  EXPECT_DOUBLE_EQ(e->probability(50.0), 0.5);
+  EXPECT_THROW(fta::make_complex("null", nullptr), std::invalid_argument);
+}
+
+TEST(ComplexEvent, BackedByCtmc) {
+  mk::CtmcBuilder b;
+  const auto up = b.add_state("up");
+  const auto down = b.add_state("down");
+  b.add_transition(up, down, 0.01);
+  auto chain = std::make_shared<mk::Ctmc>(b.build());
+  auto e = fta::make_complex("battery", [chain](double t) {
+    return chain->probability_in({1.0, 0.0}, t, {1});
+  });
+  EXPECT_NEAR(e->probability(100.0), 1.0 - std::exp(-1.0), 1e-9);
+}
+
+TEST(AndGate, MultipliesProbabilities) {
+  auto g = fta::make_and(
+      "g", {fta::make_basic("a", 0.5), fta::make_basic("b", 0.4)});
+  EXPECT_NEAR(g->probability(0.0), 0.2, 1e-12);
+}
+
+TEST(OrGate, InclusionExclusion) {
+  auto g = fta::make_or(
+      "g", {fta::make_basic("a", 0.5), fta::make_basic("b", 0.4)});
+  EXPECT_NEAR(g->probability(0.0), 0.7, 1e-12);
+}
+
+TEST(Gates, RejectEmptyChildren) {
+  EXPECT_THROW(fta::make_and("g", {}), std::invalid_argument);
+  EXPECT_THROW(fta::make_or("g", {}), std::invalid_argument);
+}
+
+TEST(KofN, TwoOfThreeIdentical) {
+  const double p = 0.1;
+  auto g = fta::make_k_of_n("g", 2,
+                            {fta::make_basic("a", p), fta::make_basic("b", p),
+                             fta::make_basic("c", p)});
+  // P(>=2 of 3) = 3p^2(1-p) + p^3
+  EXPECT_NEAR(g->probability(0.0), 3 * p * p * (1 - p) + p * p * p, 1e-12);
+}
+
+TEST(KofN, NonIdenticalChildren) {
+  auto g = fta::make_k_of_n("g", 2,
+                            {fta::make_basic("a", 0.1), fta::make_basic("b", 0.2),
+                             fta::make_basic("c", 0.3)});
+  // Direct enumeration: ab(1-c) + a(1-b)c + (1-a)bc + abc
+  const double expected = 0.1 * 0.2 * 0.7 + 0.1 * 0.8 * 0.3 + 0.9 * 0.2 * 0.3 +
+                          0.1 * 0.2 * 0.3;
+  EXPECT_NEAR(g->probability(0.0), expected, 1e-12);
+}
+
+TEST(KofN, BoundaryKValues) {
+  auto a = fta::make_basic("a", 0.2);
+  auto b = fta::make_basic("b", 0.5);
+  // k = 1 behaves as OR, k = N behaves as AND.
+  auto or_like = fta::make_k_of_n("or", 1, {a, b});
+  auto and_like = fta::make_k_of_n("and", 2, {a, b});
+  EXPECT_NEAR(or_like->probability(0.0), 1.0 - 0.8 * 0.5, 1e-12);
+  EXPECT_NEAR(and_like->probability(0.0), 0.1, 1e-12);
+  EXPECT_THROW(fta::make_k_of_n("bad", 0, {a, b}), std::invalid_argument);
+  EXPECT_THROW(fta::make_k_of_n("bad", 3, {a, b}), std::invalid_argument);
+}
+
+TEST(FaultTree, BasicEventEnumeration) {
+  auto tree = fta::FaultTree(
+      "t", fta::make_or("top", {fta::make_basic("a", 0.1),
+                                fta::make_and("g", {fta::make_basic("b", 0.1),
+                                                    fta::make_basic("c", 0.1)})}));
+  const auto events = tree.basic_events();
+  EXPECT_EQ(events.size(), 3u);
+  EXPECT_TRUE(events.count("a"));
+  EXPECT_TRUE(events.count("b"));
+  EXPECT_TRUE(events.count("c"));
+}
+
+TEST(FaultTree, MinimalCutSetsOrOfAnd) {
+  auto top = fta::make_or(
+      "top", {fta::make_basic("a", 0.1),
+              fta::make_and("g", {fta::make_basic("b", 0.1),
+                                  fta::make_basic("c", 0.1)})});
+  fta::FaultTree tree("t", top);
+  const auto cuts = tree.minimal_cut_sets();
+  ASSERT_EQ(cuts.size(), 2u);
+  EXPECT_EQ(cuts[0], (fta::CutSet{"a"}));
+  EXPECT_EQ(cuts[1], (fta::CutSet{"b", "c"}));
+}
+
+TEST(FaultTree, AbsorptionRemovesSupersets) {
+  // top = a OR (a AND b) -> only {a} is minimal.
+  auto a = fta::make_basic("a", 0.1);
+  auto top = fta::make_or("top", {a, fta::make_and("g", {a, fta::make_basic("b", 0.1)})});
+  fta::FaultTree tree("t", top);
+  const auto cuts = tree.minimal_cut_sets();
+  ASSERT_EQ(cuts.size(), 1u);
+  EXPECT_EQ(cuts[0], (fta::CutSet{"a"}));
+}
+
+TEST(FaultTree, KofNCutSets) {
+  auto g = fta::make_k_of_n("g", 2,
+                            {fta::make_basic("a", 0.1), fta::make_basic("b", 0.1),
+                             fta::make_basic("c", 0.1)});
+  fta::FaultTree tree("t", g);
+  const auto cuts = tree.minimal_cut_sets();
+  ASSERT_EQ(cuts.size(), 3u);  // {a,b}, {a,c}, {b,c}
+  for (const auto& cs : cuts) EXPECT_EQ(cs.size(), 2u);
+}
+
+TEST(FaultTree, BirnbaumImportance) {
+  // top = a OR b with p_a=0.1, p_b=0.2.
+  auto tree = fta::FaultTree(
+      "t", fta::make_or("top", {fta::make_basic("a", 0.1),
+                                fta::make_basic("b", 0.2)}));
+  // I_B(a) = P(top|a=1) - P(top|a=0) = 1 - 0.2 = 0.8
+  EXPECT_NEAR(tree.birnbaum_importance("a", 0.0), 0.8, 1e-12);
+  EXPECT_NEAR(tree.birnbaum_importance("b", 0.0), 0.9, 1e-12);
+  EXPECT_THROW(tree.birnbaum_importance("zz", 0.0), std::invalid_argument);
+}
+
+TEST(FaultTree, FussellVeselyImportance) {
+  auto tree = fta::FaultTree(
+      "t", fta::make_or("top", {fta::make_basic("a", 0.1),
+                                fta::make_basic("b", 0.2)}));
+  const double p_top = 1.0 - 0.9 * 0.8;
+  EXPECT_NEAR(tree.fussell_vesely_importance("a", 0.0), (p_top - 0.2) / p_top,
+              1e-12);
+  EXPECT_THROW(tree.fussell_vesely_importance("zz", 0.0), std::invalid_argument);
+}
+
+TEST(FaultTree, NullTopThrows) {
+  EXPECT_THROW(fta::FaultTree("t", nullptr), std::invalid_argument);
+}
+
+// Property: gate probabilities stay within [0,1] and OR >= max child,
+// AND <= min child, for random trees.
+TEST(FaultTreeProperty, GateBounds) {
+  sesame::mathx::Rng rng(53);
+  for (int trial = 0; trial < 50; ++trial) {
+    const double pa = rng.uniform();
+    const double pb = rng.uniform();
+    const double pc = rng.uniform();
+    auto a = fta::make_basic("a", pa);
+    auto b = fta::make_basic("b", pb);
+    auto c = fta::make_basic("c", pc);
+    const double por = fta::make_or("or", {a, b, c})->probability(0.0);
+    const double pand = fta::make_and("and", {a, b, c})->probability(0.0);
+    const double pk = fta::make_k_of_n("k", 2, {a, b, c})->probability(0.0);
+    const double lo = std::min({pa, pb, pc});
+    const double hi = std::max({pa, pb, pc});
+    EXPECT_GE(por, hi - 1e-12);
+    EXPECT_LE(pand, lo + 1e-12);
+    EXPECT_GE(pk, pand - 1e-12);
+    EXPECT_LE(pk, por + 1e-12);
+    EXPECT_GE(pk, 0.0);
+    EXPECT_LE(pk, 1.0);
+  }
+}
+
+// Property: k-of-N via DP matches brute-force enumeration.
+TEST(FaultTreeProperty, KofNMatchesEnumeration) {
+  sesame::mathx::Rng rng(59);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::size_t n = 2 + rng.uniform_index(4);  // 2..5 children
+    const std::size_t k = 1 + rng.uniform_index(n);
+    std::vector<double> ps;
+    std::vector<fta::NodePtr> children;
+    for (std::size_t i = 0; i < n; ++i) {
+      ps.push_back(rng.uniform());
+      children.push_back(fta::make_basic("e" + std::to_string(i), ps.back()));
+    }
+    const double got = fta::make_k_of_n("g", k, children)->probability(0.0);
+    double expected = 0.0;
+    for (std::size_t mask = 0; mask < (1u << n); ++mask) {
+      std::size_t bits = 0;
+      double p = 1.0;
+      for (std::size_t i = 0; i < n; ++i) {
+        if (mask & (1u << i)) {
+          p *= ps[i];
+          ++bits;
+        } else {
+          p *= 1.0 - ps[i];
+        }
+      }
+      if (bits >= k) expected += p;
+    }
+    EXPECT_NEAR(got, expected, 1e-10) << "n=" << n << " k=" << k;
+  }
+}
+
+TEST(RankImportance, OrdersByBirnbaumDescending) {
+  // top = a OR b OR c: for an OR gate, Birnbaum importance of e_i is
+  // prod_{j != i}(1 - p_j) — the event whose *peers* are least likely has
+  // the highest Birnbaum importance, so c (peers a=0.1, b=0.3) ranks first.
+  auto tree = fta::FaultTree(
+      "t", fta::make_or("top", {fta::make_basic("a", 0.1),
+                                fta::make_basic("b", 0.3),
+                                fta::make_basic("c", 0.5)}));
+  const auto ranking = fta::rank_importance(tree, 0.0);
+  ASSERT_EQ(ranking.size(), 3u);
+  EXPECT_EQ(ranking[0].event, "c");
+  EXPECT_EQ(ranking[2].event, "a");
+  for (std::size_t i = 1; i < ranking.size(); ++i) {
+    EXPECT_GE(ranking[i - 1].birnbaum, ranking[i].birnbaum);
+  }
+  // FV is also higher for the more likely event here: c again.
+  EXPECT_GT(ranking[0].fussell_vesely, ranking[2].fussell_vesely);
+}
+
+TEST(RankImportance, DeterministicTieBreakByName) {
+  auto tree = fta::FaultTree(
+      "t", fta::make_or("top", {fta::make_basic("z", 0.2),
+                                fta::make_basic("a", 0.2)}));
+  const auto ranking = fta::rank_importance(tree, 0.0);
+  ASSERT_EQ(ranking.size(), 2u);
+  EXPECT_EQ(ranking[0].event, "a");  // equal Birnbaum -> name order
+}

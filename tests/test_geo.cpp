@@ -1,0 +1,204 @@
+// Tests for geodesy and position-fix estimation.
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "sesame/geo/fix.hpp"
+#include "sesame/geo/geodesy.hpp"
+#include "sesame/mathx/rng.hpp"
+
+namespace geo = sesame::geo;
+
+namespace {
+// Nicosia-area origin used across the SAR scenarios.
+const geo::GeoPoint kOrigin{35.1856, 33.3823, 0.0};
+}  // namespace
+
+TEST(Haversine, ZeroForIdenticalPoints) {
+  EXPECT_DOUBLE_EQ(geo::haversine_m(kOrigin, kOrigin), 0.0);
+}
+
+TEST(Haversine, KnownCityPairDistance) {
+  // Paris <-> London great-circle distance is ~343.5 km.
+  geo::GeoPoint paris{48.8566, 2.3522, 0.0};
+  geo::GeoPoint london{51.5074, -0.1278, 0.0};
+  EXPECT_NEAR(geo::haversine_m(paris, london), 343500.0, 1500.0);
+}
+
+TEST(Haversine, Symmetric) {
+  geo::GeoPoint a{35.0, 33.0, 0.0};
+  geo::GeoPoint b{35.01, 33.02, 0.0};
+  EXPECT_DOUBLE_EQ(geo::haversine_m(a, b), geo::haversine_m(b, a));
+}
+
+TEST(SlantRange, IncludesAltitude) {
+  geo::GeoPoint a = kOrigin;
+  geo::GeoPoint b = kOrigin;
+  b.alt_m = 30.0;
+  EXPECT_NEAR(geo::slant_range_m(a, b), 30.0, 1e-9);
+}
+
+TEST(Bearing, CardinalDirections) {
+  geo::GeoPoint north = geo::destination(kOrigin, 0.0, 1000.0);
+  geo::GeoPoint east = geo::destination(kOrigin, 90.0, 1000.0);
+  EXPECT_NEAR(geo::bearing_deg(kOrigin, north), 0.0, 0.1);
+  EXPECT_NEAR(geo::bearing_deg(kOrigin, east), 90.0, 0.1);
+}
+
+TEST(Destination, RoundTripsDistanceAndBearing) {
+  sesame::mathx::Rng rng(5);
+  for (int i = 0; i < 50; ++i) {
+    const double brg = rng.uniform(0.0, 360.0);
+    const double dist = rng.uniform(10.0, 5000.0);
+    const geo::GeoPoint p = geo::destination(kOrigin, brg, dist);
+    EXPECT_NEAR(geo::haversine_m(kOrigin, p), dist, 0.01);
+    EXPECT_NEAR(std::fmod(geo::bearing_deg(kOrigin, p) - brg + 540.0, 360.0) - 180.0,
+                0.0, 0.05);
+  }
+}
+
+TEST(LocalFrame, RoundTripsGeoEnu) {
+  geo::LocalFrame frame(kOrigin);
+  sesame::mathx::Rng rng(9);
+  for (int i = 0; i < 50; ++i) {
+    geo::EnuPoint e{rng.uniform(-2000.0, 2000.0), rng.uniform(-2000.0, 2000.0),
+                    rng.uniform(0.0, 120.0)};
+    const geo::GeoPoint g = frame.to_geo(e);
+    const geo::EnuPoint back = frame.to_enu(g);
+    EXPECT_NEAR(back.east_m, e.east_m, 1e-6);
+    EXPECT_NEAR(back.north_m, e.north_m, 1e-6);
+    EXPECT_NEAR(back.up_m, e.up_m, 1e-9);
+  }
+}
+
+TEST(LocalFrame, EnuDistanceMatchesHaversineLocally) {
+  geo::LocalFrame frame(kOrigin);
+  const geo::GeoPoint p = geo::destination(kOrigin, 45.0, 800.0);
+  const double enu =
+      geo::enu_ground_distance_m(frame.to_enu(kOrigin), frame.to_enu(p));
+  EXPECT_NEAR(enu, 800.0, 0.5);
+}
+
+TEST(FuseRangeBearing, SingleObservationProjectsDirectly) {
+  geo::RangeBearingObservation o;
+  o.observer = kOrigin;
+  o.range_m = 500.0;
+  o.bearing_deg = 90.0;
+  o.range_sigma_m = 2.0;
+  const auto fix = geo::fuse_range_bearing({o});
+  const geo::GeoPoint expected = geo::destination(kOrigin, 90.0, 500.0);
+  EXPECT_NEAR(geo::haversine_m(fix.position, expected), 0.0, 0.01);
+  EXPECT_DOUBLE_EQ(fix.rms_residual_m, 0.0);
+}
+
+TEST(FuseRangeBearing, WeightsBySigma) {
+  // Two observers disagree; the tighter sigma should dominate.
+  const geo::GeoPoint target = geo::destination(kOrigin, 0.0, 1000.0);
+  geo::RangeBearingObservation good;
+  good.observer = kOrigin;
+  good.range_m = 1000.0;
+  good.bearing_deg = 0.0;
+  good.range_sigma_m = 1.0;
+  geo::RangeBearingObservation bad;
+  bad.observer = kOrigin;
+  bad.range_m = 1200.0;  // 200 m error
+  bad.bearing_deg = 0.0;
+  bad.range_sigma_m = 10.0;
+  const auto fix = geo::fuse_range_bearing({good, bad});
+  // Inverse-variance weight ratio 100:1 -> fused error ~2 m.
+  EXPECT_LT(geo::haversine_m(fix.position, target), 5.0);
+}
+
+TEST(FuseRangeBearing, EmptyThrows) {
+  EXPECT_THROW(geo::fuse_range_bearing({}), std::invalid_argument);
+}
+
+TEST(FuseRangeBearing, NonPositiveSigmaThrows) {
+  geo::RangeBearingObservation o;
+  o.observer = kOrigin;
+  o.range_sigma_m = 0.0;
+  EXPECT_THROW(geo::fuse_range_bearing({o}), std::invalid_argument);
+}
+
+TEST(Trilaterate, ExactRangesRecoverTarget) {
+  const geo::GeoPoint target = geo::destination(kOrigin, 30.0, 700.0);
+  std::vector<geo::RangeObservation> obs;
+  for (double brg : {0.0, 120.0, 240.0}) {
+    geo::RangeObservation o;
+    o.observer = geo::destination(kOrigin, brg, 900.0);
+    o.range_m = geo::haversine_m(o.observer, target);
+    o.range_sigma_m = 1.0;
+    obs.push_back(o);
+  }
+  const auto fix = geo::trilaterate(obs);
+  ASSERT_TRUE(fix.has_value());
+  EXPECT_TRUE(fix->converged);
+  // Sub-decimetre: residual error is the tangent-plane vs great-circle
+  // projection mismatch at ~1 km ranges, not solver error.
+  EXPECT_LT(geo::haversine_m(fix->position, target), 0.2);
+  EXPECT_LT(fix->rms_residual_m, 0.2);
+}
+
+TEST(Trilaterate, NoisyRangesStayAccurate) {
+  sesame::mathx::Rng rng(21);
+  const geo::GeoPoint target = geo::destination(kOrigin, 200.0, 400.0);
+  std::vector<geo::RangeObservation> obs;
+  for (double brg : {10.0, 100.0, 190.0, 280.0}) {
+    geo::RangeObservation o;
+    o.observer = geo::destination(kOrigin, brg, 800.0);
+    o.range_m = geo::haversine_m(o.observer, target) + rng.normal(0.0, 2.0);
+    o.range_sigma_m = 2.0;
+    obs.push_back(o);
+  }
+  const auto fix = geo::trilaterate(obs);
+  ASSERT_TRUE(fix.has_value());
+  EXPECT_LT(geo::haversine_m(fix->position, target), 10.0);
+}
+
+TEST(Trilaterate, TooFewObservationsRejected) {
+  geo::RangeObservation o;
+  o.observer = kOrigin;
+  o.range_m = 10.0;
+  EXPECT_FALSE(geo::trilaterate({o, o}).has_value());
+}
+
+TEST(Trilaterate, RejectsNonPositiveSigma) {
+  std::vector<geo::RangeObservation> obs(3);
+  for (auto& o : obs) {
+    o.observer = kOrigin;
+    o.range_m = 100.0;
+    o.range_sigma_m = -1.0;
+  }
+  EXPECT_FALSE(geo::trilaterate(obs).has_value());
+}
+
+TEST(Destination, HighLatitudeRoundTrip) {
+  const geo::GeoPoint arctic{80.0, 10.0, 0.0};
+  sesame::mathx::Rng rng(61);
+  for (int i = 0; i < 30; ++i) {
+    const double brg = rng.uniform(0.0, 360.0);
+    const double dist = rng.uniform(10.0, 3000.0);
+    const geo::GeoPoint p = geo::destination(arctic, brg, dist);
+    EXPECT_NEAR(geo::haversine_m(arctic, p), dist, 0.05);
+  }
+}
+
+TEST(Destination, AntimeridianLongitudeNormalized) {
+  const geo::GeoPoint near_dateline{10.0, 179.999, 0.0};
+  const geo::GeoPoint east = geo::destination(near_dateline, 90.0, 5000.0);
+  EXPECT_GE(east.lon_deg, -180.0);
+  EXPECT_LT(east.lon_deg, 180.0);
+  EXPECT_LT(east.lon_deg, 0.0);  // wrapped to the western hemisphere
+}
+
+TEST(Bearing, WrapsIntoZeroTo360) {
+  const geo::GeoPoint origin{35.0, 33.0, 0.0};
+  sesame::mathx::Rng rng(67);
+  for (int i = 0; i < 50; ++i) {
+    const geo::GeoPoint p =
+        geo::destination(origin, rng.uniform(0.0, 360.0), 500.0);
+    const double b = geo::bearing_deg(origin, p);
+    EXPECT_GE(b, 0.0);
+    EXPECT_LT(b, 360.0);
+  }
+}

@@ -1,0 +1,384 @@
+// Cross-module integration tests: full pipelines spanning the simulator,
+// middleware, EDDI monitors, ConSert network, and platform — the paths the
+// paper's three evaluation scenarios exercise end-to-end.
+#include <gtest/gtest.h>
+
+#include "sesame/eddi/uav_eddi.hpp"
+#include "sesame/localization/collaborative.hpp"
+#include "sesame/platform/mission_runner.hpp"
+#include "sesame/security/attack_tree.hpp"
+#include "sesame/security/ids.hpp"
+#include "sesame/security/security_eddi.hpp"
+
+namespace {
+
+using namespace sesame;
+
+const geo::GeoPoint kOrigin{35.1856, 33.3823, 0.0};
+
+// ---------------------------------------------------------------------------
+// Scenario: Fig. 6 + Fig. 7 pipeline — injection, detection, mitigation,
+// GPS-free landing — wired exactly as the benches do it.
+// ---------------------------------------------------------------------------
+
+TEST(SpoofingPipeline, DetectionThenCollaborativeLanding) {
+  sim::World world(kOrigin, 77);
+  for (const char* name : {"victim", "assist1", "assist2"}) {
+    sim::UavConfig cfg;
+    cfg.name = name;
+    world.add_uav(cfg, kOrigin);
+  }
+  sim::Uav& victim = world.uav_by_name("victim");
+  victim.add_waypoint({0.0, 500.0, 30.0});
+  world.uav_by_name("assist1").add_waypoint({40.0, 60.0, 30.0});
+  world.uav_by_name("assist2").add_waypoint({-40.0, 60.0, 30.0});
+  for (std::size_t i = 0; i < world.num_uavs(); ++i) {
+    world.uav(i).command_takeoff();
+  }
+
+  security::IntrusionDetectionSystem ids(world.bus());
+  ids.authorize(sim::position_fix_topic("victim"), "collaborative_localization");
+  security::SecurityEddi eddi(world.bus(),
+                              security::make_spoofing_attack_tree());
+  double detection_time = -1.0;
+  eddi.on_event([&](const security::SecurityEvent& ev) {
+    if (detection_time < 0.0) detection_time = ev.time_s;
+  });
+
+  // Phase 1: attack at t=30, detection expected on the first bogus message.
+  double offset = 0.0;
+  for (int t = 0; t < 60; ++t) {
+    world.step(1.0);
+    if (t >= 30) {
+      offset += 2.0;
+      world.bus().publish(sim::position_fix_topic("victim"),
+                          geo::destination(victim.true_geo(), 90.0, offset),
+                          "attacker", world.time_s());
+    }
+  }
+  ASSERT_TRUE(eddi.attack_detected());
+  EXPECT_NEAR(detection_time, 31.0, 1.5);
+  // The falsified fixes really steered the vehicle (Fig. 6 deviation).
+  EXPECT_LT(victim.true_position().east_m, -10.0);
+
+  // Phase 2: mitigation — GPS distrusted, CL guides to the pad (Fig. 7).
+  victim.gps().set_disabled(true);
+  localization::ObservationModel model;
+  model.detection_range_m = 700.0;
+  model.detection_probability = 1.0;
+  localization::CollaborativeLocalizer cl(world, "victim",
+                                          {"assist1", "assist2"}, model);
+  localization::SafeLandingGuide guide(world, cl, {10.0, 10.0, 30.0});
+  for (int t = 0; t < 400 && !guide.landed(); ++t) {
+    world.step(1.0);
+    guide.step();
+  }
+  ASSERT_TRUE(guide.landed());
+  EXPECT_LT(guide.true_distance_to_target_m(), 8.0);
+  EXPECT_FALSE(victim.gps().read(victim.true_geo(), 1.0).has_value());
+}
+
+// ---------------------------------------------------------------------------
+// Scenario: EDDI evidence feeds the ConSert network and the action follows
+// the degradation sequence high-reliability -> medium -> abort.
+// ---------------------------------------------------------------------------
+
+TEST(EddiConsertPipeline, ReliabilityDegradationWalksActionLattice) {
+  mathx::Rng rng(55);
+  std::vector<std::vector<double>> reference(3);
+  for (int i = 0; i < 200; ++i) {
+    reference[0].push_back(rng.normal(1.0, 0.1));
+    reference[1].push_back(rng.normal(0.8, 0.05));
+    reference[2].push_back(rng.normal(25.0, 2.0));
+  }
+  eddi::UavEddiConfig cfg;
+  cfg.safeml.window = 8;
+  cfg.reliability.medium_threshold = 0.3;
+  cfg.reliability.low_threshold = 0.88;
+  cfg.reliability.abort_threshold = 0.90;
+  eddi::UavEddi uav_eddi("u", cfg, reference);
+
+  conserts::ConSertNetwork net;
+  conserts::add_uav_conserts(net, "u");
+
+  auto evaluate = [&] {
+    conserts::EvaluationContext ctx;
+    conserts::apply_evidence(ctx, "u", uav_eddi.consert_evidence());
+    return conserts::uav_action(net.evaluate(ctx), "u");
+  };
+
+  eddi::EddiInputs in;
+  in.dt_s = 5.0;
+  in.telemetry.battery_soc = 0.95;
+  in.telemetry.battery_temp_c = 30.0;
+  in.frame_features = {rng.normal(1.0, 0.1), rng.normal(0.8, 0.05),
+                       rng.normal(25.0, 2.0)};
+  in.comm_link_good = true;
+  in.nearby_uav_available = true;
+  in.vision_sensor_healthy = true;
+  in.altitude_band = sinadra::AltitudeBand::kLow;
+
+  // Healthy: continue with capacity to take over.
+  for (int i = 0; i < 10; ++i) {
+    in.frame_features = {rng.normal(1.0, 0.1), rng.normal(0.8, 0.05),
+                         rng.normal(25.0, 2.0)};
+    uav_eddi.tick(in);
+  }
+  EXPECT_EQ(evaluate(), conserts::UavAction::kContinueExtended);
+
+  // Battery fault: cumulative probability climbs through the lattice.
+  in.telemetry.battery_soc = 0.40;
+  in.telemetry.battery_temp_c = 70.0;
+  bool saw_continue = false, saw_abortish = false;
+  for (int i = 0; i < 120; ++i) {
+    in.frame_features = {rng.normal(1.0, 0.1), rng.normal(0.8, 0.05),
+                         rng.normal(25.0, 2.0)};
+    uav_eddi.tick(in);
+    const auto action = evaluate();
+    const auto& rel = uav_eddi.assessment().reliability;
+    if (rel.level == safedrones::ReliabilityLevel::kMedium &&
+        action == conserts::UavAction::kContinue) {
+      saw_continue = true;
+    }
+    if (rel.abort_recommended) {
+      saw_abortish = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(saw_continue);  // medium reliability still continues (Fig. 5)
+  EXPECT_TRUE(saw_abortish);  // and the 0.9 threshold eventually fires
+}
+
+// ---------------------------------------------------------------------------
+// Scenario: platform managers observing a live mission over the bus.
+// ---------------------------------------------------------------------------
+
+TEST(PlatformPipeline, DatabaseTracksMissionTelemetry) {
+  platform::RunnerConfig cfg;
+  cfg.n_uavs = 2;
+  cfg.area = {0.0, 100.0, 0.0, 100.0};
+  cfg.n_persons = 2;
+  cfg.max_time_s = 600.0;
+  platform::MissionRunner runner(cfg);
+
+  // Attach an external observer database before running.
+  platform::DatabaseManager db(runner.world().bus());
+  db.allow_client("gcs");
+  for (const auto& name : runner.uav_names()) db.attach_uav(name);
+
+  const auto result = runner.run();
+  ASSERT_TRUE(result.mission_complete_time_s.has_value());
+
+  for (const auto& name : runner.uav_names()) {
+    const auto latest = db.latest("gcs", name);
+    ASSERT_TRUE(latest.has_value()) << name;
+    EXPECT_NEAR(latest->time_s, result.total_time_s, 1e-9);
+    const auto history = db.history("gcs", name);
+    EXPECT_GT(history.size(), 50u);
+    // Battery is monotone non-increasing while airborne (no swaps here).
+    for (std::size_t i = 1; i < history.size(); ++i) {
+      EXPECT_LE(history[i].battery_soc, history[i - 1].battery_soc + 1e-9);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Scenario: EDDI ODE export round-trips with the attached security model.
+// ---------------------------------------------------------------------------
+
+TEST(OdePipeline, FullEddiExportRoundTrips) {
+  mathx::Rng rng(66);
+  std::vector<std::vector<double>> reference(2);
+  for (int i = 0; i < 50; ++i) {
+    reference[0].push_back(rng.normal(0.0, 1.0));
+    reference[1].push_back(rng.normal(5.0, 1.0));
+  }
+  mw::Bus bus;
+  auto security = std::make_shared<security::SecurityEddi>(
+      bus, security::make_spoofing_attack_tree());
+  eddi::UavEddi e("uav1", {}, reference);
+  e.attach_security(security);
+
+  auto model = std::make_shared<deepknowledge::Mlp>(
+      std::vector<std::size_t>{4, 6, 1}, rng);
+  std::vector<std::vector<double>> train;
+  for (int i = 0; i < 40; ++i) {
+    train.push_back({rng.normal(), rng.normal(), rng.normal(), rng.normal()});
+  }
+  auto analyzer =
+      std::make_shared<deepknowledge::Analyzer>(*model, train, train);
+  e.attach_deepknowledge(model, analyzer, 8);
+
+  const auto doc = e.to_ode();
+  const auto& models = doc.at("models").as_array();
+  EXPECT_EQ(models.size(), 5u);  // SafeDrones, SafeML, DK, SINADRA, Security
+  const auto parsed = eddi::ode::parse_json(doc.to_json());
+  EXPECT_EQ(parsed.to_json(), doc.to_json());
+  // Technology names present.
+  std::set<std::string> technologies;
+  for (const auto& m : models) {
+    technologies.insert(m.at("technology").as_string());
+  }
+  EXPECT_TRUE(technologies.count("SafeDrones"));
+  EXPECT_TRUE(technologies.count("SecurityEDDI"));
+}
+
+// ---------------------------------------------------------------------------
+// Scenario: altitude change propagates through perception features into
+// SafeML confidence and the ConSert vision guarantee.
+// ---------------------------------------------------------------------------
+
+TEST(PerceptionPipeline, AltitudeShiftFlipsVisionGuarantee) {
+  mathx::Rng rng(88);
+  perception::PersonDetector detector{perception::DetectorConfig{}};
+  std::vector<std::vector<double>> reference(
+      perception::FrameFeatures::kNumFeatures);
+  for (int i = 0; i < 300; ++i) {
+    const auto v = detector.frame_features(18.0, rng).as_vector();
+    for (std::size_t k = 0; k < v.size(); ++k) reference[k].push_back(v[k]);
+  }
+  eddi::UavEddiConfig cfg;
+  cfg.safeml.window = 16;
+  eddi::UavEddi e("u", cfg, reference);
+
+  conserts::ConSertNetwork net;
+  conserts::add_uav_conserts(net, "u");
+  auto vision_granted = [&] {
+    conserts::EvaluationContext ctx;
+    conserts::apply_evidence(ctx, "u", e.consert_evidence());
+    const auto eval = net.evaluate(ctx);
+    return eval.grants.count(
+               {conserts::uav_consert_names("u").vision_localization,
+                conserts::guarantees::kVisionAvailable}) > 0;
+  };
+
+  eddi::EddiInputs in;
+  in.vision_sensor_healthy = true;
+  in.gps_fix_available = false;  // vision is the only candidate channel
+  for (int i = 0; i < 20; ++i) {
+    in.frame_features = detector.frame_features(18.0, rng).as_vector();
+    e.tick(in);
+  }
+  EXPECT_TRUE(vision_granted());
+
+  // Climb: features shift, SafeML confidence collapses, guarantee drops.
+  for (int i = 0; i < 20; ++i) {
+    in.frame_features = detector.frame_features(75.0, rng).as_vector();
+    e.tick(in);
+  }
+  EXPECT_FALSE(vision_granted());
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// System-level determinism: two identical runs produce identical results.
+// ---------------------------------------------------------------------------
+
+TEST(Determinism, FullScenarioBitReproducible) {
+  auto run_once = [] {
+    platform::RunnerConfig cfg;
+    cfg.n_uavs = 2;
+    cfg.area = {0.0, 120.0, 0.0, 120.0};
+    cfg.n_persons = 4;
+    cfg.max_time_s = 400.0;
+    cfg.battery_fault = platform::BatteryFaultEvent{"uav1", 50.0, 0.40, 70.0};
+    cfg.seed = 4242;
+    platform::MissionRunner runner(cfg);
+    return runner.run();
+  };
+  const auto a = run_once();
+  const auto b = run_once();
+  ASSERT_EQ(a.series.size(), b.series.size());
+  for (const auto& [name, series_a] : a.series) {
+    const auto& series_b = b.series.at(name);
+    ASSERT_EQ(series_a.size(), series_b.size()) << name;
+    for (std::size_t i = 0; i < series_a.size(); ++i) {
+      EXPECT_EQ(series_a[i].p_fail, series_b[i].p_fail);
+      EXPECT_EQ(series_a[i].soc, series_b[i].soc);
+      EXPECT_EQ(series_a[i].mode, series_b[i].mode);
+      EXPECT_EQ(series_a[i].sar_uncertainty, series_b[i].sar_uncertainty);
+    }
+  }
+  EXPECT_EQ(a.mission_complete_time_s, b.mission_complete_time_s);
+  EXPECT_EQ(a.availability, b.availability);
+  EXPECT_EQ(a.detection.persons_found, b.detection.persons_found);
+  EXPECT_EQ(a.assurance_trace.size(), b.assurance_trace.size());
+}
+
+// ---------------------------------------------------------------------------
+// Jamming end-to-end: watchdog -> jamming attack tree -> ConSert fallback.
+// ---------------------------------------------------------------------------
+
+#include "sesame/platform/gps_watchdog.hpp"
+
+TEST(JammingPipeline, WatchdogTreeAndConsertFallback) {
+  sim::World world(kOrigin, 33);
+  for (const char* name : {"victim", "buddy"}) {
+    sim::UavConfig cfg;
+    cfg.name = name;
+    world.add_uav(cfg, kOrigin);
+  }
+  sim::Uav& victim = world.uav_by_name("victim");
+  victim.add_waypoint({0.0, 200.0, 30.0});
+  world.uav_by_name("buddy").add_waypoint({30.0, 30.0, 30.0});
+  for (std::size_t i = 0; i < world.num_uavs(); ++i) {
+    world.uav(i).command_takeoff();
+  }
+
+  platform::GpsWatchdog watchdog(world.bus());
+  watchdog.watch_uav("victim");
+  security::SecurityEddi jam_eddi(world.bus(),
+                                  security::make_jamming_attack_tree());
+
+  world.run(15, 1.0);
+  ASSERT_FALSE(jam_eddi.attack_detected());
+
+  // Jamming starts.
+  victim.gps().set_signal_lost(true);
+  world.run(5, 1.0);
+  ASSERT_TRUE(jam_eddi.attack_detected());
+
+  // The ConSert fallback: no GPS evidence, but the buddy enables the
+  // communication-localization guarantee -> the vehicle can continue.
+  conserts::ConSertNetwork net;
+  conserts::add_uav_conserts(net, "victim");
+  conserts::UavEvidence e;
+  e.gps_quality_good = false;  // no fix
+  e.no_security_attack = true; // jamming is availability, not integrity
+  e.comm_link_good = true;
+  e.nearby_uav_available = true;
+  e.vision_sensor_healthy = true;
+  e.reliability_high = true;
+  conserts::EvaluationContext ctx;
+  conserts::apply_evidence(ctx, "victim", e);
+  EXPECT_EQ(conserts::uav_action(net.evaluate(ctx), "victim"),
+            conserts::UavAction::kContinue);
+
+  // And the mitigation text points at collaborative localization.
+  ASSERT_FALSE(jam_eddi.tree().mitigations().empty());
+  EXPECT_NE(jam_eddi.tree().mitigations()[0].find("collaborative"),
+            std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Motor failure mid-mission flows through telemetry into SafeDrones.
+// ---------------------------------------------------------------------------
+
+TEST(MotorFailurePipeline, DegradedPropulsionRaisesRiskButMissionFinishes) {
+  platform::RunnerConfig cfg;
+  cfg.n_uavs = 2;
+  cfg.area = {0.0, 120.0, 0.0, 120.0};
+  cfg.n_persons = 2;
+  cfg.max_time_s = 600.0;
+  // Make propulsion risk visible at mission scale.
+  cfg.eddi.reliability.propulsion.motor_failure_rate = 2e-4;
+  platform::MissionRunner runner(cfg);
+  runner.world().uav_by_name("uav1").fail_motor();  // tolerated loss
+  const auto result = runner.run();
+  ASSERT_TRUE(result.mission_complete_time_s.has_value());
+  // The degraded UAV's propulsion term dominates its healthy peer's.
+  const auto& hurt = runner.uav_eddi("uav1").assessment();
+  const auto& fine = runner.uav_eddi("uav2").assessment();
+  EXPECT_GT(hurt.reliability.p_propulsion, fine.reliability.p_propulsion);
+}

@@ -1,0 +1,230 @@
+// Tests for Collaborative Localization: observation geometry, fix fusion
+// accuracy, bus publication, and the GPS-free safe-landing guidance.
+#include <gtest/gtest.h>
+
+#include "sesame/localization/collaborative.hpp"
+
+namespace loc = sesame::localization;
+namespace sim = sesame::sim;
+namespace geo = sesame::geo;
+
+namespace {
+
+const geo::GeoPoint kOrigin{35.1856, 33.3823, 0.0};
+
+sim::UavConfig quiet_uav(const std::string& name) {
+  sim::UavConfig cfg;
+  cfg.name = name;
+  cfg.gps.noise_sigma_m = 0.2;
+  return cfg;
+}
+
+/// World with an affected UAV at altitude and two nearby assistants.
+struct Fleet {
+  sim::World world{kOrigin, 11};
+
+  Fleet() {
+    world.add_uav(quiet_uav("affected"), kOrigin);
+    world.add_uav(quiet_uav("helper1"),
+                  world.frame().to_geo({40.0, 0.0, 0.0}));
+    world.add_uav(quiet_uav("helper2"),
+                  world.frame().to_geo({0.0, 40.0, 0.0}));
+    for (std::size_t i = 0; i < world.num_uavs(); ++i) {
+      world.uav(i).command_takeoff();
+    }
+    world.run(20, 1.0);  // everyone at mission altitude
+  }
+};
+
+}  // namespace
+
+TEST(CollaborativeLocalizer, ValidatesConstruction) {
+  Fleet f;
+  EXPECT_THROW(loc::CollaborativeLocalizer(f.world, "affected", {}),
+               std::invalid_argument);
+  EXPECT_THROW(loc::CollaborativeLocalizer(f.world, "affected", {"affected"}),
+               std::invalid_argument);
+  EXPECT_THROW(loc::CollaborativeLocalizer(f.world, "ghost", {"helper1"}),
+               std::out_of_range);
+  loc::ObservationModel bad;
+  bad.detection_range_m = -1.0;
+  EXPECT_THROW(loc::CollaborativeLocalizer(f.world, "affected", {"helper1"}, bad),
+               std::invalid_argument);
+}
+
+TEST(CollaborativeLocalizer, FixAccurateWithTwoAssistants) {
+  Fleet f;
+  loc::ObservationModel model;
+  model.detection_probability = 1.0;
+  loc::CollaborativeLocalizer cl(f.world, "affected", {"helper1", "helper2"},
+                                 model);
+  double worst = 0.0;
+  for (int i = 0; i < 20; ++i) {
+    const auto fix = cl.update();
+    ASSERT_TRUE(fix.has_value());
+    EXPECT_EQ(fix->observations_used, 2u);
+    worst = std::max(worst, fix->true_error_m);
+  }
+  // Monocular-depth noise at ~50 m range: metre-level fixes expected.
+  EXPECT_LT(worst, 10.0);
+  EXPECT_EQ(cl.fixes_published(), 20u);
+}
+
+TEST(CollaborativeLocalizer, NoFixWhenOutOfRange) {
+  Fleet f;
+  loc::ObservationModel model;
+  model.detection_range_m = 10.0;  // assistants are ~40+ m away
+  loc::CollaborativeLocalizer cl(f.world, "affected", {"helper1", "helper2"},
+                                 model);
+  EXPECT_FALSE(cl.update().has_value());
+  EXPECT_EQ(cl.fixes_published(), 0u);
+  ASSERT_EQ(cl.last_attempts().size(), 2u);
+  EXPECT_FALSE(cl.last_attempts()[0].detected);
+  EXPECT_GT(cl.last_attempts()[0].true_range_m, 10.0);
+}
+
+TEST(CollaborativeLocalizer, FixCorrectsGpsLessEstimate) {
+  Fleet f;
+  sim::Uav& affected = f.world.uav_by_name("affected");
+  affected.gps().set_disabled(true);
+  // Drift the estimate: dead-reckon through wind.
+  f.world.wind().east_mps = 1.5;
+  affected.add_waypoint({0.0, 120.0, 30.0});
+  affected.command_resume_mission();
+  f.world.run(25, 1.0);
+  ASSERT_GT(affected.estimation_error_m(), 15.0);
+
+  loc::ObservationModel model;
+  model.detection_probability = 1.0;
+  model.detection_range_m = 400.0;
+  loc::CollaborativeLocalizer cl(f.world, "affected", {"helper1", "helper2"},
+                                 model);
+  const auto fix = cl.update();
+  ASSERT_TRUE(fix.has_value());
+  // The published fix reached the UAV through the bus and pulled the
+  // estimate near the truth.
+  EXPECT_LT(affected.estimation_error_m(), 10.0);
+}
+
+TEST(CollaborativeLocalizer, MoreAssistantsTighterFix) {
+  loc::ObservationModel model;
+  model.detection_probability = 1.0;
+  model.detection_range_m = 500.0;
+  model.range_noise_frac = 0.06;
+
+  auto mean_error = [&](std::size_t n_helpers) {
+    sim::World world(kOrigin, 23);
+    world.add_uav(quiet_uav("affected"), kOrigin);
+    std::vector<std::string> helpers;
+    for (std::size_t i = 0; i < n_helpers; ++i) {
+      const std::string name = "h" + std::to_string(i);
+      const double angle = 360.0 * static_cast<double>(i) /
+                           static_cast<double>(n_helpers);
+      world.add_uav(quiet_uav(name),
+                    geo::destination(kOrigin, angle, 60.0));
+      helpers.push_back(name);
+    }
+    for (std::size_t i = 0; i < world.num_uavs(); ++i) {
+      world.uav(i).command_takeoff();
+    }
+    world.run(15, 1.0);
+    loc::CollaborativeLocalizer cl(world, "affected", helpers, model);
+    double total = 0.0;
+    const int rounds = 60;
+    for (int r = 0; r < rounds; ++r) total += cl.update()->true_error_m;
+    return total / rounds;
+  };
+
+  EXPECT_LT(mean_error(3), mean_error(1));
+}
+
+TEST(SafeLandingGuide, LandsGpsLessUavAtSafePoint) {
+  Fleet f;
+  sim::Uav& affected = f.world.uav_by_name("affected");
+  affected.gps().set_disabled(true);  // the paper's no-GPS condition
+
+  loc::ObservationModel model;
+  model.detection_probability = 1.0;
+  model.detection_range_m = 600.0;
+  loc::CollaborativeLocalizer cl(f.world, "affected", {"helper1", "helper2"},
+                                 model);
+  const geo::EnuPoint safe_point{60.0, 60.0, 30.0};
+  loc::SafeLandingGuide guide(f.world, cl, safe_point);
+
+  for (int i = 0; i < 300 && !guide.landed(); ++i) {
+    f.world.step(1.0);
+    guide.step();
+  }
+  ASSERT_TRUE(guide.landed());
+  // High-precision landing (paper Fig. 7): within metres of the pad.
+  EXPECT_LT(guide.true_distance_to_target_m(), 8.0);
+}
+
+TEST(SafeLandingGuide, ValidatesCaptureRadius) {
+  Fleet f;
+  loc::CollaborativeLocalizer cl(f.world, "affected", {"helper1"});
+  EXPECT_THROW(loc::SafeLandingGuide(f.world, cl, {0.0, 0.0, 0.0}, 0.0),
+               std::invalid_argument);
+}
+
+TEST(SafeLandingGuide, StepReturnsFalseOnceLanded) {
+  Fleet f;
+  sim::Uav& affected = f.world.uav_by_name("affected");
+  loc::ObservationModel model;
+  model.detection_probability = 1.0;
+  model.detection_range_m = 600.0;
+  loc::CollaborativeLocalizer cl(f.world, "affected", {"helper1", "helper2"},
+                                 model);
+  loc::SafeLandingGuide guide(f.world, cl,
+                              affected.true_position());  // land right here
+  for (int i = 0; i < 200 && !guide.landed(); ++i) {
+    f.world.step(1.0);
+    guide.step();
+  }
+  ASSERT_TRUE(guide.landed());
+  EXPECT_FALSE(guide.step());
+}
+
+TEST(CollaborativeLocalizer, RangeOnlyTrilaterationWithThreeAssistants) {
+  sim::World world(kOrigin, 51);
+  world.add_uav(quiet_uav("affected"), kOrigin);
+  std::vector<std::string> helpers;
+  for (int i = 0; i < 3; ++i) {
+    const std::string name = "h" + std::to_string(i);
+    world.add_uav(quiet_uav(name),
+                  geo::destination(kOrigin, 120.0 * i, 60.0));
+    helpers.push_back(name);
+  }
+  for (std::size_t i = 0; i < world.num_uavs(); ++i) {
+    world.uav(i).command_takeoff();
+  }
+  world.run(15, 1.0);
+
+  loc::ObservationModel model;
+  model.method = loc::FixMethod::kRangeOnly;
+  model.detection_probability = 1.0;
+  model.detection_range_m = 400.0;
+  model.range_noise_frac = 0.02;
+  loc::CollaborativeLocalizer cl(world, "affected", helpers, model);
+  double total = 0.0;
+  const int rounds = 40;
+  for (int r = 0; r < rounds; ++r) {
+    const auto fix = cl.update();
+    ASSERT_TRUE(fix.has_value());
+    EXPECT_EQ(fix->observations_used, 3u);
+    total += fix->true_error_m;
+  }
+  EXPECT_LT(total / rounds, 5.0);
+}
+
+TEST(CollaborativeLocalizer, RangeOnlyFailsWithTwoAssistants) {
+  Fleet f;  // only two helpers
+  loc::ObservationModel model;
+  model.method = loc::FixMethod::kRangeOnly;
+  model.detection_probability = 1.0;
+  model.detection_range_m = 400.0;
+  loc::CollaborativeLocalizer cl(f.world, "affected", {"helper1", "helper2"},
+                                 model);
+  EXPECT_FALSE(cl.update().has_value());
+  EXPECT_EQ(cl.fixes_published(), 0u);
+}

@@ -1,0 +1,277 @@
+// Tests for the pub/sub middleware: delivery, typing, taps, journal,
+// subscription lifetimes, and the deliberate injectability property the
+// spoofing scenario relies on.
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "sesame/mw/bus.hpp"
+
+namespace mw = sesame::mw;
+
+namespace {
+
+struct Telemetry {
+  int uav_id = 0;
+  double lat = 0.0;
+  double lon = 0.0;
+};
+
+}  // namespace
+
+TEST(Bus, DeliversToSubscriber) {
+  mw::Bus bus;
+  std::vector<int> received;
+  auto sub = bus.subscribe<int>(
+      "counter", [&](const mw::MessageHeader&, const int& v) {
+        received.push_back(v);
+      });
+  bus.publish("counter", 1, "node_a", 0.0);
+  bus.publish("counter", 2, "node_a", 0.1);
+  ASSERT_EQ(received.size(), 2u);
+  EXPECT_EQ(received[0], 1);
+  EXPECT_EQ(received[1], 2);
+}
+
+TEST(Bus, HeaderCarriesMetadata) {
+  mw::Bus bus;
+  mw::MessageHeader seen;
+  auto sub = bus.subscribe<int>(
+      "t", [&](const mw::MessageHeader& h, const int&) { seen = h; });
+  bus.publish("t", 7, "uav_1", 12.5);
+  EXPECT_EQ(seen.source, "uav_1");
+  EXPECT_EQ(seen.topic, "t");
+  EXPECT_DOUBLE_EQ(seen.time_s, 12.5);
+}
+
+TEST(Bus, SequenceNumbersMonotone) {
+  mw::Bus bus;
+  std::vector<std::uint64_t> seqs;
+  auto sub = bus.subscribe<int>(
+      "t", [&](const mw::MessageHeader& h, const int&) { seqs.push_back(h.seq); });
+  bus.publish("t", 0, "a", 0.0);
+  bus.publish("other", 0, "a", 0.0);  // consumes a sequence number too
+  bus.publish("t", 0, "a", 0.0);
+  ASSERT_EQ(seqs.size(), 2u);
+  EXPECT_LT(seqs[0], seqs[1]);
+}
+
+TEST(Bus, TopicsAreIsolated) {
+  mw::Bus bus;
+  int count_a = 0, count_b = 0;
+  auto sa = bus.subscribe<int>("a", [&](const mw::MessageHeader&, const int&) {
+    ++count_a;
+  });
+  auto sb = bus.subscribe<int>("b", [&](const mw::MessageHeader&, const int&) {
+    ++count_b;
+  });
+  bus.publish("a", 1, "n", 0.0);
+  EXPECT_EQ(count_a, 1);
+  EXPECT_EQ(count_b, 0);
+}
+
+TEST(Bus, MultipleSubscribersInOrder) {
+  mw::Bus bus;
+  std::vector<std::string> order;
+  auto s1 = bus.subscribe<int>("t", [&](const mw::MessageHeader&, const int&) {
+    order.push_back("first");
+  });
+  auto s2 = bus.subscribe<int>("t", [&](const mw::MessageHeader&, const int&) {
+    order.push_back("second");
+  });
+  bus.publish("t", 0, "n", 0.0);
+  ASSERT_EQ(order.size(), 2u);
+  EXPECT_EQ(order[0], "first");
+  EXPECT_EQ(order[1], "second");
+}
+
+TEST(Bus, StructPayloadsCopiedFaithfully) {
+  mw::Bus bus;
+  Telemetry seen;
+  auto sub = bus.subscribe<Telemetry>(
+      "telemetry", [&](const mw::MessageHeader&, const Telemetry& t) { seen = t; });
+  bus.publish("telemetry", Telemetry{3, 35.1, 33.4}, "uav_3", 1.0);
+  EXPECT_EQ(seen.uav_id, 3);
+  EXPECT_DOUBLE_EQ(seen.lat, 35.1);
+}
+
+TEST(Bus, TypeMismatchThrows) {
+  mw::Bus bus;
+  auto sub = bus.subscribe<int>("t", [](const mw::MessageHeader&, const int&) {});
+  EXPECT_THROW(bus.publish("t", 1.5, "n", 0.0), std::runtime_error);
+}
+
+TEST(Bus, UnsubscribeOnTokenDestruction) {
+  mw::Bus bus;
+  int count = 0;
+  {
+    auto sub = bus.subscribe<int>("t", [&](const mw::MessageHeader&, const int&) {
+      ++count;
+    });
+    bus.publish("t", 0, "n", 0.0);
+  }
+  bus.publish("t", 0, "n", 0.0);
+  EXPECT_EQ(count, 1);
+  EXPECT_EQ(bus.subscriber_count("t"), 0u);
+}
+
+TEST(Bus, SubscriptionResetAndMove) {
+  mw::Bus bus;
+  int count = 0;
+  auto sub = bus.subscribe<int>("t", [&](const mw::MessageHeader&, const int&) {
+    ++count;
+  });
+  EXPECT_TRUE(sub.active());
+  mw::Subscription moved = std::move(sub);
+  EXPECT_TRUE(moved.active());
+  bus.publish("t", 0, "n", 0.0);
+  EXPECT_EQ(count, 1);
+  moved.reset();
+  EXPECT_FALSE(moved.active());
+  bus.publish("t", 0, "n", 0.0);
+  EXPECT_EQ(count, 1);
+}
+
+TEST(Bus, TapSeesAllTopics) {
+  mw::Bus bus;
+  std::vector<std::string> seen;
+  auto tap = bus.add_tap([&](const mw::MessageHeader& h, const std::any&,
+                             std::type_index) { seen.push_back(h.topic); });
+  bus.publish("a", 1, "n", 0.0);
+  bus.publish("b", 2.0, "n", 0.0);
+  ASSERT_EQ(seen.size(), 2u);
+  EXPECT_EQ(seen[0], "a");
+  EXPECT_EQ(seen[1], "b");
+}
+
+TEST(Bus, TapCanInspectPayload) {
+  mw::Bus bus;
+  double value = 0.0;
+  auto tap = bus.add_tap([&](const mw::MessageHeader&, const std::any& payload,
+                             std::type_index type) {
+    if (type == std::type_index(typeid(Telemetry))) {
+      value = std::any_cast<std::reference_wrapper<const Telemetry>>(payload)
+                  .get()
+                  .lat;
+    }
+  });
+  bus.publish("telemetry", Telemetry{1, 35.5, 33.0}, "uav_1", 0.0);
+  EXPECT_DOUBLE_EQ(value, 35.5);
+}
+
+TEST(Bus, JournalRecordsHeaders) {
+  mw::Bus bus;
+  bus.publish("a", 1, "alice", 0.5);
+  bus.publish("b", 2, "bob", 1.5);
+  ASSERT_EQ(bus.journal().size(), 2u);
+  EXPECT_EQ(bus.journal()[0].header.source, "alice");
+  EXPECT_EQ(bus.journal()[1].header.topic, "b");
+  bus.clear_journal();
+  EXPECT_TRUE(bus.journal().empty());
+}
+
+TEST(Bus, JournalCanBeDisabled) {
+  mw::Bus bus;
+  bus.enable_journal(false);
+  bus.publish("a", 1, "n", 0.0);
+  EXPECT_TRUE(bus.journal().empty());
+  EXPECT_EQ(bus.messages_published(), 1u);
+}
+
+// The security-critical property the paper's attack scenario exploits:
+// the bus does not authenticate sources, so an attacker node can publish
+// to a topic that legitimate nodes trust.
+TEST(Bus, UnauthenticatedInjectionIsPossible) {
+  mw::Bus bus;
+  std::vector<std::string> sources;
+  auto sub = bus.subscribe<Telemetry>(
+      "uav_1/position",
+      [&](const mw::MessageHeader& h, const Telemetry&) {
+        sources.push_back(h.source);
+      });
+  bus.publish("uav_1/position", Telemetry{1, 35.0, 33.0}, "uav_1", 0.0);
+  bus.publish("uav_1/position", Telemetry{1, 0.0, 0.0}, "attacker", 0.1);
+  ASSERT_EQ(sources.size(), 2u);
+  EXPECT_EQ(sources[1], "attacker");  // delivered — no authentication
+}
+
+TEST(Bus, ReentrantUnsubscribeDuringDelivery) {
+  mw::Bus bus;
+  int calls = 0;
+  mw::Subscription sub;
+  sub = bus.subscribe<int>("t", [&](const mw::MessageHeader&, const int&) {
+    ++calls;
+    sub.reset();  // unsubscribe from inside the handler
+  });
+  bus.publish("t", 0, "n", 0.0);
+  bus.publish("t", 0, "n", 0.0);
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(Bus, PublisherRestrictionDropsUnauthorized) {
+  mw::Bus bus;
+  bus.restrict_publisher("uav_1/position_fix", "collaborative_localization");
+  int delivered = 0;
+  auto sub = bus.subscribe<int>(
+      "uav_1/position_fix",
+      [&](const mw::MessageHeader&, const int&) { ++delivered; });
+  bus.publish("uav_1/position_fix", 1, "collaborative_localization", 0.0);
+  bus.publish("uav_1/position_fix", 2, "attacker", 0.1);
+  EXPECT_EQ(delivered, 1);
+  EXPECT_EQ(bus.rejected_publications(), 1u);
+}
+
+TEST(Bus, TapsStillSeeRejectedTraffic) {
+  // A network IDS inspects traffic before the transport drops it.
+  mw::Bus bus;
+  bus.restrict_publisher("cmd", "operator");
+  int tapped = 0;
+  auto tap = bus.add_tap(
+      [&](const mw::MessageHeader&, const std::any&, std::type_index) {
+        ++tapped;
+      });
+  bus.publish("cmd", 1, "attacker", 0.0);
+  EXPECT_EQ(tapped, 1);
+  EXPECT_EQ(bus.rejected_publications(), 1u);
+}
+
+TEST(Bus, RestrictionIsPerTopic) {
+  mw::Bus bus;
+  bus.restrict_publisher("protected", "alice");
+  int open_count = 0;
+  auto sub = bus.subscribe<int>(
+      "open", [&](const mw::MessageHeader&, const int&) { ++open_count; });
+  bus.publish("open", 1, "anyone", 0.0);
+  EXPECT_EQ(open_count, 1);
+  EXPECT_EQ(bus.rejected_publications(), 0u);
+}
+
+#include "sesame/mw/node.hpp"
+
+TEST(NodeHandle, BakesSourceIntoPublications) {
+  mw::Bus bus;
+  mw::NodeHandle node(bus, "uav_7");
+  std::string seen_source;
+  auto sub = node.subscribe<int>(
+      "t", [&](const mw::MessageHeader& h, const int&) {
+        seen_source = h.source;
+      });
+  node.publish("t", 42, 1.5);
+  EXPECT_EQ(seen_source, "uav_7");
+  EXPECT_EQ(node.name(), "uav_7");
+  EXPECT_THROW(mw::NodeHandle(bus, ""), std::invalid_argument);
+}
+
+TEST(NodeHandle, WorksWithPublisherRestrictions) {
+  mw::Bus bus;
+  bus.restrict_publisher("cmd", "operator");
+  mw::NodeHandle operator_node(bus, "operator");
+  mw::NodeHandle rogue_node(bus, "rogue");
+  int delivered = 0;
+  auto sub = bus.subscribe<int>(
+      "cmd", [&](const mw::MessageHeader&, const int&) { ++delivered; });
+  operator_node.publish("cmd", 1, 0.0);
+  rogue_node.publish("cmd", 2, 0.1);
+  EXPECT_EQ(delivered, 1);
+}

@@ -1,0 +1,259 @@
+// Tests for the synthetic person detector: the altitude/quality
+// relationship the SAR-accuracy experiment relies on, detection and
+// false-alarm behaviour, and feature generation for SafeML/DeepKnowledge.
+#include <gtest/gtest.h>
+
+#include "sesame/mathx/stats.hpp"
+#include "sesame/perception/detector.hpp"
+
+namespace pc = sesame::perception;
+namespace geo = sesame::geo;
+namespace mx = sesame::mathx;
+
+namespace {
+
+std::vector<sesame::sim::Person> one_person_below() {
+  return {sesame::sim::Person{{0.0, 0.0, 0.0}, false}};
+}
+
+}  // namespace
+
+TEST(Detector, ValidatesConfig) {
+  pc::DetectorConfig cfg;
+  cfg.gsd_ref_m = 0.0;
+  EXPECT_THROW((pc::PersonDetector{cfg}), std::invalid_argument);
+  cfg = {};
+  cfg.peak_detection_probability = 1.5;
+  EXPECT_THROW((pc::PersonDetector{cfg}), std::invalid_argument);
+  cfg = {};
+  cfg.false_alarm_rate = 1.0;
+  EXPECT_THROW((pc::PersonDetector{cfg}), std::invalid_argument);
+}
+
+TEST(Detector, PeakProbabilityAtLowAltitude) {
+  pc::PersonDetector det{pc::DetectorConfig{}};
+  // Near the reference GSD (about 18 m altitude) detection is ~99.8%.
+  EXPECT_NEAR(det.detection_probability(15.0), 0.998, 0.004);
+  EXPECT_DOUBLE_EQ(det.detection_probability(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(det.detection_probability(-5.0), 0.0);
+}
+
+TEST(Detector, ProbabilityMonotoneDecreasingInAltitude) {
+  pc::PersonDetector det{pc::DetectorConfig{}};
+  double prev = 1.1;
+  for (double alt = 10.0; alt <= 120.0; alt += 10.0) {
+    const double p = det.detection_probability(alt);
+    EXPECT_LE(p, prev + 1e-12) << "alt=" << alt;
+    EXPECT_GE(p, 0.0);
+    prev = p;
+  }
+  // High altitude is materially worse than low altitude.
+  EXPECT_GT(det.detection_probability(20.0), 0.99);
+  EXPECT_LT(det.detection_probability(80.0), 0.6);
+}
+
+TEST(Detector, DetectsPersonInFootprint) {
+  pc::PersonDetector det{pc::DetectorConfig{}};
+  mx::Rng rng(3);
+  const auto persons = one_person_below();
+  int hits = 0;
+  const int frames = 2000;
+  for (int i = 0; i < frames; ++i) {
+    for (const auto& d : det.detect({0.0, 0.0, 20.0}, persons, rng)) {
+      if (d.person_index == 0u) ++hits;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / frames,
+              det.detection_probability(20.0), 0.02);
+}
+
+TEST(Detector, MissesPersonOutsideFootprint) {
+  pc::PersonDetector det{pc::DetectorConfig{}};
+  mx::Rng rng(5);
+  std::vector<sesame::sim::Person> persons{{{1000.0, 0.0, 0.0}, false}};
+  for (int i = 0; i < 100; ++i) {
+    for (const auto& d : det.detect({0.0, 0.0, 20.0}, persons, rng)) {
+      EXPECT_FALSE(d.person_index.has_value());  // only false alarms possible
+    }
+  }
+}
+
+TEST(Detector, NoDetectionsOnGround) {
+  pc::PersonDetector det{pc::DetectorConfig{}};
+  mx::Rng rng(7);
+  EXPECT_TRUE(det.detect({0.0, 0.0, 0.0}, one_person_below(), rng).empty());
+}
+
+TEST(Detector, FalseAlarmRateApproximatelyConfigured) {
+  pc::DetectorConfig cfg;
+  cfg.false_alarm_rate = 0.10;
+  pc::PersonDetector det{cfg};
+  mx::Rng rng(9);
+  int false_alarms = 0;
+  const int frames = 5000;
+  const std::vector<sesame::sim::Person> nobody;
+  for (int i = 0; i < frames; ++i) {
+    for (const auto& d : det.detect({0.0, 0.0, 30.0}, nobody, rng)) {
+      if (!d.person_index.has_value()) ++false_alarms;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(false_alarms) / frames, 0.10, 0.02);
+}
+
+TEST(Detector, LocalizationNoiseGrowsWithAltitude) {
+  pc::PersonDetector det{pc::DetectorConfig{}};
+  mx::Rng rng(11);
+  const auto persons = one_person_below();
+  auto rms_error = [&](double alt) {
+    double ss = 0.0;
+    int n = 0;
+    for (int i = 0; i < 3000; ++i) {
+      for (const auto& d : det.detect({0.0, 0.0, alt}, persons, rng)) {
+        if (!d.person_index) continue;
+        ss += d.estimated_position.east_m * d.estimated_position.east_m +
+              d.estimated_position.north_m * d.estimated_position.north_m;
+        ++n;
+      }
+    }
+    return n ? std::sqrt(ss / n) : 0.0;
+  };
+  EXPECT_LT(rms_error(15.0), rms_error(70.0));
+}
+
+TEST(Detector, ConfidenceWithinBounds) {
+  pc::PersonDetector det{pc::DetectorConfig{}};
+  mx::Rng rng(13);
+  const auto persons = one_person_below();
+  for (int i = 0; i < 500; ++i) {
+    for (const auto& d : det.detect({0.0, 0.0, 40.0}, persons, rng)) {
+      EXPECT_GT(d.confidence, 0.0);
+      EXPECT_LT(d.confidence, 1.0);
+    }
+  }
+}
+
+TEST(FrameFeatures, ShiftWithAltitude) {
+  pc::PersonDetector det{pc::DetectorConfig{}};
+  mx::Rng rng(17);
+  mx::RunningStats sharp_low, sharp_high, scale_low, scale_high;
+  for (int i = 0; i < 200; ++i) {
+    const auto lo = det.frame_features(18.0, rng);
+    const auto hi = det.frame_features(70.0, rng);
+    sharp_low.add(lo.sharpness);
+    sharp_high.add(hi.sharpness);
+    scale_low.add(lo.target_scale);
+    scale_high.add(hi.target_scale);
+  }
+  EXPECT_GT(sharp_low.mean(), sharp_high.mean());
+  EXPECT_GT(scale_low.mean(), scale_high.mean());
+}
+
+TEST(FrameFeatures, VectorHasDeclaredArity) {
+  pc::PersonDetector det{pc::DetectorConfig{}};
+  mx::Rng rng(19);
+  const auto f = det.frame_features(30.0, rng);
+  EXPECT_EQ(f.as_vector().size(), pc::FrameFeatures::kNumFeatures);
+}
+
+TEST(DetectionFeatures, ArityAndAltitudeSensitivity) {
+  pc::PersonDetector det{pc::DetectorConfig{}};
+  mx::Rng rng(23);
+  pc::Detection d;
+  d.confidence = 0.9;
+  const auto lo = det.detection_features(d, 18.0, rng);
+  const auto hi = det.detection_features(d, 70.0, rng);
+  EXPECT_EQ(lo.size(), pc::PersonDetector::kDetectionFeatureCount);
+  EXPECT_LT(lo[0], hi[0]);  // normalized GSD grows with altitude
+  EXPECT_DOUBLE_EQ(lo[1], 0.9);
+}
+
+#include "sesame/perception/tracker.hpp"
+
+namespace {
+pc::Detection det_at(double e, double n, double conf = 0.9) {
+  pc::Detection d;
+  d.person_index = 0;
+  d.confidence = conf;
+  d.estimated_position = {e, n, 0.0};
+  return d;
+}
+}  // namespace
+
+TEST(Tracker, ValidatesConfig) {
+  pc::TrackerConfig cfg;
+  cfg.gate_m = 0.0;
+  EXPECT_THROW((pc::PersonTracker{cfg}), std::invalid_argument);
+  cfg = {};
+  cfg.confirm_hits = 0;
+  EXPECT_THROW((pc::PersonTracker{cfg}), std::invalid_argument);
+}
+
+TEST(Tracker, ConfirmsAfterRepeatedHits) {
+  pc::PersonTracker tracker;  // confirm after 3 hits
+  tracker.update({det_at(10.0, 10.0)});
+  tracker.update({det_at(10.5, 9.8)});
+  EXPECT_TRUE(tracker.confirmed().empty());  // 2 hits: still tentative
+  tracker.update({det_at(9.7, 10.2)});
+  const auto confirmed = tracker.confirmed();
+  ASSERT_EQ(confirmed.size(), 1u);
+  EXPECT_EQ(confirmed[0].hits, 3u);
+  // Averaged position near the true point.
+  EXPECT_NEAR(confirmed[0].position.east_m, 10.0, 0.5);
+  EXPECT_NEAR(confirmed[0].position.north_m, 10.0, 0.5);
+}
+
+TEST(Tracker, IsolatedFalseAlarmDiesOut) {
+  pc::TrackerConfig cfg;
+  cfg.max_misses = 3;
+  pc::PersonTracker tracker(cfg);
+  tracker.update({det_at(50.0, 50.0, 0.3)});  // single spurious hit
+  for (int i = 0; i < 5; ++i) tracker.update({});
+  EXPECT_TRUE(tracker.tracks().empty());
+}
+
+TEST(Tracker, SeparatePersonsGetSeparateTracks) {
+  pc::PersonTracker tracker;
+  for (int i = 0; i < 4; ++i) {
+    tracker.update({det_at(0.0, 0.0), det_at(100.0, 0.0)});
+  }
+  EXPECT_EQ(tracker.confirmed().size(), 2u);
+}
+
+TEST(Tracker, ConfirmedTracksPersistThroughGaps) {
+  pc::PersonTracker tracker;
+  for (int i = 0; i < 3; ++i) tracker.update({det_at(5.0, 5.0)});
+  ASSERT_EQ(tracker.confirmed().size(), 1u);
+  for (int i = 0; i < 50; ++i) tracker.update({});  // long occlusion
+  EXPECT_EQ(tracker.confirmed().size(), 1u);  // persons do not vanish
+}
+
+TEST(Tracker, NearestConfirmedRespectsGate) {
+  pc::PersonTracker tracker;
+  for (int i = 0; i < 3; ++i) tracker.update({det_at(20.0, 20.0)});
+  EXPECT_TRUE(tracker.nearest_confirmed({21.0, 20.0, 0.0}).has_value());
+  EXPECT_FALSE(tracker.nearest_confirmed({80.0, 20.0, 0.0}).has_value());
+}
+
+TEST(Tracker, EndToEndSuppressesFalseAlarms) {
+  // Run the real detector over a person for many frames: the tracker
+  // confirms exactly one track even though raw detections include false
+  // alarms scattered across the footprint.
+  pc::DetectorConfig dcfg;
+  dcfg.false_alarm_rate = 0.2;
+  pc::PersonDetector det{dcfg};
+  mx::Rng rng(91);
+  std::vector<sesame::sim::Person> persons{{{0.0, 0.0, 0.0}, false}};
+  pc::TrackerConfig tcfg;
+  tcfg.confirm_hits = 5;
+  pc::PersonTracker tracker(tcfg);
+  for (int f = 0; f < 60; ++f) {
+    tracker.update(det.detect({0.0, 0.0, 20.0}, persons, rng));
+  }
+  const auto confirmed = tracker.confirmed();
+  ASSERT_GE(confirmed.size(), 1u);
+  // The dominant confirmed track sits on the person.
+  EXPECT_LT(geo::enu_ground_distance_m(confirmed[0].position, {0.0, 0.0, 0.0}),
+            2.0);
+  // Scattered false alarms (each at a random spot) must not confirm.
+  EXPECT_LE(confirmed.size(), 2u);
+}

@@ -1,0 +1,571 @@
+// Tests for the multi-UAV platform: database manager access control,
+// UAV/task managers, and MissionRunner end-to-end scenarios (nominal,
+// battery fault with/without SESAME).
+#include <gtest/gtest.h>
+
+#include "sesame/platform/database.hpp"
+#include "sesame/platform/gcs.hpp"
+#include "sesame/security/attack_tree.hpp"
+#include "sesame/security/ids.hpp"
+#include "sesame/platform/managers.hpp"
+#include "sesame/platform/mission_runner.hpp"
+
+namespace pf = sesame::platform;
+namespace sim = sesame::sim;
+namespace cs = sesame::conserts;
+
+namespace {
+
+const sesame::geo::GeoPoint kOrigin{35.1856, 33.3823, 0.0};
+
+pf::RunnerConfig small_scenario() {
+  pf::RunnerConfig cfg;
+  cfg.n_uavs = 2;
+  cfg.area = {0.0, 120.0, 0.0, 120.0};
+  cfg.coverage.altitude_m = 20.0;
+  cfg.coverage.lane_spacing_m = 30.0;
+  cfg.n_persons = 3;
+  cfg.max_time_s = 900.0;
+  return cfg;
+}
+
+}  // namespace
+
+TEST(DatabaseManager, StoresAndServesTelemetry) {
+  sim::World world(kOrigin);
+  sim::UavConfig uc;
+  uc.name = "u1";
+  world.add_uav(uc, kOrigin);
+  pf::DatabaseManager db(world.bus());
+  db.attach_uav("u1");
+  db.allow_client("gcs");
+  world.run(3, 1.0);
+  const auto latest = db.latest("gcs", "u1");
+  ASSERT_TRUE(latest.has_value());
+  EXPECT_EQ(latest->uav, "u1");
+  EXPECT_EQ(db.history("gcs", "u1").size(), 3u);
+  EXPECT_EQ(db.records_stored(), 3u);
+}
+
+TEST(DatabaseManager, RejectsOutsideClients) {
+  sim::World world(kOrigin);
+  sim::UavConfig uc;
+  uc.name = "u1";
+  world.add_uav(uc, kOrigin);
+  pf::DatabaseManager db(world.bus());
+  db.attach_uav("u1");
+  world.run(1, 1.0);
+  EXPECT_THROW(db.latest("internet_rando", "u1"), std::runtime_error);
+  EXPECT_THROW((pf::DatabaseManager{world.bus(), 0}), std::invalid_argument);
+}
+
+TEST(DatabaseManager, HistoryBounded) {
+  sim::World world(kOrigin);
+  sim::UavConfig uc;
+  uc.name = "u1";
+  world.add_uav(uc, kOrigin);
+  pf::DatabaseManager db(world.bus(), 5);
+  db.attach_uav("u1");
+  db.allow_client("gcs");
+  world.run(12, 1.0);
+  EXPECT_EQ(db.history("gcs", "u1").size(), 5u);
+  // Oldest dropped: first stored record is from t=8.
+  EXPECT_DOUBLE_EQ(db.history("gcs", "u1").front().time_s, 8.0);
+}
+
+TEST(UavManager, RegistrationAndInfo) {
+  sim::World world(kOrigin);
+  sim::UavConfig uc;
+  uc.name = "u1";
+  world.add_uav(uc, kOrigin);
+  pf::UavManager mgr(world);
+  pf::UavInfo info;
+  info.name = "u1";
+  info.equipment = {"rgb_camera"};
+  mgr.register_uav(info);
+  EXPECT_EQ(mgr.info("u1").equipment.size(), 1u);
+  EXPECT_EQ(mgr.registered().size(), 1u);
+  EXPECT_NEAR(mgr.battery_level("u1"), 1.0, 1e-6);
+  EXPECT_THROW(mgr.register_uav(info), std::invalid_argument);
+  pf::UavInfo ghost;
+  ghost.name = "ghost";
+  EXPECT_THROW(mgr.register_uav(ghost), std::out_of_range);
+  EXPECT_THROW(mgr.info("ghost"), std::out_of_range);
+}
+
+TEST(UavManager, AppliesConsertActions) {
+  sim::World world(kOrigin);
+  sim::UavConfig uc;
+  uc.name = "u1";
+  world.add_uav(uc, kOrigin);
+  pf::UavManager mgr(world);
+  pf::UavInfo info;
+  info.name = "u1";
+  mgr.register_uav(info);
+
+  auto& uav = world.uav_by_name("u1");
+  uav.add_waypoint({50.0, 0.0, 30.0});
+  uav.command_takeoff();
+  world.run(20, 1.0);
+  ASSERT_EQ(uav.mode(), sim::FlightMode::kMission);
+
+  EXPECT_TRUE(mgr.apply_action("u1", cs::UavAction::kHold));
+  EXPECT_EQ(uav.mode(), sim::FlightMode::kHold);
+  EXPECT_EQ(mgr.last_action("u1"), cs::UavAction::kHold);
+
+  EXPECT_TRUE(mgr.apply_action("u1", cs::UavAction::kContinue));
+  EXPECT_EQ(uav.mode(), sim::FlightMode::kMission);
+
+  EXPECT_TRUE(mgr.apply_action("u1", cs::UavAction::kEmergencyLand));
+  EXPECT_EQ(uav.mode(), sim::FlightMode::kEmergencyLand);
+  EXPECT_FALSE(mgr.last_action("u2").has_value());
+}
+
+TEST(TaskManager, ServicesRegistryAndPlanning) {
+  pf::TaskManager tm;
+  ASSERT_EQ(tm.services().size(), 1u);
+  EXPECT_EQ(tm.services()[0], "boustrophedon");
+  const auto plans =
+      tm.plan("boustrophedon", {0, 100, 0, 100}, 2, sesame::sar::CoverageConfig{});
+  EXPECT_EQ(plans.size(), 2u);
+  EXPECT_THROW(tm.plan("nope", {0, 100, 0, 100}, 2, {}), std::out_of_range);
+  EXPECT_THROW(tm.register_service("bad", nullptr), std::invalid_argument);
+  tm.register_service("custom", [](const sesame::sar::Area& a, std::size_t n,
+                                   const sesame::sar::CoverageConfig& c) {
+    return sesame::sar::plan_coverage(a, n, c);
+  });
+  EXPECT_EQ(tm.services().size(), 2u);
+}
+
+TEST(MissionRunner, ValidatesConfig) {
+  pf::RunnerConfig cfg = small_scenario();
+  cfg.n_uavs = 0;
+  EXPECT_THROW(pf::MissionRunner{cfg}, std::invalid_argument);
+  cfg = small_scenario();
+  cfg.dt_s = 0.0;
+  EXPECT_THROW(pf::MissionRunner{cfg}, std::invalid_argument);
+}
+
+TEST(MissionRunner, NominalMissionCompletesWithSesame) {
+  pf::RunnerConfig cfg = small_scenario();
+  cfg.sesame_enabled = true;
+  pf::MissionRunner runner(cfg);
+  const auto result = runner.run();
+  ASSERT_TRUE(result.mission_complete_time_s.has_value());
+  EXPECT_GT(result.availability, 0.7);
+  EXPECT_GT(result.detection.persons_found, 0u);
+  // Time series recorded for both UAVs.
+  EXPECT_EQ(result.series.size(), 2u);
+  for (const auto& [name, series] : result.series) {
+    (void)name;
+    EXPECT_FALSE(series.empty());
+  }
+}
+
+TEST(MissionRunner, NominalMissionCompletesBaseline) {
+  pf::RunnerConfig cfg = small_scenario();
+  cfg.sesame_enabled = false;
+  pf::MissionRunner runner(cfg);
+  const auto result = runner.run();
+  ASSERT_TRUE(result.mission_complete_time_s.has_value());
+  EXPECT_GT(result.availability, 0.7);
+}
+
+TEST(MissionRunner, BatteryFaultBaselineReturnsAndSwaps) {
+  pf::RunnerConfig cfg = small_scenario();
+  cfg.sesame_enabled = false;
+  cfg.battery_fault = pf::BatteryFaultEvent{"uav1", 60.0, 0.40, 70.0};
+  pf::MissionRunner runner(cfg);
+  const auto result = runner.run();
+  // The baseline vehicle must have gone home at some point (RTB mode seen).
+  bool saw_rtb = false;
+  for (const auto& rec : result.series.at("uav1")) {
+    if (rec.mode == sim::FlightMode::kReturnToBase) saw_rtb = true;
+  }
+  EXPECT_TRUE(saw_rtb);
+  ASSERT_TRUE(result.mission_complete_time_s.has_value());
+}
+
+TEST(MissionRunner, BatteryFaultSesameContinuesAndBeatsBaseline) {
+  pf::RunnerConfig with = small_scenario();
+  with.sesame_enabled = true;
+  with.battery_fault = pf::BatteryFaultEvent{"uav1", 60.0, 0.40, 70.0};
+  pf::RunnerConfig without = with;
+  without.sesame_enabled = false;
+
+  const auto r_with = pf::MissionRunner(with).run();
+  const auto r_without = pf::MissionRunner(without).run();
+
+  ASSERT_TRUE(r_with.mission_complete_time_s.has_value());
+  ASSERT_TRUE(r_without.mission_complete_time_s.has_value());
+  // SESAME finishes sooner and with higher availability (Fig. 5 shape).
+  EXPECT_LT(*r_with.mission_complete_time_s, *r_without.mission_complete_time_s);
+  EXPECT_GT(r_with.availability, r_without.availability);
+
+  // P(fail) series for the faulted UAV rises after injection.
+  const auto& series = r_with.series.at("uav1");
+  double before = 0.0, after = 0.0;
+  for (const auto& rec : series) {
+    if (rec.time_s < 60.0) before = std::max(before, rec.p_fail);
+    if (rec.time_s > 70.0) after = std::max(after, rec.p_fail);
+  }
+  EXPECT_GT(after, before);
+}
+
+TEST(MissionRunner, HighAltitudeTriggersDescendAdaptation) {
+  pf::RunnerConfig cfg = small_scenario();
+  cfg.sesame_enabled = true;
+  cfg.coverage.altitude_m = 60.0;  // high-altitude sweep: uncertainty > 90%
+  cfg.descend_altitude_m = 18.0;
+  pf::MissionRunner runner(cfg);
+  const auto result = runner.run();
+  EXPECT_TRUE(result.descended);
+  // After descending the recorded altitude drops to the low band.
+  double final_alt = 1e9;
+  for (const auto& rec : result.series.at("uav1")) {
+    if (rec.mode == sim::FlightMode::kMission) final_alt = rec.altitude_m;
+  }
+  EXPECT_LT(final_alt, 30.0);
+}
+
+TEST(MissionRunner, SpoofingDetectedAndSafeLandedWithSesame) {
+  pf::RunnerConfig cfg = small_scenario();
+  cfg.sesame_enabled = true;
+  cfg.spoofing = pf::SpoofingEvent{"uav1", 40.0, 2.0};
+  pf::MissionRunner runner(cfg);
+  const auto result = runner.run();
+
+  EXPECT_TRUE(result.attack_detected);
+  // First counterfeit message lands within one step of the event time.
+  EXPECT_NEAR(result.attack_detection_time_s, 41.0, 2.0);
+  // The victim safe-landed near its home pad without GPS.
+  EXPECT_GE(result.spoofed_uav_landing_error_m, 0.0);
+  EXPECT_LT(result.spoofed_uav_landing_error_m, 10.0);
+  // Its tasks were redistributed and the mission still completed.
+  EXPECT_GT(result.waypoints_redistributed, 0u);
+  ASSERT_TRUE(result.mission_complete_time_s.has_value());
+  // The victim ends up grounded.
+  bool landed = false;
+  for (const auto& rec : result.series.at("uav1")) {
+    if (rec.mode == sim::FlightMode::kLanded) landed = true;
+  }
+  EXPECT_TRUE(landed);
+}
+
+TEST(MissionRunner, SpoofingUnnoticedWithoutSesame) {
+  pf::RunnerConfig cfg = small_scenario();
+  cfg.sesame_enabled = false;
+  cfg.spoofing = pf::SpoofingEvent{"uav1", 40.0, 2.0};
+  pf::MissionRunner runner(cfg);
+  const auto result = runner.run();
+
+  EXPECT_FALSE(result.attack_detected);
+  EXPECT_LT(result.spoofed_uav_landing_error_m, 0.0);  // never safe-landed
+  // The falsified fixes corrupted the mapping: large ground-truth error.
+  EXPECT_GT(result.spoofed_uav_peak_error_m, 30.0);
+}
+
+TEST(Gcs, LogsModeTransitionsAndBatteryWarnings) {
+  sim::World world(kOrigin);
+  sim::UavConfig uc;
+  uc.name = "u1";
+  uc.battery.initial_soc = 0.28;  // crosses the 25% warning mid-flight
+  world.add_uav(uc, kOrigin);
+  pf::DatabaseManager db(world.bus());
+  pf::GroundControlStation gcs(world.bus(), db);
+  gcs.watch_uav("u1");
+
+  auto& uav = world.uav_by_name("u1");
+  uav.add_waypoint({150.0, 0.0, 30.0});
+  uav.command_takeoff();
+  world.run(120, 1.0);
+
+  const auto modes = gcs.events_of("mode");
+  ASSERT_GE(modes.size(), 3u);  // initial, takeoff->mission, mission->hold
+  EXPECT_EQ(modes[0].uav, "u1");
+
+  const auto battery = gcs.events_of("battery");
+  ASSERT_EQ(battery.size(), 1u);
+  EXPECT_NE(battery[0].message.find("battery low"), std::string::npos);
+}
+
+TEST(Gcs, RecordsSecurityEvents) {
+  sim::World world(kOrigin);
+  sim::UavConfig uc;
+  uc.name = "u1";
+  world.add_uav(uc, kOrigin);
+  pf::DatabaseManager db(world.bus());
+  pf::GroundControlStation gcs(world.bus(), db);
+
+  sesame::security::IntrusionDetectionSystem ids(world.bus());
+  ids.authorize(sim::position_fix_topic("u1"), "collaborative_localization");
+  sesame::security::SecurityEddi eddi(
+      world.bus(), sesame::security::make_spoofing_attack_tree());
+
+  world.bus().publish(sim::position_fix_topic("u1"), kOrigin, "attacker", 7.0);
+  const auto sec = gcs.events_of("security");
+  ASSERT_EQ(sec.size(), 1u);
+  EXPECT_DOUBLE_EQ(sec[0].time_s, 7.0);
+  EXPECT_NE(sec[0].message.find("attacker"), std::string::npos);
+}
+
+TEST(Gcs, RendersStatusTable) {
+  sim::World world(kOrigin);
+  for (const char* n : {"u1", "u2"}) {
+    sim::UavConfig uc;
+    uc.name = n;
+    world.add_uav(uc, kOrigin);
+  }
+  pf::DatabaseManager db(world.bus());
+  pf::GroundControlStation gcs(world.bus(), db);
+  gcs.watch_uav("u1");
+  gcs.watch_uav("u2");
+  world.uav_by_name("u1").command_takeoff();
+  world.run(5, 1.0);
+  const std::string status = gcs.render_status();
+  EXPECT_NE(status.find("u1"), std::string::npos);
+  EXPECT_NE(status.find("u2"), std::string::npos);
+  EXPECT_NE(status.find("Takeoff"), std::string::npos);
+  EXPECT_NE(status.find("Idle"), std::string::npos);
+}
+
+TEST(Gcs, OperatorNotesAndEventLimit) {
+  sim::World world(kOrigin);
+  pf::DatabaseManager db(world.bus());
+  pf::GcsConfig cfg;
+  cfg.event_limit = 3;
+  pf::GroundControlStation gcs(world.bus(), db, "gcs", cfg);
+  for (int i = 0; i < 5; ++i) {
+    gcs.log_operator_note(i, "note " + std::to_string(i));
+  }
+  ASSERT_EQ(gcs.events().size(), 3u);
+  EXPECT_EQ(gcs.events().front().message, "note 2");  // oldest dropped
+}
+
+TEST(MissionRunner, VisionSensorFaultBlindsDetectionButMissionContinues) {
+  pf::RunnerConfig cfg = small_scenario();
+  cfg.sesame_enabled = true;
+  pf::MissionRunner runner(cfg);
+  // Blind uav1's camera before launch: it flies its strip but detects
+  // nothing there; uav2's strip is still searched.
+  runner.world().uav_by_name("uav1").set_vision_sensor_healthy(false);
+  const auto result = runner.run();
+  ASSERT_TRUE(result.mission_complete_time_s.has_value());
+  // Coverage is roughly halved: only uav2's camera imaged the ground.
+  EXPECT_LT(result.area_coverage, 0.75);
+  EXPECT_GT(result.area_coverage, 0.25);
+}
+
+TEST(MissionRunner, DeepKnowledgeReportPresentAfterWarmup) {
+  pf::RunnerConfig cfg = small_scenario();
+  cfg.sesame_enabled = true;
+  pf::MissionRunner runner(cfg);
+  const auto result = runner.run();
+  ASSERT_TRUE(result.mission_complete_time_s.has_value());
+  // Coverage accounting ran for the whole mission.
+  EXPECT_GT(result.area_coverage, 0.9);
+}
+
+#include <sstream>
+
+#include "sesame/platform/report.hpp"
+
+TEST(Report, SeriesCsvWellFormed) {
+  pf::RunnerConfig cfg = small_scenario();
+  cfg.max_time_s = 120.0;
+  pf::MissionRunner runner(cfg);
+  const auto result = runner.run();
+  std::ostringstream out;
+  pf::write_series_csv(result, out);
+  const std::string csv = out.str();
+  // Header plus one row per UAV per tick.
+  std::size_t lines = 0;
+  for (char c : csv) {
+    if (c == '\n') ++lines;
+  }
+  std::size_t expected = 1;
+  for (const auto& [name, series] : result.series) {
+    (void)name;
+    expected += series.size();
+  }
+  EXPECT_EQ(lines, expected);
+  EXPECT_EQ(csv.rfind("uav,time_s,", 0), 0u);  // header first
+  EXPECT_NE(csv.find("uav1,"), std::string::npos);
+}
+
+TEST(Report, SummaryCsvListsFleet) {
+  pf::RunnerConfig cfg = small_scenario();
+  cfg.max_time_s = 60.0;
+  pf::MissionRunner runner(cfg);
+  const auto result = runner.run();
+  std::ostringstream out;
+  pf::write_summary_csv(result, out);
+  const std::string csv = out.str();
+  EXPECT_NE(csv.find("uav1,"), std::string::npos);
+  EXPECT_NE(csv.find("uav2,"), std::string::npos);
+  EXPECT_NE(csv.find("fleet,"), std::string::npos);
+}
+
+TEST(Report, ExportRejectsBadPath) {
+  pf::RunnerConfig cfg = small_scenario();
+  cfg.max_time_s = 30.0;
+  pf::MissionRunner runner(cfg);
+  const auto result = runner.run();
+  EXPECT_THROW(
+      pf::export_result(result, "/nonexistent_dir/x.csv", "/tmp/ok.csv"),
+      std::runtime_error);
+}
+
+TEST(MissionRunner, AssuranceTraceRecordsLifecycle) {
+  pf::RunnerConfig cfg = small_scenario();
+  cfg.sesame_enabled = true;
+  cfg.battery_fault = pf::BatteryFaultEvent{"uav1", 60.0, 0.40, 75.0};
+  // Tight reliability bands so the short test mission sees the Medium
+  // transition before the sweep completes.
+  cfg.eddi.reliability.medium_threshold = 0.05;
+  cfg.eddi.reliability.low_threshold = 0.50;
+  pf::MissionRunner runner(cfg);
+  const auto result = runner.run();
+  ASSERT_FALSE(result.assurance_trace.empty());
+  // The faulted UAV's safety ConSert must have walked down from High.
+  const auto safety = cs::uav_consert_names("uav1").safety;
+  bool saw_high = false, saw_degraded = false;
+  for (const auto& t : result.assurance_trace) {
+    if (t.consert != safety) continue;
+    if (t.to == cs::guarantees::kReliabilityHigh) saw_high = true;
+    if (t.to == cs::guarantees::kReliabilityMedium ||
+        t.to == cs::guarantees::kReliabilityLow) {
+      saw_degraded = true;
+      EXPECT_GT(t.time_s, 60.0);  // only after the fault
+    }
+  }
+  EXPECT_TRUE(saw_high);
+  EXPECT_TRUE(saw_degraded);
+}
+
+TEST(MissionRunner, BaselineHasNoAssuranceTrace) {
+  pf::RunnerConfig cfg = small_scenario();
+  cfg.sesame_enabled = false;
+  cfg.max_time_s = 120.0;
+  pf::MissionRunner runner(cfg);
+  EXPECT_TRUE(runner.run().assurance_trace.empty());
+}
+
+#include "sesame/platform/gps_watchdog.hpp"
+#include "sesame/security/security_eddi.hpp"
+
+TEST(GpsWatchdog, JammingDetectionFeedsAttackTree) {
+  sim::World world(kOrigin, 81);
+  sim::UavConfig uc;
+  uc.name = "u1";
+  world.add_uav(uc, kOrigin);
+  pf::GpsWatchdog watchdog(world.bus());
+  watchdog.watch_uav("u1");
+  sesame::security::SecurityEddi eddi(
+      world.bus(), sesame::security::make_jamming_attack_tree());
+
+  auto& uav = world.uav_by_name("u1");
+  uav.command_takeoff();
+  world.run(10, 1.0);
+  EXPECT_EQ(watchdog.alerts_raised(), 0u);
+
+  // Jamming starts: fix lost while airborne.
+  uav.gps().set_signal_lost(true);
+  world.run(2, 1.0);
+  EXPECT_FALSE(eddi.attack_detected());  // below the streak threshold
+  world.run(2, 1.0);
+  EXPECT_TRUE(eddi.attack_detected());
+  EXPECT_EQ(watchdog.alerts_raised(), 1u);
+
+  // No alert storm during the outage; re-arms after recovery.
+  world.run(20, 1.0);
+  EXPECT_EQ(watchdog.alerts_raised(), 1u);
+  uav.gps().set_signal_lost(false);
+  world.run(3, 1.0);
+  uav.gps().set_signal_lost(true);
+  world.run(5, 1.0);
+  EXPECT_EQ(watchdog.alerts_raised(), 2u);
+}
+
+TEST(GpsWatchdog, GroundedVehicleNeverAlerts) {
+  sim::World world(kOrigin);
+  sim::UavConfig uc;
+  uc.name = "u1";
+  world.add_uav(uc, kOrigin);
+  pf::GpsWatchdog watchdog(world.bus());
+  watchdog.watch_uav("u1");
+  world.uav_by_name("u1").gps().set_signal_lost(true);
+  world.run(20, 1.0);  // idle on the ground with no fix
+  EXPECT_EQ(watchdog.alerts_raised(), 0u);
+  EXPECT_THROW((pf::GpsWatchdog{world.bus(), {0}}), std::invalid_argument);
+}
+
+#include "sesame/platform/config_io.hpp"
+
+TEST(ConfigIo, RoundTripsAllScenarioFields) {
+  pf::RunnerConfig cfg;
+  cfg.sesame_enabled = false;
+  cfg.dt_s = 0.5;
+  cfg.max_time_s = 777.0;
+  cfg.n_uavs = 5;
+  cfg.n_persons = 13;
+  cfg.area = {1.0, 201.0, 2.0, 302.0};
+  cfg.coverage.altitude_m = 44.0;
+  cfg.coverage.lane_spacing_m = 27.0;
+  cfg.battery_fault = pf::BatteryFaultEvent{"uav4", 123.0, 0.35, 66.0};
+  cfg.spoofing = pf::SpoofingEvent{"uav2", 45.0, 3.5};
+  cfg.seed = 987654321;
+
+  const auto doc = pf::config_to_json(cfg);
+  const auto back = pf::config_from_json(
+      sesame::eddi::ode::parse_json(doc.to_json()));
+  EXPECT_EQ(back.sesame_enabled, cfg.sesame_enabled);
+  EXPECT_DOUBLE_EQ(back.dt_s, cfg.dt_s);
+  EXPECT_DOUBLE_EQ(back.max_time_s, cfg.max_time_s);
+  EXPECT_EQ(back.n_uavs, cfg.n_uavs);
+  EXPECT_EQ(back.n_persons, cfg.n_persons);
+  EXPECT_DOUBLE_EQ(back.area.east_max, 201.0);
+  EXPECT_DOUBLE_EQ(back.coverage.altitude_m, 44.0);
+  ASSERT_TRUE(back.battery_fault.has_value());
+  EXPECT_EQ(back.battery_fault->uav, "uav4");
+  EXPECT_DOUBLE_EQ(back.battery_fault->temp_c, 66.0);
+  ASSERT_TRUE(back.spoofing.has_value());
+  EXPECT_DOUBLE_EQ(back.spoofing->walk_mps, 3.5);
+  EXPECT_EQ(back.seed, cfg.seed);
+}
+
+TEST(ConfigIo, AbsentKeysKeepDefaults) {
+  const auto cfg = pf::config_from_json(
+      sesame::eddi::ode::parse_json(R"({"n_uavs": 2})"));
+  EXPECT_EQ(cfg.n_uavs, 2u);
+  EXPECT_TRUE(cfg.sesame_enabled);  // default
+  EXPECT_FALSE(cfg.battery_fault.has_value());
+  EXPECT_DOUBLE_EQ(cfg.max_time_s, pf::RunnerConfig{}.max_time_s);
+}
+
+TEST(ConfigIo, RejectsUnknownAndMistypedKeys) {
+  EXPECT_THROW(pf::config_from_json(
+                   sesame::eddi::ode::parse_json(R"({"n_uavss": 2})")),
+               std::runtime_error);
+  EXPECT_THROW(pf::config_from_json(sesame::eddi::ode::parse_json(
+                   R"({"area": {"east_mid": 5}})")),
+               std::runtime_error);
+  EXPECT_THROW(pf::config_from_json(
+                   sesame::eddi::ode::parse_json(R"({"dt_s": "fast"})")),
+               std::invalid_argument);
+  EXPECT_THROW(pf::config_from_json(sesame::eddi::ode::parse_json(R"([1])")),
+               std::invalid_argument);
+}
+
+TEST(ConfigIo, FileRoundTrip) {
+  pf::RunnerConfig cfg;
+  cfg.n_uavs = 4;
+  cfg.spoofing = pf::SpoofingEvent{"uav3", 99.0, 1.0};
+  const std::string path = "/tmp/sesame_config_test.json";
+  pf::save_config(cfg, path);
+  const auto back = pf::load_config(path);
+  EXPECT_EQ(back.n_uavs, 4u);
+  ASSERT_TRUE(back.spoofing.has_value());
+  EXPECT_EQ(back.spoofing->uav, "uav3");
+  EXPECT_THROW(pf::load_config("/nonexistent/nope.json"), std::runtime_error);
+}

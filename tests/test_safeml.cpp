@@ -1,0 +1,398 @@
+// Tests for SafeML: distance measures against hand-computed values and
+// statistical properties, permutation testing, and the sliding-window
+// monitor's confidence mapping.
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "sesame/mathx/rng.hpp"
+#include "sesame/safeml/distances.hpp"
+#include "sesame/safeml/monitor.hpp"
+
+namespace sml = sesame::safeml;
+namespace mx = sesame::mathx;
+
+namespace {
+
+std::vector<double> normal_sample(mx::Rng& rng, std::size_t n, double mean,
+                                  double sd) {
+  std::vector<double> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) out.push_back(rng.normal(mean, sd));
+  return out;
+}
+
+}  // namespace
+
+TEST(Distances, IdenticalSamplesAreZero) {
+  const std::vector<double> xs{1.0, 2.0, 3.0, 4.0, 5.0};
+  for (auto m : sml::all_measures()) {
+    EXPECT_NEAR(sml::distance(m, xs, xs), 0.0, 1e-12) << sml::measure_name(m);
+  }
+}
+
+TEST(Distances, EmptySampleThrows) {
+  const std::vector<double> xs{1.0};
+  for (auto m : sml::all_measures()) {
+    EXPECT_THROW(sml::distance(m, {}, xs), std::invalid_argument);
+    EXPECT_THROW(sml::distance(m, xs, {}), std::invalid_argument);
+  }
+}
+
+TEST(Distances, KsDisjointSamplesIsOne) {
+  EXPECT_DOUBLE_EQ(sml::ks_distance({1.0, 2.0}, {10.0, 11.0}), 1.0);
+}
+
+TEST(Distances, KsHandComputed) {
+  // F_a steps at 1,3; F_b steps at 2,4. Max gap = 0.5.
+  EXPECT_DOUBLE_EQ(sml::ks_distance({1.0, 3.0}, {2.0, 4.0}), 0.5);
+}
+
+TEST(Distances, KsSymmetric) {
+  mx::Rng rng(3);
+  const auto a = normal_sample(rng, 50, 0.0, 1.0);
+  const auto b = normal_sample(rng, 60, 0.5, 1.2);
+  EXPECT_DOUBLE_EQ(sml::ks_distance(a, b), sml::ks_distance(b, a));
+}
+
+TEST(Distances, KuiperAtLeastKs) {
+  mx::Rng rng(5);
+  for (int i = 0; i < 10; ++i) {
+    const auto a = normal_sample(rng, 40, 0.0, 1.0);
+    const auto b = normal_sample(rng, 40, rng.uniform(-1.0, 1.0), 1.0);
+    EXPECT_GE(sml::kuiper_distance(a, b) + 1e-12, sml::ks_distance(a, b));
+  }
+}
+
+TEST(Distances, WassersteinPureShiftEqualsShift) {
+  // W1 between X and X + c is exactly |c|.
+  const std::vector<double> a{1.0, 2.0, 3.0, 4.0};
+  std::vector<double> b;
+  for (double x : a) b.push_back(x + 2.5);
+  EXPECT_NEAR(sml::wasserstein_distance(a, b), 2.5, 1e-12);
+}
+
+TEST(Distances, WassersteinScalesWithUnits) {
+  mx::Rng rng(7);
+  const auto a = normal_sample(rng, 100, 0.0, 1.0);
+  const auto b = normal_sample(rng, 100, 1.0, 1.0);
+  std::vector<double> a10, b10;
+  for (double x : a) a10.push_back(10.0 * x);
+  for (double x : b) b10.push_back(10.0 * x);
+  EXPECT_NEAR(sml::wasserstein_distance(a10, b10),
+              10.0 * sml::wasserstein_distance(a, b), 1e-9);
+}
+
+TEST(Distances, GrowWithShiftMagnitude) {
+  // Every measure should increase monotonically (statistically) with the
+  // mean shift between distributions.
+  mx::Rng rng(11);
+  const auto ref = normal_sample(rng, 400, 0.0, 1.0);
+  for (auto m : sml::all_measures()) {
+    const auto near = normal_sample(rng, 400, 0.2, 1.0);
+    const auto far = normal_sample(rng, 400, 2.0, 1.0);
+    EXPECT_LT(sml::distance(m, ref, near), sml::distance(m, ref, far))
+        << sml::measure_name(m);
+  }
+}
+
+TEST(Distances, AndersonDarlingSensitiveToTails) {
+  // Same mean/median but heavier tails: AD should detect it clearly.
+  mx::Rng rng(13);
+  const auto ref = normal_sample(rng, 500, 0.0, 1.0);
+  const auto heavy = normal_sample(rng, 500, 0.0, 3.0);
+  EXPECT_GT(sml::anderson_darling_distance(ref, heavy), 0.05);
+}
+
+TEST(Distances, CvmBoundedByKsSquared) {
+  // CvM uses squared gaps, so it is <= KS^2 * (na*nb/n^2) * steps bound;
+  // sanity: CvM <= KS * steps scale. We just check CvM <= AD since AD
+  // upweights the same integrand.
+  mx::Rng rng(17);
+  const auto a = normal_sample(rng, 100, 0.0, 1.0);
+  const auto b = normal_sample(rng, 100, 1.0, 1.0);
+  EXPECT_LE(sml::cramer_von_mises_distance(a, b),
+            sml::anderson_darling_distance(a, b) + 1e-9);
+}
+
+TEST(Distances, MeasureNamesDistinct) {
+  std::set<std::string> names;
+  for (auto m : sml::all_measures()) names.insert(sml::measure_name(m));
+  EXPECT_EQ(names.size(), sml::all_measures().size());
+}
+
+TEST(PermutationTest, SameDistributionHighP) {
+  mx::Rng rng(19);
+  const auto a = normal_sample(rng, 60, 0.0, 1.0);
+  const auto b = normal_sample(rng, 60, 0.0, 1.0);
+  const double p =
+      sml::permutation_p_value(sml::Measure::kKolmogorovSmirnov, a, b, rng, 100);
+  EXPECT_GT(p, 0.05);
+}
+
+TEST(PermutationTest, ShiftedDistributionLowP) {
+  mx::Rng rng(23);
+  const auto a = normal_sample(rng, 60, 0.0, 1.0);
+  const auto b = normal_sample(rng, 60, 1.5, 1.0);
+  const double p =
+      sml::permutation_p_value(sml::Measure::kKolmogorovSmirnov, a, b, rng, 100);
+  EXPECT_LT(p, 0.05);
+}
+
+TEST(PermutationTest, ValidatesArguments) {
+  mx::Rng rng(1);
+  const std::vector<double> xs{1.0, 2.0};
+  EXPECT_THROW(
+      sml::permutation_p_value(sml::Measure::kKolmogorovSmirnov, xs, xs, rng, 0),
+      std::invalid_argument);
+}
+
+TEST(Monitor, ConstructionValidation) {
+  sml::MonitorConfig cfg;
+  EXPECT_THROW(sml::Monitor(cfg, {}), std::invalid_argument);
+  EXPECT_THROW(sml::Monitor(cfg, {{}}), std::invalid_argument);
+  cfg.window = 1;
+  EXPECT_THROW(sml::Monitor(cfg, {{1.0, 2.0}}), std::invalid_argument);
+  cfg.window = 8;
+  cfg.full_scale = 0.0;
+  EXPECT_THROW(sml::Monitor(cfg, {{1.0, 2.0}}), std::invalid_argument);
+  cfg.full_scale = 1.0;
+  cfg.low_threshold = 0.9;
+  cfg.high_threshold = 0.5;
+  EXPECT_THROW(sml::Monitor(cfg, {{1.0, 2.0}}), std::invalid_argument);
+}
+
+TEST(Monitor, NotReadyUntilWindowFull) {
+  mx::Rng rng(29);
+  sml::MonitorConfig cfg;
+  cfg.window = 8;
+  sml::Monitor mon(cfg, {normal_sample(rng, 100, 0.0, 1.0)});
+  for (int i = 0; i < 7; ++i) {
+    mon.push({rng.normal(0.0, 1.0)});
+    EXPECT_FALSE(mon.ready());
+    EXPECT_FALSE(mon.assess().has_value());
+  }
+  mon.push({0.0});
+  EXPECT_TRUE(mon.ready());
+  EXPECT_TRUE(mon.assess().has_value());
+}
+
+TEST(Monitor, InDistributionDataHighConfidence) {
+  mx::Rng rng(31);
+  sml::MonitorConfig cfg;
+  cfg.window = 64;
+  sml::Monitor mon(cfg, {normal_sample(rng, 500, 0.0, 1.0)});
+  for (int i = 0; i < 64; ++i) mon.push({rng.normal(0.0, 1.0)});
+  const auto a = mon.assess();
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(a->level, sml::ConfidenceLevel::kHigh);
+  EXPECT_GT(a->confidence, 0.75);
+}
+
+TEST(Monitor, ShiftedDataLowConfidence) {
+  mx::Rng rng(37);
+  sml::MonitorConfig cfg;
+  cfg.window = 64;
+  sml::Monitor mon(cfg, {normal_sample(rng, 500, 0.0, 1.0)});
+  for (int i = 0; i < 64; ++i) mon.push({rng.normal(5.0, 1.0)});
+  const auto a = mon.assess();
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(a->level, sml::ConfidenceLevel::kLow);
+  EXPECT_LT(a->confidence, 0.4);
+}
+
+TEST(Monitor, SlidingWindowRecovers) {
+  // After a burst of shifted data, pushing in-distribution data slides the
+  // bad samples out and confidence recovers.
+  mx::Rng rng(41);
+  sml::MonitorConfig cfg;
+  cfg.window = 32;
+  sml::Monitor mon(cfg, {normal_sample(rng, 500, 0.0, 1.0)});
+  for (int i = 0; i < 32; ++i) mon.push({rng.normal(5.0, 1.0)});
+  const double bad = mon.assess()->confidence;
+  for (int i = 0; i < 32; ++i) mon.push({rng.normal(0.0, 1.0)});
+  const double good = mon.assess()->confidence;
+  EXPECT_GT(good, bad + 0.3);
+}
+
+TEST(Monitor, MultiFeatureAggregation) {
+  mx::Rng rng(43);
+  sml::MonitorConfig cfg;
+  cfg.window = 32;
+  sml::Monitor mon(cfg, {normal_sample(rng, 300, 0.0, 1.0),
+                         normal_sample(rng, 300, 10.0, 2.0)});
+  EXPECT_EQ(mon.num_features(), 2u);
+  for (int i = 0; i < 32; ++i) {
+    mon.push({rng.normal(0.0, 1.0), rng.normal(10.0, 2.0)});
+  }
+  EXPECT_EQ(mon.assess()->level, sml::ConfidenceLevel::kHigh);
+  EXPECT_THROW(mon.push({1.0}), std::invalid_argument);
+}
+
+TEST(Monitor, ResetClearsWindow) {
+  mx::Rng rng(47);
+  sml::MonitorConfig cfg;
+  cfg.window = 8;
+  sml::Monitor mon(cfg, {normal_sample(rng, 100, 0.0, 1.0)});
+  for (int i = 0; i < 8; ++i) mon.push({0.0});
+  EXPECT_TRUE(mon.ready());
+  mon.reset();
+  EXPECT_FALSE(mon.ready());
+  EXPECT_EQ(mon.buffered(), 0u);
+}
+
+TEST(Monitor, ConfidenceLevelNames) {
+  EXPECT_EQ(sml::confidence_level_name(sml::ConfidenceLevel::kHigh), "High");
+  EXPECT_EQ(sml::confidence_level_name(sml::ConfidenceLevel::kMedium), "Medium");
+  EXPECT_EQ(sml::confidence_level_name(sml::ConfidenceLevel::kLow), "Low");
+}
+
+#include "sesame/safeml/calibration.hpp"
+
+TEST(Calibration, ValidatesArguments) {
+  mx::Rng rng(1);
+  std::vector<std::vector<double>> ref{{1.0, 2.0, 3.0, 4.0}};
+  EXPECT_THROW(sml::calibrate_monitor(sml::Measure::kKolmogorovSmirnov, {},
+                                      4, rng),
+               std::invalid_argument);
+  EXPECT_THROW(sml::calibrate_monitor(sml::Measure::kKolmogorovSmirnov, ref,
+                                      8, rng),
+               std::invalid_argument);  // reference smaller than window
+  EXPECT_THROW(sml::calibrate_monitor(sml::Measure::kKolmogorovSmirnov, ref,
+                                      4, rng, 5),
+               std::invalid_argument);  // too few trials
+  EXPECT_THROW(sml::calibrate_monitor(sml::Measure::kKolmogorovSmirnov, ref,
+                                      4, rng, 100, 0.4, 0.7),
+               std::invalid_argument);  // thresholds inverted
+}
+
+TEST(Calibration, CleanDataClassifiesHigh) {
+  mx::Rng rng(97);
+  const auto reference = std::vector<std::vector<double>>{
+      normal_sample(rng, 500, 0.0, 1.0), normal_sample(rng, 500, 10.0, 2.0)};
+  const auto report = sml::calibrate_monitor(
+      sml::Measure::kKolmogorovSmirnov, reference, 64, rng);
+  EXPECT_GT(report.config.full_scale, 0.0);
+  EXPECT_GE(report.self_distance_p95, report.self_distance_p50);
+
+  sml::Monitor mon(report.config, reference);
+  int high = 0;
+  const int rounds = 50;
+  for (int r = 0; r < rounds; ++r) {
+    for (int i = 0; i < 64; ++i) {
+      mon.push({rng.normal(0.0, 1.0), rng.normal(10.0, 2.0)});
+    }
+    if (mon.assess()->level == sml::ConfidenceLevel::kHigh) ++high;
+  }
+  // Calibration targets ~95% High on clean data.
+  EXPECT_GT(high, rounds * 3 / 4);
+}
+
+TEST(Calibration, ShiftedDataStillFlagged) {
+  mx::Rng rng(101);
+  const auto reference =
+      std::vector<std::vector<double>>{normal_sample(rng, 500, 0.0, 1.0)};
+  const auto report = sml::calibrate_monitor(
+      sml::Measure::kWasserstein, reference, 64, rng);
+  sml::Monitor mon(report.config, reference);
+  for (int i = 0; i < 64; ++i) mon.push({rng.normal(4.0, 1.0)});
+  EXPECT_EQ(mon.assess()->level, sml::ConfidenceLevel::kLow);
+}
+
+TEST(Calibration, WorksForEveryMeasure) {
+  mx::Rng rng(103);
+  const auto reference =
+      std::vector<std::vector<double>>{normal_sample(rng, 300, 0.0, 1.0)};
+  for (auto m : sml::all_measures()) {
+    const auto report = sml::calibrate_monitor(m, reference, 32, rng, 100);
+    EXPECT_GT(report.config.full_scale, 0.0) << sml::measure_name(m);
+    EXPECT_EQ(report.config.measure, m);
+  }
+}
+
+TEST(Monitor, PerFeatureDissimilarityIsolatesDriftedChannel) {
+  mx::Rng rng(107);
+  sml::MonitorConfig cfg;
+  cfg.window = 48;
+  sml::Monitor mon(cfg, {normal_sample(rng, 300, 0.0, 1.0),
+                         normal_sample(rng, 300, 10.0, 2.0)});
+  EXPECT_TRUE(mon.per_feature_dissimilarity().empty());  // not ready yet
+  // Feature 0 stays in distribution; feature 1 drifts hard.
+  for (int i = 0; i < 48; ++i) {
+    mon.push({rng.normal(0.0, 1.0), rng.normal(30.0, 2.0)});
+  }
+  const auto per = mon.per_feature_dissimilarity();
+  ASSERT_EQ(per.size(), 2u);
+  EXPECT_LT(per[0], 0.4);
+  EXPECT_GT(per[1], 0.9);
+  // The aggregate equals the mean of the per-feature distances.
+  const auto a = mon.assess();
+  ASSERT_TRUE(a.has_value());
+  EXPECT_NEAR(a->dissimilarity, (per[0] + per[1]) / 2.0, 1e-12);
+}
+
+#include "sesame/safeml/drift.hpp"
+
+TEST(DriftDetector, ValidatesConfig) {
+  sml::DriftDetectorConfig cfg;
+  cfg.threshold = 0.0;
+  EXPECT_THROW((sml::DriftDetector{cfg}), std::invalid_argument);
+  cfg = {};
+  cfg.slack = -0.1;
+  EXPECT_THROW((sml::DriftDetector{cfg}), std::invalid_argument);
+}
+
+TEST(DriftDetector, NoAlarmOnInControlStream) {
+  mx::Rng rng(111);
+  sml::DriftDetectorConfig cfg;
+  cfg.reference = 0.10;
+  cfg.slack = 0.05;
+  cfg.threshold = 0.5;
+  sml::DriftDetector detector(cfg);
+  for (int i = 0; i < 2000; ++i) {
+    detector.push(std::max(0.0, rng.normal(0.10, 0.02)));
+  }
+  EXPECT_FALSE(detector.alarmed());
+}
+
+TEST(DriftDetector, FastDetectionOfSustainedShift) {
+  mx::Rng rng(113);
+  sml::DriftDetectorConfig cfg;
+  cfg.reference = 0.10;
+  cfg.slack = 0.05;
+  cfg.threshold = 0.5;
+  sml::DriftDetector detector(cfg);
+  for (int i = 0; i < 500; ++i) {
+    detector.push(std::max(0.0, rng.normal(0.10, 0.02)));
+  }
+  ASSERT_FALSE(detector.alarmed());
+  // Shift of +0.25 in dissimilarity: expected detection delay ~ h/(shift-k)
+  // = 0.5/0.2 ~ 3 samples.
+  int delay = 0;
+  while (!detector.push(std::max(0.0, rng.normal(0.35, 0.02)))) ++delay;
+  EXPECT_LT(delay, 10);
+  ASSERT_TRUE(detector.alarm_index().has_value());
+  EXPECT_GE(*detector.alarm_index(), 500u);
+}
+
+TEST(DriftDetector, AlarmLatchesUntilReset) {
+  sml::DriftDetector detector({0.0, 0.0, 0.1});
+  EXPECT_TRUE(detector.push(1.0));
+  EXPECT_TRUE(detector.push(0.0));  // latched despite clean sample
+  detector.reset();
+  EXPECT_FALSE(detector.alarmed());
+  EXPECT_EQ(detector.samples_seen(), 0u);
+}
+
+TEST(DriftDetector, TransientBlipDoesNotAlarm) {
+  sml::DriftDetectorConfig cfg;
+  cfg.reference = 0.1;
+  cfg.slack = 0.05;
+  cfg.threshold = 1.0;
+  sml::DriftDetector detector(cfg);
+  // One big blip then back to normal: statistic decays via the slack.
+  detector.push(0.6);
+  for (int i = 0; i < 50; ++i) detector.push(0.05);
+  EXPECT_FALSE(detector.alarmed());
+  EXPECT_LT(detector.statistic(), 0.2);
+}

@@ -1,0 +1,509 @@
+// Tests for the world simulator: battery discharge and fault injection,
+// GPS spoofing effects, UAV flight modes and navigation, camera geometry,
+// and world/bus wiring.
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "sesame/mathx/stats.hpp"
+#include "sesame/sim/camera.hpp"
+#include "sesame/sim/comm_link.hpp"
+#include "sesame/sim/world.hpp"
+
+namespace sim = sesame::sim;
+namespace geo = sesame::geo;
+
+namespace {
+
+const geo::GeoPoint kOrigin{35.1856, 33.3823, 0.0};
+
+sim::UavConfig test_uav(const std::string& name) {
+  sim::UavConfig cfg;
+  cfg.name = name;
+  cfg.gps.noise_sigma_m = 0.0;  // deterministic navigation in unit tests
+  return cfg;
+}
+
+}  // namespace
+
+TEST(Battery, DischargesUnderLoad) {
+  sim::Battery b;
+  const double initial = b.soc();
+  b.step(60.0, sim::BatteryLoad::kCruise);
+  EXPECT_LT(b.soc(), initial);
+  EXPECT_GT(b.soc(), 0.9);  // one minute should not drain much
+}
+
+TEST(Battery, IdleDrawIsSmall) {
+  sim::Battery idle, cruise;
+  idle.step(600.0, sim::BatteryLoad::kIdle);
+  cruise.step(600.0, sim::BatteryLoad::kCruise);
+  EXPECT_GT(idle.soc(), cruise.soc());
+}
+
+TEST(Battery, HeatsUpUnderLoadCoolsAtIdle) {
+  sim::Battery b;
+  for (int i = 0; i < 600; ++i) b.step(1.0, sim::BatteryLoad::kHover);
+  EXPECT_GT(b.temperature_c(), 30.0);
+  for (int i = 0; i < 1200; ++i) b.step(1.0, sim::BatteryLoad::kIdle);
+  EXPECT_LT(b.temperature_c(), 27.0);
+}
+
+TEST(Battery, ThermalFaultCollapsesSoc) {
+  sim::Battery b;
+  b.step(100.0, sim::BatteryLoad::kCruise);
+  b.inject_thermal_fault(0.40, 70.0);
+  EXPECT_NEAR(b.soc(), 0.40, 1e-12);
+  EXPECT_NEAR(b.temperature_c(), 70.0, 1e-12);
+  EXPECT_TRUE(b.fault_active());
+  EXPECT_THROW(b.inject_thermal_fault(1.5, 70.0), std::invalid_argument);
+}
+
+TEST(Battery, FaultDoesNotRaiseSoc) {
+  sim::BatteryConfig cfg;
+  cfg.initial_soc = 0.3;
+  sim::Battery b(cfg);
+  b.inject_thermal_fault(0.4, 70.0);
+  EXPECT_NEAR(b.soc(), 0.3, 1e-12);  // min(current, fault level)
+}
+
+TEST(Battery, SwapRestoresFullCharge) {
+  sim::Battery b;
+  b.inject_thermal_fault(0.4, 70.0);
+  b.swap();
+  EXPECT_DOUBLE_EQ(b.soc(), 1.0);
+  EXPECT_FALSE(b.fault_active());
+}
+
+TEST(Battery, ValidatesConfig) {
+  sim::BatteryConfig cfg;
+  cfg.capacity_wh = 0.0;
+  EXPECT_THROW(sim::Battery{cfg}, std::invalid_argument);
+  cfg.capacity_wh = 100.0;
+  cfg.initial_soc = 1.5;
+  EXPECT_THROW(sim::Battery{cfg}, std::invalid_argument);
+}
+
+TEST(Gps, HealthyFixNearTruth) {
+  sesame::mathx::Rng rng(3);
+  sim::GpsConfig cfg;
+  cfg.noise_sigma_m = 0.4;
+  sim::Gps gps(cfg, rng);
+  for (int i = 0; i < 50; ++i) {
+    const auto fix = gps.read(kOrigin, 0.1);
+    ASSERT_TRUE(fix.has_value());
+    EXPECT_LT(geo::haversine_m(fix->position, kOrigin), 3.0);
+    EXPECT_EQ(fix->satellites, cfg.healthy_satellites);
+  }
+}
+
+TEST(Gps, SpoofingWalksFixAway) {
+  sesame::mathx::Rng rng(5);
+  sim::GpsConfig cfg;
+  cfg.noise_sigma_m = 0.0;
+  cfg.spoof_drift_m_per_s = 2.0;
+  sim::Gps gps(cfg, rng);
+  gps.start_spoofing();
+  std::optional<sim::GpsFix> fix;
+  for (int i = 0; i < 100; ++i) fix = gps.read(kOrigin, 1.0);
+  ASSERT_TRUE(fix.has_value());
+  // 100 s at 2 m/s -> 200 m of offset.
+  EXPECT_NEAR(geo::haversine_m(fix->position, kOrigin), 200.0, 1.0);
+  EXPECT_NEAR(gps.spoof_offset_m(), 200.0, 1e-9);
+  gps.stop_spoofing();
+  EXPECT_DOUBLE_EQ(gps.spoof_offset_m(), 0.0);
+  const auto clean = gps.read(kOrigin, 1.0);
+  EXPECT_LT(geo::haversine_m(clean->position, kOrigin), 1.0);
+}
+
+TEST(Gps, SpoofedFixStillClaimsGoodQuality) {
+  // The receiver's self-reported quality does not reveal the attack.
+  sesame::mathx::Rng rng(7);
+  sim::Gps gps(sim::GpsConfig{}, rng);
+  gps.start_spoofing();
+  const auto fix = gps.read(kOrigin, 10.0);
+  ASSERT_TRUE(fix.has_value());
+  EXPECT_EQ(fix->satellites, sim::GpsConfig{}.healthy_satellites);
+}
+
+TEST(Gps, SignalLossAndDisable) {
+  sesame::mathx::Rng rng(9);
+  sim::Gps gps(sim::GpsConfig{}, rng);
+  gps.set_signal_lost(true);
+  EXPECT_FALSE(gps.read(kOrigin, 0.1).has_value());
+  gps.set_signal_lost(false);
+  gps.set_disabled(true);
+  EXPECT_FALSE(gps.read(kOrigin, 0.1).has_value());
+  gps.set_disabled(false);
+  EXPECT_TRUE(gps.read(kOrigin, 0.1).has_value());
+}
+
+TEST(Uav, TakeoffReachesMissionAltitude) {
+  sim::World world(kOrigin);
+  world.add_uav(test_uav("u1"), kOrigin);
+  auto& uav = world.uav(0);
+  uav.command_takeoff();
+  world.run(30, 1.0);
+  EXPECT_NEAR(uav.true_position().up_m, uav.estimated_position().up_m, 0.1);
+  EXPECT_GE(uav.true_position().up_m, 29.0);
+  EXPECT_EQ(uav.mode(), sim::FlightMode::kHold);  // no waypoints queued
+}
+
+TEST(Uav, FliesWaypointsAndHolds) {
+  sim::World world(kOrigin);
+  world.add_uav(test_uav("u1"), kOrigin);
+  auto& uav = world.uav(0);
+  uav.add_waypoint({100.0, 0.0, 30.0});
+  uav.add_waypoint({100.0, 100.0, 30.0});
+  uav.command_takeoff();
+  world.run(60, 1.0);
+  EXPECT_EQ(uav.waypoints_remaining(), 0u);
+  EXPECT_EQ(uav.mode(), sim::FlightMode::kHold);
+  EXPECT_NEAR(uav.true_position().east_m, 100.0, 5.0);
+  EXPECT_NEAR(uav.true_position().north_m, 100.0, 5.0);
+}
+
+TEST(Uav, ReturnToBaseLands) {
+  sim::World world(kOrigin);
+  world.add_uav(test_uav("u1"), kOrigin);
+  auto& uav = world.uav(0);
+  uav.add_waypoint({50.0, 0.0, 30.0});
+  uav.command_takeoff();
+  world.run(30, 1.0);
+  uav.command_return_to_base();
+  world.run(60, 1.0);
+  EXPECT_EQ(uav.mode(), sim::FlightMode::kLanded);
+  EXPECT_LT(geo::enu_ground_distance_m(uav.true_position(), {0.0, 0.0, 0.0}),
+            5.0);
+  EXPECT_FALSE(uav.airborne());
+}
+
+TEST(Uav, EmergencyLandDescendsInPlace) {
+  sim::World world(kOrigin);
+  world.add_uav(test_uav("u1"), kOrigin);
+  auto& uav = world.uav(0);
+  uav.add_waypoint({80.0, 0.0, 30.0});
+  uav.command_takeoff();
+  world.run(20, 1.0);
+  const double east_before = uav.true_position().east_m;
+  uav.command_emergency_land();
+  world.run(40, 1.0);
+  EXPECT_EQ(uav.mode(), sim::FlightMode::kLanded);
+  EXPECT_NEAR(uav.true_position().east_m, east_before, 3.0);
+  EXPECT_LE(uav.true_position().up_m, 0.1);
+}
+
+TEST(Uav, SpoofingDeviatesTrueTrajectory) {
+  sim::World world(kOrigin);
+  auto cfg = test_uav("u1");
+  cfg.gps.spoof_drift_m_per_s = 1.5;
+  cfg.gps.spoof_bearing_deg = 90.0;  // fix walks east
+  world.add_uav(cfg, kOrigin);
+  auto& uav = world.uav(0);
+  uav.add_waypoint({0.0, 300.0, 30.0});  // mission heads due north
+  uav.command_takeoff();
+  world.run(15, 1.0);
+  uav.gps().start_spoofing();
+  world.run(60, 1.0);
+  // The estimate is dragged east, so the true vehicle is pushed west.
+  EXPECT_LT(uav.true_position().east_m, -20.0);
+  EXPECT_GT(uav.estimation_error_m(), 20.0);
+}
+
+TEST(Uav, DeadReckoningDriftsWithWind) {
+  sim::World world(kOrigin);
+  world.add_uav(test_uav("u1"), kOrigin);
+  world.wind().east_mps = 1.0;  // steady breeze the estimator cannot see
+  auto& uav = world.uav(0);
+  uav.add_waypoint({0.0, 200.0, 30.0});
+  uav.command_takeoff();
+  world.run(15, 1.0);
+  uav.gps().set_signal_lost(true);
+  world.run(30, 1.0);
+  // 30 s of unobserved 1 m/s wind -> ~30 m estimation error.
+  EXPECT_GT(uav.estimation_error_m(), 20.0);
+}
+
+TEST(Uav, CorrectEstimateRestoresAccuracy) {
+  sim::World world(kOrigin);
+  world.add_uav(test_uav("u1"), kOrigin);
+  world.wind().east_mps = 1.0;
+  auto& uav = world.uav(0);
+  uav.add_waypoint({0.0, 200.0, 30.0});
+  uav.command_takeoff();
+  world.run(15, 1.0);
+  uav.gps().set_signal_lost(true);
+  world.run(30, 1.0);
+  ASSERT_GT(uav.estimation_error_m(), 10.0);
+  uav.correct_estimate(uav.true_geo());
+  EXPECT_LT(uav.estimation_error_m(), 0.1);
+}
+
+TEST(Uav, BatteryDepletionForcesEmergencyLand) {
+  sim::World world(kOrigin);
+  auto cfg = test_uav("u1");
+  cfg.battery.initial_soc = 0.002;  // nearly empty
+  world.add_uav(cfg, kOrigin);
+  auto& uav = world.uav(0);
+  uav.add_waypoint({500.0, 0.0, 30.0});
+  uav.command_takeoff();
+  world.run(120, 1.0);
+  EXPECT_TRUE(uav.mode() == sim::FlightMode::kEmergencyLand ||
+              uav.mode() == sim::FlightMode::kLanded);
+}
+
+TEST(Uav, OdometerAccumulates) {
+  sim::World world(kOrigin);
+  world.add_uav(test_uav("u1"), kOrigin);
+  auto& uav = world.uav(0);
+  uav.add_waypoint({100.0, 0.0, 30.0});
+  uav.command_takeoff();
+  world.run(40, 1.0);
+  EXPECT_GT(uav.odometer_m(), 100.0);  // climb + cruise
+}
+
+TEST(Camera, FootprintScalesWithAltitude) {
+  sim::Camera cam;
+  const auto low = cam.footprint({0.0, 0.0, 10.0});
+  const auto high = cam.footprint({0.0, 0.0, 40.0});
+  EXPECT_NEAR(high.half_width_m, 4.0 * low.half_width_m, 1e-9);
+  EXPECT_GT(high.area_m2(), low.area_m2());
+  const auto grounded = cam.footprint({0.0, 0.0, 0.0});
+  EXPECT_DOUBLE_EQ(grounded.area_m2(), 0.0);
+}
+
+TEST(Camera, GsdGrowsWithAltitude) {
+  sim::Camera cam;
+  EXPECT_GT(cam.ground_sample_distance_m(60.0),
+            cam.ground_sample_distance_m(20.0));
+  EXPECT_DOUBLE_EQ(cam.ground_sample_distance_m(0.0), 0.0);
+}
+
+TEST(Camera, VisibleFiltersByFootprint) {
+  sim::Camera cam;
+  std::vector<geo::EnuPoint> pts{{0.0, 0.0, 0.0},    // directly below
+                                 {5.0, 5.0, 0.0},    // nearby
+                                 {500.0, 0.0, 0.0}}; // far outside
+  const auto vis = cam.visible({0.0, 0.0, 30.0}, pts);
+  ASSERT_EQ(vis.size(), 2u);
+  EXPECT_EQ(vis[0], 0u);
+  EXPECT_EQ(vis[1], 1u);
+}
+
+TEST(Camera, ValidatesConfig) {
+  sim::CameraConfig cfg;
+  cfg.hfov_deg = 0.0;
+  EXPECT_THROW(sim::Camera{cfg}, std::invalid_argument);
+  cfg.hfov_deg = 69.0;
+  cfg.image_width_px = 0;
+  EXPECT_THROW(sim::Camera{cfg}, std::invalid_argument);
+}
+
+TEST(World, RejectsDuplicateUavNames) {
+  sim::World world(kOrigin);
+  world.add_uav(test_uav("u1"), kOrigin);
+  EXPECT_THROW(world.add_uav(test_uav("u1"), kOrigin), std::invalid_argument);
+}
+
+TEST(World, UavByName) {
+  sim::World world(kOrigin);
+  world.add_uav(test_uav("alpha"), kOrigin);
+  world.add_uav(test_uav("beta"), kOrigin);
+  EXPECT_EQ(world.uav_by_name("beta").name(), "beta");
+  EXPECT_THROW(world.uav_by_name("gamma"), std::out_of_range);
+}
+
+TEST(World, PublishesTelemetryEachStep) {
+  sim::World world(kOrigin);
+  world.add_uav(test_uav("u1"), kOrigin);
+  int count = 0;
+  sim::Telemetry last;
+  auto sub = world.bus().subscribe<sim::Telemetry>(
+      sim::telemetry_topic("u1"),
+      [&](const sesame::mw::MessageHeader&, const sim::Telemetry& t) {
+        ++count;
+        last = t;
+      });
+  world.run(5, 1.0);
+  EXPECT_EQ(count, 5);
+  EXPECT_EQ(last.uav, "u1");
+  EXPECT_DOUBLE_EQ(last.time_s, 5.0);
+  EXPECT_TRUE(last.gps_fix);
+}
+
+TEST(World, PositionFixChannelIsTrusted) {
+  // Publishing a falsified fix on the position_fix topic shifts the UAV's
+  // estimate — the vulnerability the spoofing scenario uses.
+  sim::World world(kOrigin);
+  world.add_uav(test_uav("u1"), kOrigin);
+  auto& uav = world.uav(0);
+  uav.gps().set_signal_lost(true);  // otherwise the next GPS read overwrites
+  const geo::GeoPoint fake = geo::destination(kOrigin, 90.0, 250.0);
+  world.bus().publish(sim::position_fix_topic("u1"), fake, "attacker", 0.0);
+  EXPECT_GT(uav.estimation_error_m(), 200.0);
+}
+
+TEST(World, PersonsBookkeeping) {
+  sim::World world(kOrigin);
+  world.add_person({10.0, 10.0, 0.0});
+  world.add_person({20.0, 20.0, 0.0});
+  EXPECT_EQ(world.persons().size(), 2u);
+  EXPECT_EQ(world.persons_detected(), 0u);
+  world.persons()[1].detected = true;
+  EXPECT_EQ(world.persons_detected(), 1u);
+}
+
+TEST(World, ClockAdvances) {
+  sim::World world(kOrigin);
+  world.run(10, 0.5);
+  EXPECT_NEAR(world.time_s(), 5.0, 1e-12);
+  EXPECT_THROW(world.step(0.0), std::invalid_argument);
+}
+
+TEST(World, DeterministicAcrossSeeds) {
+  auto run_once = [] {
+    sim::World world(kOrigin, 99);
+    auto cfg = test_uav("u1");
+    cfg.gps.noise_sigma_m = 0.5;
+    world.add_uav(cfg, kOrigin);
+    auto& uav = world.uav(0);
+    uav.add_waypoint({120.0, 80.0, 30.0});
+    uav.command_takeoff();
+    world.run(50, 1.0);
+    return uav.true_position();
+  };
+  const auto a = run_once();
+  const auto b = run_once();
+  EXPECT_DOUBLE_EQ(a.east_m, b.east_m);
+  EXPECT_DOUBLE_EQ(a.north_m, b.north_m);
+}
+
+TEST(Uav, ToleratedMotorFailureDegradesSpeed) {
+  sim::World world(kOrigin);
+  world.add_uav(test_uav("u1"), kOrigin);
+  auto& uav = world.uav(0);
+  EXPECT_DOUBLE_EQ(uav.effective_cruise_speed(), 8.0);
+  uav.fail_motor();
+  EXPECT_EQ(uav.motors_failed(), 1u);
+  EXPECT_NEAR(uav.effective_cruise_speed(), 8.0 * 0.7, 1e-12);
+  EXPECT_NE(uav.mode(), sim::FlightMode::kEmergencyLand);
+}
+
+TEST(Uav, ExceedingMotorToleranceForcesEmergencyLanding) {
+  sim::World world(kOrigin);
+  world.add_uav(test_uav("u1"), kOrigin);
+  auto& uav = world.uav(0);
+  uav.add_waypoint({100.0, 0.0, 30.0});
+  uav.command_takeoff();
+  world.run(20, 1.0);
+  ASSERT_TRUE(uav.airborne());
+  uav.fail_motor();  // tolerated (hexa default: 1)
+  EXPECT_EQ(uav.mode(), sim::FlightMode::kMission);
+  uav.fail_motor();  // loss of control
+  EXPECT_EQ(uav.mode(), sim::FlightMode::kEmergencyLand);
+  world.run(40, 1.0);
+  EXPECT_EQ(uav.mode(), sim::FlightMode::kLanded);
+}
+
+TEST(Uav, DegradedVehicleStillReachesWaypoint) {
+  sim::World world(kOrigin);
+  world.add_uav(test_uav("u1"), kOrigin);
+  auto& uav = world.uav(0);
+  uav.fail_motor();
+  uav.add_waypoint({80.0, 0.0, 30.0});
+  uav.command_takeoff();
+  world.run(60, 1.0);
+  EXPECT_EQ(uav.waypoints_remaining(), 0u);
+}
+
+TEST(CommLink, ValidatesConfig) {
+  sim::CommLinkConfig cfg;
+  cfg.nominal_range_m = 0.0;
+  EXPECT_THROW(sim::CommLink{cfg}, std::invalid_argument);
+  cfg = {};
+  cfg.max_range_m = cfg.nominal_range_m;  // max must exceed nominal
+  EXPECT_THROW(sim::CommLink{cfg}, std::invalid_argument);
+  cfg = {};
+  cfg.usable_threshold = 1.0;
+  EXPECT_THROW(sim::CommLink{cfg}, std::invalid_argument);
+}
+
+TEST(CommLink, QualityProfile) {
+  sim::CommLink link;
+  EXPECT_DOUBLE_EQ(link.quality(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(link.quality(500.0), 1.0);   // nominal edge
+  EXPECT_DOUBLE_EQ(link.quality(1500.0), 0.0);  // max edge
+  EXPECT_DOUBLE_EQ(link.quality(5000.0), 0.0);
+  // Monotone non-increasing between the edges.
+  double prev = 1.0;
+  for (double d = 500.0; d <= 1500.0; d += 100.0) {
+    const double q = link.quality(d);
+    EXPECT_LE(q, prev + 1e-12);
+    prev = q;
+  }
+  EXPECT_THROW(link.quality(-1.0), std::invalid_argument);
+}
+
+TEST(CommLink, UsableRangeConsistent) {
+  sim::CommLink link;
+  const double r = link.usable_range_m();
+  EXPECT_GT(r, link.config().nominal_range_m);
+  EXPECT_LT(r, link.config().max_range_m);
+  EXPECT_TRUE(link.usable(r - 1.0));
+  EXPECT_FALSE(link.usable(r + 1.0));
+}
+
+TEST(CommLink, FadingJitterBoundedAndCentred) {
+  sim::CommLinkConfig cfg;
+  cfg.fading_sigma = 0.1;
+  sim::CommLink link(cfg);
+  sesame::mathx::Rng rng(77);
+  sesame::mathx::RunningStats stats;
+  for (int i = 0; i < 2000; ++i) {
+    const double q = link.sample_quality(800.0, rng);
+    EXPECT_GE(q, 0.0);
+    EXPECT_LE(q, 1.0);
+    stats.add(q);
+  }
+  EXPECT_NEAR(stats.mean(), link.quality(800.0), 0.01);
+}
+
+TEST(Uav, CommandsIgnoredInWrongStates) {
+  sim::World world(kOrigin);
+  world.add_uav(test_uav("u1"), kOrigin);
+  auto& uav = world.uav(0);
+  // Grounded vehicle ignores airborne-only commands.
+  uav.command_hold();
+  EXPECT_EQ(uav.mode(), sim::FlightMode::kIdle);
+  uav.command_return_to_base();
+  EXPECT_EQ(uav.mode(), sim::FlightMode::kIdle);
+  uav.command_emergency_land();
+  EXPECT_EQ(uav.mode(), sim::FlightMode::kIdle);
+  // Takeoff works from idle, is idempotent while airborne.
+  uav.command_takeoff();
+  EXPECT_EQ(uav.mode(), sim::FlightMode::kTakeoff);
+  uav.command_takeoff();
+  EXPECT_EQ(uav.mode(), sim::FlightMode::kTakeoff);
+}
+
+TEST(Uav, RelaunchAfterLanding) {
+  sim::World world(kOrigin);
+  world.add_uav(test_uav("u1"), kOrigin);
+  auto& uav = world.uav(0);
+  uav.command_takeoff();
+  world.run(15, 1.0);
+  uav.command_return_to_base();
+  world.run(40, 1.0);
+  ASSERT_EQ(uav.mode(), sim::FlightMode::kLanded);
+  uav.command_takeoff();  // a landed vehicle can relaunch
+  world.run(20, 1.0);
+  EXPECT_TRUE(uav.airborne() || uav.mode() == sim::FlightMode::kHold);
+}
+
+TEST(Uav, WaypointTransferValidation) {
+  sim::World world(kOrigin);
+  world.add_uav(test_uav("u1"), kOrigin);
+  auto& uav = world.uav(0);
+  EXPECT_THROW(uav.transfer_waypoints_to(uav), std::invalid_argument);
+  EXPECT_THROW(uav.lower_waypoints_to(0.0), std::invalid_argument);
+}

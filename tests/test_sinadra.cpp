@@ -1,0 +1,268 @@
+// Tests for SINADRA: the SAR missed-person risk network's qualitative
+// behaviour (risk ordering across situations) and adaptation thresholds.
+#include <gtest/gtest.h>
+
+#include "sesame/sinadra/risk.hpp"
+
+namespace sn = sesame::sinadra;
+
+TEST(SarRiskModel, ValidatesConfig) {
+  sn::RiskConfig cfg;
+  cfg.rescan_threshold = 0.8;
+  cfg.descend_threshold = 0.5;
+  EXPECT_THROW(sn::SarRiskModel{cfg}, std::invalid_argument);
+}
+
+TEST(SarRiskModel, NoEvidenceGivesModerateRisk) {
+  sn::SarRiskModel model;
+  const auto r = model.assess({});
+  EXPECT_GT(r.criticality, 0.0);
+  EXPECT_LT(r.criticality, 1.0);
+  EXPECT_GE(r.p_missed_person, 0.0);
+  EXPECT_LE(r.p_missed_person, 1.0);
+}
+
+TEST(SarRiskModel, HighAltitudeRiskierThanLow) {
+  sn::SarRiskModel model;
+  sn::SituationEvidence low;
+  low.altitude = sn::AltitudeBand::kLow;
+  sn::SituationEvidence high;
+  high.altitude = sn::AltitudeBand::kHigh;
+  EXPECT_LT(model.assess(low).criticality, model.assess(high).criticality);
+}
+
+TEST(SarRiskModel, PoorVisibilityRaisesRisk) {
+  sn::SarRiskModel model;
+  sn::SituationEvidence good;
+  good.visibility = sn::Visibility::kGood;
+  sn::SituationEvidence poor;
+  poor.visibility = sn::Visibility::kPoor;
+  EXPECT_LT(model.assess(good).criticality, model.assess(poor).criticality);
+}
+
+TEST(SarRiskModel, DenseAreaRaisesRisk) {
+  sn::SarRiskModel model;
+  sn::SituationEvidence sparse;
+  sparse.density = sn::PersonDensity::kSparse;
+  sparse.altitude = sn::AltitudeBand::kHigh;
+  sn::SituationEvidence dense = sparse;
+  dense.density = sn::PersonDensity::kDense;
+  EXPECT_LT(model.assess(sparse).p_missed_person,
+            model.assess(dense).p_missed_person);
+}
+
+TEST(SarRiskModel, LowPerceptionConfidenceRaisesRisk) {
+  sn::SarRiskModel model;
+  sn::SituationEvidence confident;
+  confident.safeml = sn::PerceptionConfidence::kHigh;
+  confident.deepknowledge = sn::PerceptionConfidence::kHigh;
+  sn::SituationEvidence uncertain;
+  uncertain.safeml = sn::PerceptionConfidence::kLow;
+  uncertain.deepknowledge = sn::PerceptionConfidence::kLow;
+  EXPECT_LT(model.assess(confident).criticality,
+            model.assess(uncertain).criticality);
+}
+
+TEST(SarRiskModel, TwoMonitorsStrongerThanOne) {
+  // Concordant low confidence from both monitors is stronger evidence of
+  // degraded perception than from SafeML alone.
+  sn::SarRiskModel model;
+  sn::SituationEvidence one;
+  one.safeml = sn::PerceptionConfidence::kLow;
+  sn::SituationEvidence both = one;
+  both.deepknowledge = sn::PerceptionConfidence::kLow;
+  EXPECT_LT(model.assess(one).p_missed_person,
+            model.assess(both).p_missed_person);
+}
+
+TEST(SarRiskModel, NominalSituationProceeds) {
+  sn::SarRiskModel model;
+  sn::SituationEvidence e;
+  e.altitude = sn::AltitudeBand::kLow;
+  e.visibility = sn::Visibility::kGood;
+  e.density = sn::PersonDensity::kSparse;
+  e.safeml = sn::PerceptionConfidence::kHigh;
+  e.deepknowledge = sn::PerceptionConfidence::kHigh;
+  const auto r = model.assess(e);
+  EXPECT_EQ(r.recommendation, sn::Adaptation::kProceed);
+  EXPECT_LT(r.criticality, 0.3);
+}
+
+TEST(SarRiskModel, WorstCaseDemandsDescend) {
+  sn::SarRiskModel model;
+  sn::SituationEvidence e;
+  e.altitude = sn::AltitudeBand::kHigh;
+  e.visibility = sn::Visibility::kPoor;
+  e.density = sn::PersonDensity::kDense;
+  e.safeml = sn::PerceptionConfidence::kLow;
+  e.deepknowledge = sn::PerceptionConfidence::kLow;
+  const auto r = model.assess(e);
+  EXPECT_EQ(r.recommendation, sn::Adaptation::kDescendAndRescan);
+  EXPECT_GT(r.criticality, 0.7);
+}
+
+TEST(SarRiskModel, IntermediateCaseRescans) {
+  sn::SarRiskModel model;
+  sn::SituationEvidence e;
+  e.altitude = sn::AltitudeBand::kHigh;
+  e.density = sn::PersonDensity::kDense;
+  e.safeml = sn::PerceptionConfidence::kMedium;
+  const auto r = model.assess(e);
+  EXPECT_TRUE(r.recommendation == sn::Adaptation::kRescan ||
+              r.recommendation == sn::Adaptation::kDescendAndRescan);
+}
+
+TEST(SarRiskModel, CriticalityConsistentWithPosterior) {
+  // criticality = 0.5*P(medium) + P(high) must bound P(high).
+  sn::SarRiskModel model;
+  for (auto alt : {sn::AltitudeBand::kLow, sn::AltitudeBand::kHigh}) {
+    sn::SituationEvidence e;
+    e.altitude = alt;
+    const auto r = model.assess(e);
+    EXPECT_GE(r.criticality, r.p_missed_person);
+    EXPECT_LE(r.criticality, r.p_missed_person + 0.5 + 1e-12);
+  }
+}
+
+TEST(AdaptationNames, Distinct) {
+  EXPECT_EQ(sn::adaptation_name(sn::Adaptation::kProceed), "Proceed");
+  EXPECT_EQ(sn::adaptation_name(sn::Adaptation::kRescan), "Rescan");
+  EXPECT_EQ(sn::adaptation_name(sn::Adaptation::kDescendAndRescan),
+            "DescendAndRescan");
+}
+
+#include "sesame/sinadra/filter.hpp"
+
+TEST(RiskFilter, ValidatesConfig) {
+  sn::FilterConfig cfg;
+  cfg.alpha = 0.0;
+  EXPECT_THROW(sn::RiskFilter{cfg}, std::invalid_argument);
+  cfg.alpha = 0.5;
+  cfg.hysteresis = -0.1;
+  EXPECT_THROW(sn::RiskFilter{cfg}, std::invalid_argument);
+}
+
+TEST(RiskFilter, SmoothsCriticality) {
+  sn::RiskFilter filter;
+  sn::RiskAssessment raw;
+  raw.criticality = 1.0;
+  const auto first = filter.update(raw);
+  EXPECT_DOUBLE_EQ(first.criticality, 1.0);  // primed with first sample
+  raw.criticality = 0.0;
+  const auto second = filter.update(raw);
+  EXPECT_GT(second.criticality, 0.5);  // smoothing resists the jump
+}
+
+TEST(RiskFilter, EscalatesImmediately) {
+  sn::FilterConfig cfg;
+  cfg.alpha = 1.0;  // no smoothing: isolate the hysteresis logic
+  sn::RiskFilter filter(cfg);
+  sn::RiskAssessment raw;
+  raw.criticality = 0.8;  // above descend threshold (0.70)
+  EXPECT_EQ(filter.update(raw).recommendation,
+            sn::Adaptation::kDescendAndRescan);
+  EXPECT_EQ(filter.transitions(), 1u);
+}
+
+TEST(RiskFilter, DeEscalationNeedsHysteresisMargin) {
+  sn::FilterConfig cfg;
+  cfg.alpha = 1.0;
+  cfg.hysteresis = 0.08;
+  sn::RiskFilter filter(cfg);
+  sn::RiskAssessment raw;
+  raw.criticality = 0.5;  // above rescan threshold (0.45)
+  EXPECT_EQ(filter.update(raw).recommendation, sn::Adaptation::kRescan);
+  raw.criticality = 0.42;  // below threshold but inside the margin
+  EXPECT_EQ(filter.update(raw).recommendation, sn::Adaptation::kRescan);
+  raw.criticality = 0.30;  // clear of the margin
+  EXPECT_EQ(filter.update(raw).recommendation, sn::Adaptation::kProceed);
+}
+
+TEST(RiskFilter, SuppressesFlappingAroundThreshold) {
+  // Raw samples oscillate across the rescan threshold; the raw model would
+  // flap every sample, the filter should settle.
+  sn::SarRiskModel model;
+  sn::RiskFilter filter;
+  std::size_t raw_flaps = 0;
+  sn::Adaptation prev_raw = sn::Adaptation::kProceed;
+  for (int i = 0; i < 60; ++i) {
+    sn::RiskAssessment raw;
+    raw.criticality = (i % 2 == 0) ? 0.48 : 0.42;  // straddles 0.45
+    raw.recommendation = raw.criticality >= 0.45 ? sn::Adaptation::kRescan
+                                                 : sn::Adaptation::kProceed;
+    if (raw.recommendation != prev_raw) ++raw_flaps;
+    prev_raw = raw.recommendation;
+    filter.update(raw);
+  }
+  EXPECT_GT(raw_flaps, 20u);           // raw decision flaps constantly
+  EXPECT_LE(filter.transitions(), 2u);  // filtered decision settles
+}
+
+TEST(RiskFilter, ResetClearsState) {
+  sn::RiskFilter filter;
+  sn::RiskAssessment raw;
+  raw.criticality = 0.9;
+  filter.update(raw);
+  filter.reset();
+  EXPECT_DOUBLE_EQ(filter.smoothed_criticality(), 0.0);
+  EXPECT_EQ(filter.current_recommendation(), sn::Adaptation::kProceed);
+  EXPECT_EQ(filter.transitions(), 0u);
+}
+
+TEST(SarRiskModel, ExplainNamesMostProbableSituation) {
+  sn::SarRiskModel model;
+  // Good conditions: the most probable explanation is good detection.
+  sn::SituationEvidence good;
+  good.altitude = sn::AltitudeBand::kLow;
+  good.visibility = sn::Visibility::kGood;
+  good.safeml = sn::PerceptionConfidence::kHigh;
+  EXPECT_EQ(model.explain(good).detection_quality, "good");
+
+  // Degraded conditions: the explanation flips to poor detection.
+  sn::SituationEvidence bad;
+  bad.altitude = sn::AltitudeBand::kHigh;
+  bad.visibility = sn::Visibility::kPoor;
+  bad.safeml = sn::PerceptionConfidence::kLow;
+  bad.deepknowledge = sn::PerceptionConfidence::kLow;
+  EXPECT_EQ(model.explain(bad).detection_quality, "poor");
+}
+
+TEST(SarRiskModel, ExplanationKeepsEvidenceStates) {
+  sn::SarRiskModel model;
+  sn::SituationEvidence e;
+  e.altitude = sn::AltitudeBand::kMedium;
+  e.density = sn::PersonDensity::kDense;
+  const auto expl = model.explain(e);
+  EXPECT_EQ(expl.situation.at("altitude"), "medium");
+  EXPECT_EQ(expl.situation.at("density"), "dense");
+  // Every network variable appears.
+  EXPECT_EQ(expl.situation.size(), model.network().num_variables());
+}
+
+TEST(RiskFilter, SmoothsModelDrivenAltitudeTransition) {
+  // Feed the filter real model assessments across an altitude climb: the
+  // recommendation escalates once and does not flap on the way.
+  sn::SarRiskModel model;
+  sn::RiskFilter filter;
+  std::size_t flaps_before = filter.transitions();
+  for (int i = 0; i < 10; ++i) {
+    sn::SituationEvidence e;
+    e.altitude = sn::AltitudeBand::kLow;
+    e.safeml = sn::PerceptionConfidence::kHigh;
+    filter.update(model.assess(e));
+  }
+  EXPECT_EQ(filter.current_recommendation(), sn::Adaptation::kProceed);
+  for (int i = 0; i < 30; ++i) {
+    sn::SituationEvidence e;
+    e.altitude = sn::AltitudeBand::kHigh;
+    e.visibility = sn::Visibility::kPoor;
+    e.safeml = sn::PerceptionConfidence::kLow;
+    e.deepknowledge = sn::PerceptionConfidence::kLow;
+    e.density = sn::PersonDensity::kDense;
+    filter.update(model.assess(e));
+  }
+  EXPECT_EQ(filter.current_recommendation(),
+            sn::Adaptation::kDescendAndRescan);
+  // Escalation happened in at most two steps (Proceed->Rescan->Descend).
+  EXPECT_LE(filter.transitions() - flaps_before, 2u);
+}
