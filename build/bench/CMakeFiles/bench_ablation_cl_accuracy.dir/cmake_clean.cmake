@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_cl_accuracy.dir/bench_ablation_cl_accuracy.cpp.o"
+  "CMakeFiles/bench_ablation_cl_accuracy.dir/bench_ablation_cl_accuracy.cpp.o.d"
+  "bench_ablation_cl_accuracy"
+  "bench_ablation_cl_accuracy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_cl_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_safeml_measures.dir/bench_ablation_safeml_measures.cpp.o"
+  "CMakeFiles/bench_ablation_safeml_measures.dir/bench_ablation_safeml_measures.cpp.o.d"
+  "bench_ablation_safeml_measures"
+  "bench_ablation_safeml_measures.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_safeml_measures.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

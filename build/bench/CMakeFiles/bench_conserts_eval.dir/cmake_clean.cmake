@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_conserts_eval.dir/bench_conserts_eval.cpp.o"
+  "CMakeFiles/bench_conserts_eval.dir/bench_conserts_eval.cpp.o.d"
+  "bench_conserts_eval"
+  "bench_conserts_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_conserts_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

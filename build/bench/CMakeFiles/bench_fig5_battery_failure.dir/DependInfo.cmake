@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig5_battery_failure.cpp" "bench/CMakeFiles/bench_fig5_battery_failure.dir/bench_fig5_battery_failure.cpp.o" "gcc" "bench/CMakeFiles/bench_fig5_battery_failure.dir/bench_fig5_battery_failure.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/sesame_platform.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sesame_eddi.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sesame_conserts.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sesame_safedrones.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sesame_fta.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sesame_markov.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sesame_safeml.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sesame_sinadra.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sesame_bayes.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sesame_sar.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sesame_perception.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sesame_deepknowledge.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sesame_localization.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sesame_security.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sesame_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sesame_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sesame_mathx.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sesame_mw.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

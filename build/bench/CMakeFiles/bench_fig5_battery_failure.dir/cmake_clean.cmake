@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_battery_failure.dir/bench_fig5_battery_failure.cpp.o"
+  "CMakeFiles/bench_fig5_battery_failure.dir/bench_fig5_battery_failure.cpp.o.d"
+  "bench_fig5_battery_failure"
+  "bench_fig5_battery_failure.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_battery_failure.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

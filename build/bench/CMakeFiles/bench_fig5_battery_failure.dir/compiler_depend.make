@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_fig5_battery_failure.
+# This may be replaced when dependencies are built.

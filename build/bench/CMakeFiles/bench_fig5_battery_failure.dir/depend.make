@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig5_battery_failure.
+# This may be replaced when dependencies are built.

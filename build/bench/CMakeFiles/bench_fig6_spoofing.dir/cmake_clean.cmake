@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_spoofing.dir/bench_fig6_spoofing.cpp.o"
+  "CMakeFiles/bench_fig6_spoofing.dir/bench_fig6_spoofing.cpp.o.d"
+  "bench_fig6_spoofing"
+  "bench_fig6_spoofing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_spoofing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

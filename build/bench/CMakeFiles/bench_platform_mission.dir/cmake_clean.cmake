@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_platform_mission.dir/bench_platform_mission.cpp.o"
+  "CMakeFiles/bench_platform_mission.dir/bench_platform_mission.cpp.o.d"
+  "bench_platform_mission"
+  "bench_platform_mission.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_platform_mission.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fleet_dashboard.dir/fleet_dashboard.cpp.o"
+  "CMakeFiles/fleet_dashboard.dir/fleet_dashboard.cpp.o.d"
+  "fleet_dashboard"
+  "fleet_dashboard.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fleet_dashboard.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/reliability_monitor.cpp" "examples/CMakeFiles/reliability_monitor.dir/reliability_monitor.cpp.o" "gcc" "examples/CMakeFiles/reliability_monitor.dir/reliability_monitor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/sesame_safedrones.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sesame_fta.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sesame_markov.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sesame_mathx.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reliability_monitor.dir/reliability_monitor.cpp.o"
+  "CMakeFiles/reliability_monitor.dir/reliability_monitor.cpp.o.d"
+  "reliability_monitor"
+  "reliability_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reliability_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sar_mission.dir/sar_mission.cpp.o"
+  "CMakeFiles/sar_mission.dir/sar_mission.cpp.o.d"
+  "sar_mission"
+  "sar_mission.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sar_mission.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for sar_mission.
+# This may be replaced when dependencies are built.

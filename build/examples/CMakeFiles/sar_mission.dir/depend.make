@@ -1,0 +1,2 @@
+# Empty dependencies file for sar_mission.
+# This may be replaced when dependencies are built.

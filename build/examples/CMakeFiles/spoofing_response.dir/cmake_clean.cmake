@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spoofing_response.dir/spoofing_response.cpp.o"
+  "CMakeFiles/spoofing_response.dir/spoofing_response.cpp.o.d"
+  "spoofing_response"
+  "spoofing_response.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spoofing_response.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

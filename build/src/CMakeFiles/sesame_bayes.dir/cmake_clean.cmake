@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sesame_bayes.dir/bayes/network.cpp.o"
+  "CMakeFiles/sesame_bayes.dir/bayes/network.cpp.o.d"
+  "libsesame_bayes.a"
+  "libsesame_bayes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sesame_bayes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

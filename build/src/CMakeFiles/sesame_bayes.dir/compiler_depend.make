@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for sesame_bayes.
+# This may be replaced when dependencies are built.

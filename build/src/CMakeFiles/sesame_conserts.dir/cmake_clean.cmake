@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sesame_conserts.dir/conserts/assurance_trace.cpp.o"
+  "CMakeFiles/sesame_conserts.dir/conserts/assurance_trace.cpp.o.d"
+  "CMakeFiles/sesame_conserts.dir/conserts/consert.cpp.o"
+  "CMakeFiles/sesame_conserts.dir/conserts/consert.cpp.o.d"
+  "CMakeFiles/sesame_conserts.dir/conserts/uav_network.cpp.o"
+  "CMakeFiles/sesame_conserts.dir/conserts/uav_network.cpp.o.d"
+  "libsesame_conserts.a"
+  "libsesame_conserts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sesame_conserts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

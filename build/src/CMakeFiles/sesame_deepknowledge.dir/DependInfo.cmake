@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/deepknowledge/analysis.cpp" "src/CMakeFiles/sesame_deepknowledge.dir/deepknowledge/analysis.cpp.o" "gcc" "src/CMakeFiles/sesame_deepknowledge.dir/deepknowledge/analysis.cpp.o.d"
+  "/root/repo/src/deepknowledge/mlp.cpp" "src/CMakeFiles/sesame_deepknowledge.dir/deepknowledge/mlp.cpp.o" "gcc" "src/CMakeFiles/sesame_deepknowledge.dir/deepknowledge/mlp.cpp.o.d"
+  "/root/repo/src/deepknowledge/test_selection.cpp" "src/CMakeFiles/sesame_deepknowledge.dir/deepknowledge/test_selection.cpp.o" "gcc" "src/CMakeFiles/sesame_deepknowledge.dir/deepknowledge/test_selection.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/sesame_mathx.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sesame_deepknowledge.dir/deepknowledge/analysis.cpp.o"
+  "CMakeFiles/sesame_deepknowledge.dir/deepknowledge/analysis.cpp.o.d"
+  "CMakeFiles/sesame_deepknowledge.dir/deepknowledge/mlp.cpp.o"
+  "CMakeFiles/sesame_deepknowledge.dir/deepknowledge/mlp.cpp.o.d"
+  "CMakeFiles/sesame_deepknowledge.dir/deepknowledge/test_selection.cpp.o"
+  "CMakeFiles/sesame_deepknowledge.dir/deepknowledge/test_selection.cpp.o.d"
+  "libsesame_deepknowledge.a"
+  "libsesame_deepknowledge.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sesame_deepknowledge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

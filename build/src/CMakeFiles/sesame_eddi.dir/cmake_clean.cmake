@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sesame_eddi.dir/eddi/consert_ode.cpp.o"
+  "CMakeFiles/sesame_eddi.dir/eddi/consert_ode.cpp.o.d"
+  "CMakeFiles/sesame_eddi.dir/eddi/ode.cpp.o"
+  "CMakeFiles/sesame_eddi.dir/eddi/ode.cpp.o.d"
+  "CMakeFiles/sesame_eddi.dir/eddi/uav_eddi.cpp.o"
+  "CMakeFiles/sesame_eddi.dir/eddi/uav_eddi.cpp.o.d"
+  "libsesame_eddi.a"
+  "libsesame_eddi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sesame_eddi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sesame_fta.dir/fta/fault_tree.cpp.o"
+  "CMakeFiles/sesame_fta.dir/fta/fault_tree.cpp.o.d"
+  "libsesame_fta.a"
+  "libsesame_fta.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sesame_fta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

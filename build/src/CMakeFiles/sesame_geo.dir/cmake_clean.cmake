@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sesame_geo.dir/geo/fix.cpp.o"
+  "CMakeFiles/sesame_geo.dir/geo/fix.cpp.o.d"
+  "CMakeFiles/sesame_geo.dir/geo/geodesy.cpp.o"
+  "CMakeFiles/sesame_geo.dir/geo/geodesy.cpp.o.d"
+  "libsesame_geo.a"
+  "libsesame_geo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sesame_geo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

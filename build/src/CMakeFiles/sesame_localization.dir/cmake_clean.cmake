@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sesame_localization.dir/localization/collaborative.cpp.o"
+  "CMakeFiles/sesame_localization.dir/localization/collaborative.cpp.o.d"
+  "libsesame_localization.a"
+  "libsesame_localization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sesame_localization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sesame_markov.dir/markov/ctmc.cpp.o"
+  "CMakeFiles/sesame_markov.dir/markov/ctmc.cpp.o.d"
+  "CMakeFiles/sesame_markov.dir/markov/simulate.cpp.o"
+  "CMakeFiles/sesame_markov.dir/markov/simulate.cpp.o.d"
+  "libsesame_markov.a"
+  "libsesame_markov.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sesame_markov.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsesame_markov.a"
+)

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sesame_mathx.dir/mathx/matrix.cpp.o"
+  "CMakeFiles/sesame_mathx.dir/mathx/matrix.cpp.o.d"
+  "CMakeFiles/sesame_mathx.dir/mathx/rng.cpp.o"
+  "CMakeFiles/sesame_mathx.dir/mathx/rng.cpp.o.d"
+  "CMakeFiles/sesame_mathx.dir/mathx/stats.cpp.o"
+  "CMakeFiles/sesame_mathx.dir/mathx/stats.cpp.o.d"
+  "libsesame_mathx.a"
+  "libsesame_mathx.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sesame_mathx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

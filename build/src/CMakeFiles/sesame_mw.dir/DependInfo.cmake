@@ -1,0 +1,20 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mw/bus.cpp" "src/CMakeFiles/sesame_mw.dir/mw/bus.cpp.o" "gcc" "src/CMakeFiles/sesame_mw.dir/mw/bus.cpp.o.d"
+  "/root/repo/src/mw/node.cpp" "src/CMakeFiles/sesame_mw.dir/mw/node.cpp.o" "gcc" "src/CMakeFiles/sesame_mw.dir/mw/node.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sesame_mw.dir/mw/bus.cpp.o"
+  "CMakeFiles/sesame_mw.dir/mw/bus.cpp.o.d"
+  "CMakeFiles/sesame_mw.dir/mw/node.cpp.o"
+  "CMakeFiles/sesame_mw.dir/mw/node.cpp.o.d"
+  "libsesame_mw.a"
+  "libsesame_mw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sesame_mw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sesame_perception.dir/perception/detector.cpp.o"
+  "CMakeFiles/sesame_perception.dir/perception/detector.cpp.o.d"
+  "CMakeFiles/sesame_perception.dir/perception/tracker.cpp.o"
+  "CMakeFiles/sesame_perception.dir/perception/tracker.cpp.o.d"
+  "libsesame_perception.a"
+  "libsesame_perception.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sesame_perception.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

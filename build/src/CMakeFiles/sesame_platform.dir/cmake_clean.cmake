@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sesame_platform.dir/platform/config_io.cpp.o"
+  "CMakeFiles/sesame_platform.dir/platform/config_io.cpp.o.d"
+  "CMakeFiles/sesame_platform.dir/platform/database.cpp.o"
+  "CMakeFiles/sesame_platform.dir/platform/database.cpp.o.d"
+  "CMakeFiles/sesame_platform.dir/platform/gcs.cpp.o"
+  "CMakeFiles/sesame_platform.dir/platform/gcs.cpp.o.d"
+  "CMakeFiles/sesame_platform.dir/platform/gps_watchdog.cpp.o"
+  "CMakeFiles/sesame_platform.dir/platform/gps_watchdog.cpp.o.d"
+  "CMakeFiles/sesame_platform.dir/platform/managers.cpp.o"
+  "CMakeFiles/sesame_platform.dir/platform/managers.cpp.o.d"
+  "CMakeFiles/sesame_platform.dir/platform/mission_runner.cpp.o"
+  "CMakeFiles/sesame_platform.dir/platform/mission_runner.cpp.o.d"
+  "CMakeFiles/sesame_platform.dir/platform/report.cpp.o"
+  "CMakeFiles/sesame_platform.dir/platform/report.cpp.o.d"
+  "libsesame_platform.a"
+  "libsesame_platform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sesame_platform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

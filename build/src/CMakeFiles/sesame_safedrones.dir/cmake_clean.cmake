@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sesame_safedrones.dir/safedrones/models.cpp.o"
+  "CMakeFiles/sesame_safedrones.dir/safedrones/models.cpp.o.d"
+  "CMakeFiles/sesame_safedrones.dir/safedrones/uav_reliability.cpp.o"
+  "CMakeFiles/sesame_safedrones.dir/safedrones/uav_reliability.cpp.o.d"
+  "libsesame_safedrones.a"
+  "libsesame_safedrones.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sesame_safedrones.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

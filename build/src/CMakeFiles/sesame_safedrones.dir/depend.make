@@ -1,0 +1,2 @@
+# Empty dependencies file for sesame_safedrones.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/safeml/calibration.cpp" "src/CMakeFiles/sesame_safeml.dir/safeml/calibration.cpp.o" "gcc" "src/CMakeFiles/sesame_safeml.dir/safeml/calibration.cpp.o.d"
+  "/root/repo/src/safeml/distances.cpp" "src/CMakeFiles/sesame_safeml.dir/safeml/distances.cpp.o" "gcc" "src/CMakeFiles/sesame_safeml.dir/safeml/distances.cpp.o.d"
+  "/root/repo/src/safeml/drift.cpp" "src/CMakeFiles/sesame_safeml.dir/safeml/drift.cpp.o" "gcc" "src/CMakeFiles/sesame_safeml.dir/safeml/drift.cpp.o.d"
+  "/root/repo/src/safeml/monitor.cpp" "src/CMakeFiles/sesame_safeml.dir/safeml/monitor.cpp.o" "gcc" "src/CMakeFiles/sesame_safeml.dir/safeml/monitor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/sesame_mathx.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

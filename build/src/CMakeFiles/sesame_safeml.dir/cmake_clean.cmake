@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sesame_safeml.dir/safeml/calibration.cpp.o"
+  "CMakeFiles/sesame_safeml.dir/safeml/calibration.cpp.o.d"
+  "CMakeFiles/sesame_safeml.dir/safeml/distances.cpp.o"
+  "CMakeFiles/sesame_safeml.dir/safeml/distances.cpp.o.d"
+  "CMakeFiles/sesame_safeml.dir/safeml/drift.cpp.o"
+  "CMakeFiles/sesame_safeml.dir/safeml/drift.cpp.o.d"
+  "CMakeFiles/sesame_safeml.dir/safeml/monitor.cpp.o"
+  "CMakeFiles/sesame_safeml.dir/safeml/monitor.cpp.o.d"
+  "libsesame_safeml.a"
+  "libsesame_safeml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sesame_safeml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

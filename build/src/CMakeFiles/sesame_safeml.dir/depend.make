@@ -1,0 +1,2 @@
+# Empty dependencies file for sesame_safeml.
+# This may be replaced when dependencies are built.

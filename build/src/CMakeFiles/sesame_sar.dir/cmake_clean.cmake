@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sesame_sar.dir/sar/coverage.cpp.o"
+  "CMakeFiles/sesame_sar.dir/sar/coverage.cpp.o.d"
+  "CMakeFiles/sesame_sar.dir/sar/coverage_tracker.cpp.o"
+  "CMakeFiles/sesame_sar.dir/sar/coverage_tracker.cpp.o.d"
+  "CMakeFiles/sesame_sar.dir/sar/mission.cpp.o"
+  "CMakeFiles/sesame_sar.dir/sar/mission.cpp.o.d"
+  "libsesame_sar.a"
+  "libsesame_sar.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sesame_sar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/security/attack_tree.cpp" "src/CMakeFiles/sesame_security.dir/security/attack_tree.cpp.o" "gcc" "src/CMakeFiles/sesame_security.dir/security/attack_tree.cpp.o.d"
+  "/root/repo/src/security/ids.cpp" "src/CMakeFiles/sesame_security.dir/security/ids.cpp.o" "gcc" "src/CMakeFiles/sesame_security.dir/security/ids.cpp.o.d"
+  "/root/repo/src/security/security_eddi.cpp" "src/CMakeFiles/sesame_security.dir/security/security_eddi.cpp.o" "gcc" "src/CMakeFiles/sesame_security.dir/security/security_eddi.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/sesame_mw.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sesame_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sesame_mathx.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

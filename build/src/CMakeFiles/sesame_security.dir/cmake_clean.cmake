@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sesame_security.dir/security/attack_tree.cpp.o"
+  "CMakeFiles/sesame_security.dir/security/attack_tree.cpp.o.d"
+  "CMakeFiles/sesame_security.dir/security/ids.cpp.o"
+  "CMakeFiles/sesame_security.dir/security/ids.cpp.o.d"
+  "CMakeFiles/sesame_security.dir/security/security_eddi.cpp.o"
+  "CMakeFiles/sesame_security.dir/security/security_eddi.cpp.o.d"
+  "libsesame_security.a"
+  "libsesame_security.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sesame_security.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/battery.cpp" "src/CMakeFiles/sesame_sim.dir/sim/battery.cpp.o" "gcc" "src/CMakeFiles/sesame_sim.dir/sim/battery.cpp.o.d"
+  "/root/repo/src/sim/camera.cpp" "src/CMakeFiles/sesame_sim.dir/sim/camera.cpp.o" "gcc" "src/CMakeFiles/sesame_sim.dir/sim/camera.cpp.o.d"
+  "/root/repo/src/sim/comm_link.cpp" "src/CMakeFiles/sesame_sim.dir/sim/comm_link.cpp.o" "gcc" "src/CMakeFiles/sesame_sim.dir/sim/comm_link.cpp.o.d"
+  "/root/repo/src/sim/gps.cpp" "src/CMakeFiles/sesame_sim.dir/sim/gps.cpp.o" "gcc" "src/CMakeFiles/sesame_sim.dir/sim/gps.cpp.o.d"
+  "/root/repo/src/sim/uav.cpp" "src/CMakeFiles/sesame_sim.dir/sim/uav.cpp.o" "gcc" "src/CMakeFiles/sesame_sim.dir/sim/uav.cpp.o.d"
+  "/root/repo/src/sim/world.cpp" "src/CMakeFiles/sesame_sim.dir/sim/world.cpp.o" "gcc" "src/CMakeFiles/sesame_sim.dir/sim/world.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/sesame_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sesame_mw.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sesame_mathx.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sesame_sim.dir/sim/battery.cpp.o"
+  "CMakeFiles/sesame_sim.dir/sim/battery.cpp.o.d"
+  "CMakeFiles/sesame_sim.dir/sim/camera.cpp.o"
+  "CMakeFiles/sesame_sim.dir/sim/camera.cpp.o.d"
+  "CMakeFiles/sesame_sim.dir/sim/comm_link.cpp.o"
+  "CMakeFiles/sesame_sim.dir/sim/comm_link.cpp.o.d"
+  "CMakeFiles/sesame_sim.dir/sim/gps.cpp.o"
+  "CMakeFiles/sesame_sim.dir/sim/gps.cpp.o.d"
+  "CMakeFiles/sesame_sim.dir/sim/uav.cpp.o"
+  "CMakeFiles/sesame_sim.dir/sim/uav.cpp.o.d"
+  "CMakeFiles/sesame_sim.dir/sim/world.cpp.o"
+  "CMakeFiles/sesame_sim.dir/sim/world.cpp.o.d"
+  "libsesame_sim.a"
+  "libsesame_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sesame_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sinadra/filter.cpp" "src/CMakeFiles/sesame_sinadra.dir/sinadra/filter.cpp.o" "gcc" "src/CMakeFiles/sesame_sinadra.dir/sinadra/filter.cpp.o.d"
+  "/root/repo/src/sinadra/risk.cpp" "src/CMakeFiles/sesame_sinadra.dir/sinadra/risk.cpp.o" "gcc" "src/CMakeFiles/sesame_sinadra.dir/sinadra/risk.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/sesame_bayes.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sesame_mathx.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sesame_sinadra.dir/sinadra/filter.cpp.o"
+  "CMakeFiles/sesame_sinadra.dir/sinadra/filter.cpp.o.d"
+  "CMakeFiles/sesame_sinadra.dir/sinadra/risk.cpp.o"
+  "CMakeFiles/sesame_sinadra.dir/sinadra/risk.cpp.o.d"
+  "libsesame_sinadra.a"
+  "libsesame_sinadra.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sesame_sinadra.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_conserts.dir/test_conserts.cpp.o"
+  "CMakeFiles/test_conserts.dir/test_conserts.cpp.o.d"
+  "test_conserts"
+  "test_conserts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_conserts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

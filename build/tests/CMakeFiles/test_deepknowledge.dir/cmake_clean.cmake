@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_deepknowledge.dir/test_deepknowledge.cpp.o"
+  "CMakeFiles/test_deepknowledge.dir/test_deepknowledge.cpp.o.d"
+  "test_deepknowledge"
+  "test_deepknowledge.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_deepknowledge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

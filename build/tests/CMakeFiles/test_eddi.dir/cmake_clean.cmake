@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_eddi.dir/test_eddi.cpp.o"
+  "CMakeFiles/test_eddi.dir/test_eddi.cpp.o.d"
+  "test_eddi"
+  "test_eddi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_eddi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

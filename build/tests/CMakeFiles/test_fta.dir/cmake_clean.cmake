@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fta.dir/test_fta.cpp.o"
+  "CMakeFiles/test_fta.dir/test_fta.cpp.o.d"
+  "test_fta"
+  "test_fta.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mathx.dir/test_mathx.cpp.o"
+  "CMakeFiles/test_mathx.dir/test_mathx.cpp.o.d"
+  "test_mathx"
+  "test_mathx.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mathx.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

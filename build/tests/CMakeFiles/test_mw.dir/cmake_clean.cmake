@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mw.dir/test_mw.cpp.o"
+  "CMakeFiles/test_mw.dir/test_mw.cpp.o.d"
+  "test_mw"
+  "test_mw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

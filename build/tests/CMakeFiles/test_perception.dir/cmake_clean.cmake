@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_perception.dir/test_perception.cpp.o"
+  "CMakeFiles/test_perception.dir/test_perception.cpp.o.d"
+  "test_perception"
+  "test_perception.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_perception.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

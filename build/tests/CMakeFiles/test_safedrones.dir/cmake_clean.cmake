@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_safedrones.dir/test_safedrones.cpp.o"
+  "CMakeFiles/test_safedrones.dir/test_safedrones.cpp.o.d"
+  "test_safedrones"
+  "test_safedrones.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_safedrones.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

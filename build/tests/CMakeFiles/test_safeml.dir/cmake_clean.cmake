@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_safeml.dir/test_safeml.cpp.o"
+  "CMakeFiles/test_safeml.dir/test_safeml.cpp.o.d"
+  "test_safeml"
+  "test_safeml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_safeml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

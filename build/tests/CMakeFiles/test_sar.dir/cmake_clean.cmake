@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sar.dir/test_sar.cpp.o"
+  "CMakeFiles/test_sar.dir/test_sar.cpp.o.d"
+  "test_sar"
+  "test_sar.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_security.dir/test_security.cpp.o"
+  "CMakeFiles/test_security.dir/test_security.cpp.o.d"
+  "test_security"
+  "test_security.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_security.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

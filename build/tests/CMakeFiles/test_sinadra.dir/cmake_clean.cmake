@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sinadra.dir/test_sinadra.cpp.o"
+  "CMakeFiles/test_sinadra.dir/test_sinadra.cpp.o.d"
+  "test_sinadra"
+  "test_sinadra.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sinadra.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
