@@ -6,6 +6,7 @@
 
 #include <cstdio>
 
+#include "sesame/obs/observability.hpp"
 #include "sesame/platform/mission_runner.hpp"
 
 namespace {
@@ -87,6 +88,25 @@ void BM_MissionWithSesame(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_MissionWithSesame)->Unit(benchmark::kMillisecond);
+
+// Observability overhead: the same mission with the full metrics registry
+// attached and every span/event delivered to a sink that discards them —
+// the acceptance bar is < 5% regression vs BM_MissionWithSesame.
+struct NullSink final : obs::TraceSink {
+  void consume(const obs::TraceEvent&) override {}
+};
+
+void BM_MissionWithSesameObserved(benchmark::State& state) {
+  NullSink sink;
+  for (auto _ : state) {
+    obs::Observability o;
+    o.tracer.set_sink(&sink);
+    platform::MissionRunner runner(mission_config(true));
+    runner.attach_observability(o);
+    benchmark::DoNotOptimize(runner.run());
+  }
+}
+BENCHMARK(BM_MissionWithSesameObserved)->Unit(benchmark::kMillisecond);
 
 void BM_MissionBaseline(benchmark::State& state) {
   for (auto _ : state) {

@@ -1,12 +1,14 @@
 // Fleet dashboard: what the paper's web GUI / ground control station
 // renders — live fleet status from the Database Manager, the ConSert
-// decisions, and the ODE interchange documents a certification authority
-// would pull from the platform.
+// decisions, runtime metrics from the observability layer, and the ODE
+// interchange documents a certification authority would pull from the
+// platform.
 //
 // Run: ./build/examples/fleet_dashboard
 #include <cstdio>
 
 #include "sesame/eddi/consert_ode.hpp"
+#include "sesame/obs/observability.hpp"
 #include "sesame/platform/database.hpp"
 #include "sesame/platform/gcs.hpp"
 #include "sesame/platform/mission_runner.hpp"
@@ -22,6 +24,11 @@ int main() {
   config.battery_fault = platform::BatteryFaultEvent{"uav3", 120.0, 0.40, 70.0};
 
   platform::MissionRunner runner(config);
+
+  // Runtime telemetry about the platform itself: per-topic bus counters,
+  // step-duration histogram, ConSert evaluation count (docs/OBSERVABILITY.md).
+  obs::Observability o;
+  runner.attach_observability(o);
 
   // The dashboard's data source: a GCS-side database fed over the bus,
   // with the ground control station logging operational events.
@@ -83,6 +90,28 @@ int main() {
   }
   std::printf("\n area coverage: %.1f %% of the mission area imaged\n",
               100.0 * result.area_coverage);
+
+  // Observability: what a Prometheus scrape of this run would show.
+  double publishes = 0.0;
+  std::size_t topics = 0;
+  for (const auto& s : o.metrics.snapshot().samples) {
+    if (s.name == "sesame.mw.publish_total") {
+      publishes += s.value;
+      ++topics;
+    }
+  }
+  const auto& step_hist =
+      o.metrics.histogram("sesame.sim.step_duration_seconds");
+  std::printf("\n runtime metrics (%zu series; full dump: scenario_cli"
+              " --metrics):\n", o.metrics.series_count());
+  std::printf("   bus traffic  : %.0f publications on %zu topics, %.0f"
+              " rejected\n", publishes, topics,
+              o.metrics.counter("sesame.mw.rejected_total").value());
+  std::printf("   world step   : p50 %.1f us / p99 %.1f us over %zu steps\n",
+              1e6 * step_hist.quantile(0.50), 1e6 * step_hist.quantile(0.99),
+              step_hist.count());
+  std::printf("   consert evals: %.0f periodic evaluations\n",
+              o.metrics.counter("sesame.mission.consert_evals_total").value());
 
   // ODE interchange: the assurance models the platform would hand to a
   // certification workflow.

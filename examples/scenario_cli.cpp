@@ -7,18 +7,26 @@
 //                [--altitude-m A] [--persons P] [--baseline]
 //                [--battery-fault UAV:T] [--spoof UAV:T] [--seed S]
 //                [--csv PREFIX] [--save-config FILE.json]
+//                [--metrics FILE|-] [--trace FILE.jsonl]
 //
 // --config loads a JSON scenario file first; later flags override it.
 // --save-config writes the effective configuration back out.
+// --metrics dumps a Prometheus-format metrics report after the run
+//   ("-" = stdout); --trace streams the structured span/event trace as
+//   JSON lines. See docs/OBSERVABILITY.md for both formats.
 //
 // Examples:
 //   scenario_cli --uavs 3 --area-m 300 --battery-fault uav2:250
 //   scenario_cli --spoof uav1:60 --csv /tmp/run
+//   scenario_cli --spoof uav1:60 --metrics - --trace /tmp/run.jsonl
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 
+#include "sesame/obs/observability.hpp"
+#include "sesame/obs/sinks.hpp"
 #include "sesame/platform/mission_runner.hpp"
 #include "sesame/platform/config_io.hpp"
 #include "sesame/platform/report.hpp"
@@ -49,6 +57,8 @@ int main(int argc, char** argv) {
   config.max_time_s = 2000.0;
   std::string csv_prefix;
   std::string save_config_path;
+  std::string metrics_path;
+  std::string trace_path;
 
   // First pass: --config must apply before overriding flags.
   for (int i = 1; i + 1 < argc; ++i) {
@@ -91,6 +101,10 @@ int main(int argc, char** argv) {
       need_value("--config");  // applied in the first pass
     } else if (std::strcmp(argv[i], "--save-config") == 0) {
       save_config_path = need_value("--save-config");
+    } else if (std::strcmp(argv[i], "--metrics") == 0) {
+      metrics_path = need_value("--metrics");
+    } else if (std::strcmp(argv[i], "--trace") == 0) {
+      trace_path = need_value("--trace");
     } else {
       std::fprintf(stderr, "unknown flag '%s' (see the file header)\n", argv[i]);
       return 2;
@@ -103,6 +117,17 @@ int main(int argc, char** argv) {
   }
 
   platform::MissionRunner runner(config);
+
+  obs::Observability o;
+  std::unique_ptr<obs::JsonLinesSink> trace_sink;
+  if (!trace_path.empty()) {
+    trace_sink = std::make_unique<obs::JsonLinesSink>(trace_path);
+    o.tracer.set_sink(trace_sink.get());
+  }
+  if (!metrics_path.empty() || !trace_path.empty()) {
+    runner.attach_observability(o);
+  }
+
   const auto result = runner.run();
 
   std::printf("sesame            : %s\n", config.sesame_enabled ? "on" : "off");
@@ -132,6 +157,27 @@ int main(int argc, char** argv) {
                             csv_prefix + "_summary.csv");
     std::printf("wrote %s_series.csv and %s_summary.csv\n", csv_prefix.c_str(),
                 csv_prefix.c_str());
+  }
+
+  if (!metrics_path.empty()) {
+    const std::string report = o.metrics.render_prometheus();
+    if (metrics_path == "-") {
+      std::printf("\n# ---- metrics (Prometheus text format) ----\n%s",
+                  report.c_str());
+    } else {
+      std::FILE* f = std::fopen(metrics_path.c_str(), "w");
+      if (f == nullptr) {
+        std::fprintf(stderr, "cannot open %s\n", metrics_path.c_str());
+        return 1;
+      }
+      std::fputs(report.c_str(), f);
+      std::fclose(f);
+      std::printf("wrote metrics report to %s\n", metrics_path.c_str());
+    }
+  }
+  if (trace_sink) {
+    std::printf("wrote %zu trace events to %s\n", trace_sink->events_written(),
+                trace_path.c_str());
   }
   return 0;
 }

@@ -18,4 +18,24 @@ std::size_t Bus::subscriber_count(const std::string& topic) const {
   return it == subscribers_.end() ? 0 : it->second.size();
 }
 
+void Bus::set_metrics(obs::MetricsRegistry* registry) {
+  metrics_ = registry;
+  instruments_.clear();  // cached pointers belong to the old registry
+  rejected_counter_ =
+      metrics_ != nullptr ? &metrics_->counter("sesame.mw.rejected_total")
+                          : nullptr;
+}
+
+Bus::TopicInstruments& Bus::instruments(const std::string& topic) {
+  auto [it, inserted] = instruments_.try_emplace(topic);
+  if (inserted) {
+    const obs::Labels labels{{"topic", topic}};
+    it->second.publish = &metrics_->counter("sesame.mw.publish_total", labels);
+    it->second.deliver = &metrics_->counter("sesame.mw.deliver_total", labels);
+    it->second.latency =
+        &metrics_->histogram("sesame.mw.delivery_latency_seconds", labels);
+  }
+  return it->second;
+}
+
 }  // namespace sesame::mw

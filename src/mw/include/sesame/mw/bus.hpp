@@ -9,6 +9,7 @@
 #pragma once
 
 #include <any>
+#include <chrono>
 #include <cstdint>
 #include <functional>
 #include <map>
@@ -17,6 +18,8 @@
 #include <string>
 #include <typeindex>
 #include <vector>
+
+#include "sesame/obs/metrics.hpp"
 
 namespace sesame::mw {
 
@@ -84,6 +87,13 @@ class Bus {
     h.time_s = time_s;
     h.source = source;
     h.topic = topic;
+    // Instrumentation rides the same point as the journal: both observe
+    // every publication attempt, accepted or not.
+    TopicInstruments* ti = nullptr;
+    if (metrics_ != nullptr) {
+      ti = &instruments(topic);
+      ti->publish->inc();
+    }
     if (journal_enabled_) {
       journal_.push_back({h, typeid(T).name()});
     }
@@ -95,12 +105,15 @@ class Bus {
     if (const auto acl = acl_.find(topic);
         acl != acl_.end() && acl->second != source) {
       ++rejected_publications_;
+      if (rejected_counter_ != nullptr) rejected_counter_->inc();
       return;  // authenticated transport: unauthorized publication dropped
     }
     const auto it = subscribers_.find(topic);
     if (it == subscribers_.end()) return;
     // Copy the handler list: handlers may (un)subscribe re-entrantly.
     auto handlers = it->second;
+    const auto t0 = ti != nullptr ? std::chrono::steady_clock::now()
+                                  : std::chrono::steady_clock::time_point{};
     for (const auto& s : handlers) {
       if (s.type != std::type_index(typeid(T))) {
         throw std::runtime_error("Bus: type mismatch on topic '" + topic +
@@ -108,6 +121,12 @@ class Bus {
                                  " but a subscriber expects a different type");
       }
       s.handler(h, &payload);
+    }
+    if (ti != nullptr) {
+      ti->deliver->inc(static_cast<double>(handlers.size()));
+      ti->latency->observe(std::chrono::duration<double>(
+                               std::chrono::steady_clock::now() - t0)
+                               .count());
     }
   }
 
@@ -164,6 +183,14 @@ class Bus {
     return rejected_publications_;
   }
 
+  /// Attaches (nullptr: detaches) a metrics registry. While attached the
+  /// bus maintains, per topic: `sesame.mw.publish_total` (every publication
+  /// attempt, like the journal), `sesame.mw.deliver_total` (handler
+  /// invocations) and `sesame.mw.delivery_latency_seconds` (wall time to
+  /// fan one message out to a topic's subscribers); plus the bus-wide
+  /// `sesame.mw.rejected_total`. The registry must outlive the attachment.
+  void set_metrics(obs::MetricsRegistry* registry);
+
  private:
   struct Entry {
     std::uint64_t id = 0;
@@ -171,8 +198,19 @@ class Bus {
     std::function<void(const MessageHeader&, const void*)> handler;
   };
 
+  /// Per-topic instruments, looked up once per topic then cached.
+  struct TopicInstruments {
+    obs::Counter* publish = nullptr;
+    obs::Counter* deliver = nullptr;
+    obs::Histogram* latency = nullptr;
+  };
+  TopicInstruments& instruments(const std::string& topic);
+
   std::map<std::string, std::vector<Entry>> subscribers_;
   std::map<std::string, std::string> acl_;  // topic -> sole allowed source
+  obs::MetricsRegistry* metrics_ = nullptr;
+  obs::Counter* rejected_counter_ = nullptr;
+  std::map<std::string, TopicInstruments> instruments_;
   std::uint64_t rejected_publications_ = 0;
   std::map<std::uint64_t, TapFn> taps_;
   std::vector<JournalEntry> journal_;

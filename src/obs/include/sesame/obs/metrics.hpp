@@ -1,0 +1,152 @@
+// Metrics primitives: counters, gauges, fixed-bucket histograms, and the
+// registry that owns them.
+//
+// Design goals, in order:
+//  1. Hot-path cost of an *attached* metric is one pointer-indirect add —
+//     instrumented components look their instruments up once and cache the
+//     returned reference (addresses are stable for the registry's lifetime).
+//  2. Hot-path cost of a *detached* component is one branch: every
+//     instrumentation point in the codebase guards on a nullable
+//     `MetricsRegistry*`, so uninstrumented runs pay nothing measurable.
+//  3. No dependencies beyond the standard library, single-threaded like the
+//     rest of the simulator (the world steps deterministically; metrics
+//     inherit that determinism except for wall-clock duration samples).
+//
+// Naming convention (see docs/OBSERVABILITY.md): dotted lowercase paths,
+// `sesame.<module>.<metric>`, counters suffixed `_total`, histograms carrying
+// their unit (`_seconds`). `render_prometheus()` maps dots to underscores.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace sesame::obs {
+
+/// Sorted key/value pairs attached to a metric series (or a trace event).
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+/// Monotonically increasing count (messages published, alerts raised...).
+class Counter {
+ public:
+  void inc(double n = 1.0) noexcept { value_ += n; }
+  double value() const noexcept { return value_; }
+
+ private:
+  double value_ = 0.0;
+};
+
+/// Point-in-time value (mission clock, fleet availability...).
+class Gauge {
+ public:
+  void set(double v) noexcept { value_ = v; }
+  void add(double d) noexcept { value_ += d; }
+  double value() const noexcept { return value_; }
+
+ private:
+  double value_ = 0.0;
+};
+
+/// Fixed-bucket histogram: upper bounds are set at registration and never
+/// reallocate, so `observe` is a linear scan over a handful of doubles.
+class Histogram {
+ public:
+  /// `bounds` are strictly ascending bucket upper limits; an implicit
+  /// +Inf bucket catches the overflow. Throws std::invalid_argument on an
+  /// empty or non-ascending bound list.
+  explicit Histogram(std::vector<double> bounds);
+
+  void observe(double v) noexcept;
+
+  std::size_t count() const noexcept { return count_; }
+  double sum() const noexcept { return sum_; }
+  const std::vector<double>& bounds() const noexcept { return bounds_; }
+  /// Per-bucket (non-cumulative) counts; back() is the +Inf overflow bucket.
+  const std::vector<std::size_t>& bucket_counts() const noexcept {
+    return counts_;
+  }
+
+  /// Bucket-interpolated quantile estimate (q in [0,1]); 0 when empty.
+  /// Samples in the overflow bucket clamp to the largest finite bound.
+  double quantile(double q) const;
+
+ private:
+  std::vector<double> bounds_;        // ascending upper limits
+  std::vector<std::size_t> counts_;   // bounds_.size() + 1 (overflow)
+  std::size_t count_ = 0;
+  double sum_ = 0.0;
+};
+
+/// Default bucket ladder for sub-millisecond code-path latencies (seconds).
+std::vector<double> latency_buckets_s();
+/// Default bucket ladder for multi-millisecond step/phase durations (seconds).
+std::vector<double> duration_buckets_s();
+
+enum class MetricKind { kCounter, kGauge, kHistogram };
+
+/// One series in a snapshot: the metric's identity plus its current value.
+struct MetricSample {
+  std::string name;
+  Labels labels;
+  MetricKind kind = MetricKind::kCounter;
+  double value = 0.0;                        ///< counter/gauge value, histogram sum
+  std::size_t observations = 0;              ///< histogram count
+  std::vector<double> bucket_bounds;         ///< histogram only
+  std::vector<std::size_t> bucket_counts;    ///< histogram only (non-cumulative)
+};
+
+struct MetricsSnapshot {
+  std::vector<MetricSample> samples;  ///< sorted by (name, labels)
+
+  /// First sample matching name (+ labels when given); nullptr when absent.
+  const MetricSample* find(const std::string& name,
+                           const Labels& labels = {}) const;
+};
+
+/// Owns every metric. Registration is idempotent: asking for the same
+/// (name, labels) again returns the same instance, so call sites can simply
+/// re-request instead of caching when off the hot path. Registering one
+/// name as two different kinds throws std::logic_error.
+class MetricsRegistry {
+ public:
+  Counter& counter(const std::string& name, Labels labels = {});
+  Gauge& gauge(const std::string& name, Labels labels = {});
+  /// `bounds` applies on first registration of the family; later calls
+  /// reuse the family's bounds.
+  Histogram& histogram(const std::string& name, Labels labels = {},
+                       std::vector<double> bounds = latency_buckets_s());
+
+  /// Point-in-time copy of every series, sorted by (name, labels).
+  MetricsSnapshot snapshot() const;
+
+  /// Prometheus text exposition (v0.0.4) of the current state: dotted
+  /// names become underscored, histograms expand to cumulative
+  /// `_bucket{le=...}` series plus `_sum` and `_count`.
+  std::string render_prometheus() const;
+
+  std::size_t series_count() const noexcept;
+
+ private:
+  struct Family {
+    MetricKind kind = MetricKind::kCounter;
+    std::vector<double> bounds;  // histograms only
+    // Keyed by the serialized label set; pointers are address-stable.
+    std::map<std::string, std::unique_ptr<Counter>> counters;
+    std::map<std::string, std::unique_ptr<Gauge>> gauges;
+    std::map<std::string, std::unique_ptr<Histogram>> histograms;
+    std::map<std::string, Labels> label_sets;
+  };
+
+  Family& family_of(const std::string& name, MetricKind kind);
+
+  std::map<std::string, Family> families_;
+};
+
+/// Renders a snapshot in the Prometheus text format (what
+/// MetricsRegistry::render_prometheus uses internally).
+std::string render_prometheus(const MetricsSnapshot& snapshot);
+
+}  // namespace sesame::obs

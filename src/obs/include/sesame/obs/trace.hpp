@@ -1,0 +1,121 @@
+// Span-based structured tracing with a pluggable sink.
+//
+// A `Tracer` without a sink is disabled: `start_span` returns an inert
+// Span and `event` is a branch — components keep a nullable `Tracer*` and
+// pay nothing when tracing is off. With a sink attached, every finished
+// span and every instantaneous event is handed to the sink as a
+// `TraceEvent` (see sinks.hpp for the JSON-lines file sink and the
+// in-memory sink tests use).
+//
+// Nesting is tracked by the tracer itself (the codebase is single-threaded
+// by design): the innermost open span is the parent of whatever starts
+// next, so `sesame.mission.consert_eval` spans emitted inside the
+// `sesame.mission.run` span carry its id as `parent_id` with no plumbing
+// at the call sites.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <utility>
+
+#include "sesame/obs/metrics.hpp"  // obs::Labels
+
+namespace sesame::obs {
+
+/// One record handed to the sink: a finished span or an instantaneous event.
+struct TraceEvent {
+  enum class Kind { kSpan, kEvent };
+  Kind kind = Kind::kEvent;
+  std::string name;
+  std::uint64_t span_id = 0;    ///< unique per tracer; 0 never issued
+  std::uint64_t parent_id = 0;  ///< 0 = root (no enclosing span)
+  double start_us = 0.0;        ///< wall clock, relative to tracer creation
+  double duration_us = 0.0;     ///< spans only
+  Labels attributes;
+};
+
+/// Receives trace records; implementations must not re-enter the tracer.
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+  virtual void consume(const TraceEvent& event) = 0;
+};
+
+class Tracer;
+
+/// RAII handle for an open span: records duration from construction to
+/// `end()` (or destruction) and restores the tracer's nesting level.
+/// Movable, not copyable. A default-constructed / inert Span is a no-op.
+class Span {
+ public:
+  Span() = default;
+  Span(Span&& o) noexcept { *this = std::move(o); }
+  Span& operator=(Span&& o) noexcept;
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+  ~Span() { end(); }
+
+  /// Attaches a key/value to the span (kept until the span ends).
+  void set_attribute(const std::string& key, const std::string& value);
+  void set_attribute(const std::string& key, double value);
+
+  /// Finishes the span and emits it to the sink; idempotent.
+  void end();
+
+  bool recording() const noexcept { return tracer_ != nullptr; }
+
+ private:
+  friend class Tracer;
+  Span(Tracer* tracer, std::string name, Labels attributes,
+       std::uint64_t id, std::uint64_t parent, double start_us)
+      : tracer_(tracer),
+        name_(std::move(name)),
+        attributes_(std::move(attributes)),
+        id_(id),
+        parent_(parent),
+        start_us_(start_us) {}
+
+  Tracer* tracer_ = nullptr;  // null = inert
+  std::string name_;
+  Labels attributes_;
+  std::uint64_t id_ = 0;
+  std::uint64_t parent_ = 0;
+  double start_us_ = 0.0;
+};
+
+class Tracer {
+ public:
+  Tracer();
+
+  /// Attaches (or, with nullptr, detaches) the sink. The sink must outlive
+  /// the tracer or be detached first; spans still open when the sink is
+  /// swapped emit to the new sink when they end.
+  void set_sink(TraceSink* sink) noexcept { sink_ = sink; }
+  bool enabled() const noexcept { return sink_ != nullptr; }
+
+  /// Opens a span as a child of the innermost open span. When disabled,
+  /// returns an inert Span (no allocation beyond the moved-in strings).
+  [[nodiscard]] Span start_span(std::string name, Labels attributes = {});
+
+  /// Emits an instantaneous structured event (anomaly detections, alerts),
+  /// parented to the innermost open span.
+  void event(std::string name, Labels attributes = {});
+
+  /// Microseconds of wall clock since tracer construction.
+  double now_us() const;
+
+ private:
+  friend class Span;
+  void finish(Span& span);
+
+  TraceSink* sink_ = nullptr;
+  std::uint64_t next_id_ = 1;
+  std::uint64_t current_ = 0;  // innermost open span (single-threaded)
+  std::chrono::steady_clock::time_point epoch_;
+};
+
+/// Formats a double the way span/event attributes expect ("%.6g").
+std::string attr_value(double v);
+
+}  // namespace sesame::obs

@@ -1,0 +1,288 @@
+#include "sesame/obs/metrics.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace sesame::obs {
+
+namespace {
+
+/// Serializes a (sorted) label set into a map key.
+std::string labels_key(const Labels& labels) {
+  std::string key;
+  for (const auto& [k, v] : labels) {
+    key += k;
+    key += '\x1f';
+    key += v;
+    key += '\x1e';
+  }
+  return key;
+}
+
+Labels sorted(Labels labels) {
+  std::sort(labels.begin(), labels.end());
+  return labels;
+}
+
+std::string fmt_double(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  // Trim to the shortest round-trippable-ish form for readability.
+  char shorter[32];
+  std::snprintf(shorter, sizeof shorter, "%.6g", v);
+  if (std::atof(shorter) == v) return shorter;
+  return buf;
+}
+
+/// Prometheus metric names allow [a-zA-Z0-9_:]; dots (our convention)
+/// and anything else exotic become underscores.
+std::string prometheus_name(const std::string& name) {
+  std::string out = name;
+  for (char& c : out) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    if (!ok) c = '_';
+  }
+  return out;
+}
+
+std::string prometheus_label_value(const std::string& v) {
+  std::string out;
+  for (const char c : v) {
+    if (c == '\\' || c == '"') {
+      out += '\\';
+      out += c;
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+std::string prometheus_labels(const Labels& labels,
+                              const std::string& extra_key = "",
+                              const std::string& extra_value = "") {
+  if (labels.empty() && extra_key.empty()) return "";
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) out += ',';
+    first = false;
+    out += prometheus_name(k) + "=\"" + prometheus_label_value(v) + "\"";
+  }
+  if (!extra_key.empty()) {
+    if (!first) out += ',';
+    out += extra_key + "=\"" + extra_value + "\"";
+  }
+  out += '}';
+  return out;
+}
+
+const char* kind_name(MetricKind kind) {
+  switch (kind) {
+    case MetricKind::kCounter: return "counter";
+    case MetricKind::kGauge: return "gauge";
+    case MetricKind::kHistogram: return "histogram";
+  }
+  return "untyped";
+}
+
+}  // namespace
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  if (bounds_.empty()) {
+    throw std::invalid_argument("Histogram: no bucket bounds");
+  }
+  for (std::size_t i = 1; i < bounds_.size(); ++i) {
+    if (bounds_[i] <= bounds_[i - 1]) {
+      throw std::invalid_argument("Histogram: bounds must ascend strictly");
+    }
+  }
+  counts_.assign(bounds_.size() + 1, 0);
+}
+
+void Histogram::observe(double v) noexcept {
+  std::size_t i = 0;
+  while (i < bounds_.size() && v > bounds_[i]) ++i;
+  ++counts_[i];
+  ++count_;
+  sum_ += v;
+}
+
+double Histogram::quantile(double q) const {
+  if (count_ == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double target = q * static_cast<double>(count_);
+  double cumulative = 0.0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    const double next = cumulative + static_cast<double>(counts_[i]);
+    if (next >= target && counts_[i] > 0) {
+      if (i >= bounds_.size()) return bounds_.back();  // overflow: clamp
+      const double lo = i == 0 ? 0.0 : bounds_[i - 1];
+      const double hi = bounds_[i];
+      const double within =
+          (target - cumulative) / static_cast<double>(counts_[i]);
+      return lo + within * (hi - lo);
+    }
+    cumulative = next;
+  }
+  return bounds_.back();
+}
+
+std::vector<double> latency_buckets_s() {
+  return {1e-7, 2.5e-7, 5e-7, 1e-6, 2.5e-6, 5e-6, 1e-5,
+          2.5e-5, 5e-5, 1e-4, 2.5e-4, 5e-4, 1e-3, 1e-2};
+}
+
+std::vector<double> duration_buckets_s() {
+  return {1e-5, 2.5e-5, 5e-5, 1e-4, 2.5e-4, 5e-4,
+          1e-3, 2.5e-3, 5e-3, 1e-2, 5e-2, 0.25, 1.0};
+}
+
+const MetricSample* MetricsSnapshot::find(const std::string& name,
+                                          const Labels& labels) const {
+  for (const auto& s : samples) {
+    if (s.name != name) continue;
+    if (!labels.empty() && sorted(labels) != s.labels) continue;
+    return &s;
+  }
+  return nullptr;
+}
+
+MetricsRegistry::Family& MetricsRegistry::family_of(const std::string& name,
+                                                    MetricKind kind) {
+  auto [it, inserted] = families_.try_emplace(name);
+  if (inserted) {
+    it->second.kind = kind;
+  } else if (it->second.kind != kind) {
+    throw std::logic_error("MetricsRegistry: '" + name + "' registered as " +
+                           kind_name(it->second.kind) + ", requested as " +
+                           kind_name(kind));
+  }
+  return it->second;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name, Labels labels) {
+  Family& fam = family_of(name, MetricKind::kCounter);
+  labels = sorted(std::move(labels));
+  const std::string key = labels_key(labels);
+  auto [it, inserted] = fam.counters.try_emplace(key);
+  if (inserted) {
+    it->second = std::make_unique<Counter>();
+    fam.label_sets[key] = std::move(labels);
+  }
+  return *it->second;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name, Labels labels) {
+  Family& fam = family_of(name, MetricKind::kGauge);
+  labels = sorted(std::move(labels));
+  const std::string key = labels_key(labels);
+  auto [it, inserted] = fam.gauges.try_emplace(key);
+  if (inserted) {
+    it->second = std::make_unique<Gauge>();
+    fam.label_sets[key] = std::move(labels);
+  }
+  return *it->second;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name, Labels labels,
+                                      std::vector<double> bounds) {
+  Family& fam = family_of(name, MetricKind::kHistogram);
+  if (fam.bounds.empty()) fam.bounds = std::move(bounds);
+  labels = sorted(std::move(labels));
+  const std::string key = labels_key(labels);
+  auto [it, inserted] = fam.histograms.try_emplace(key);
+  if (inserted) {
+    it->second = std::make_unique<Histogram>(fam.bounds);
+    fam.label_sets[key] = std::move(labels);
+  }
+  return *it->second;
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  MetricsSnapshot snap;
+  for (const auto& [name, fam] : families_) {
+    const auto emit = [&](const std::string& key, MetricSample sample) {
+      sample.name = name;
+      sample.kind = fam.kind;
+      sample.labels = fam.label_sets.at(key);
+      snap.samples.push_back(std::move(sample));
+    };
+    for (const auto& [key, c] : fam.counters) {
+      MetricSample s;
+      s.value = c->value();
+      emit(key, std::move(s));
+    }
+    for (const auto& [key, g] : fam.gauges) {
+      MetricSample s;
+      s.value = g->value();
+      emit(key, std::move(s));
+    }
+    for (const auto& [key, h] : fam.histograms) {
+      MetricSample s;
+      s.value = h->sum();
+      s.observations = h->count();
+      s.bucket_bounds = h->bounds();
+      s.bucket_counts = h->bucket_counts();
+      emit(key, std::move(s));
+    }
+  }
+  return snap;
+}
+
+std::size_t MetricsRegistry::series_count() const noexcept {
+  std::size_t n = 0;
+  for (const auto& [name, fam] : families_) {
+    (void)name;
+    n += fam.counters.size() + fam.gauges.size() + fam.histograms.size();
+  }
+  return n;
+}
+
+std::string MetricsRegistry::render_prometheus() const {
+  return obs::render_prometheus(snapshot());
+}
+
+std::string render_prometheus(const MetricsSnapshot& snapshot) {
+  std::string out;
+  std::string last_family;
+  for (const auto& s : snapshot.samples) {
+    const std::string pname = prometheus_name(s.name);
+    if (pname != last_family) {
+      out += "# TYPE " + pname + " " + kind_name(s.kind) + "\n";
+      last_family = pname;
+    }
+    switch (s.kind) {
+      case MetricKind::kCounter:
+      case MetricKind::kGauge:
+        out += pname + prometheus_labels(s.labels) + " " +
+               fmt_double(s.value) + "\n";
+        break;
+      case MetricKind::kHistogram: {
+        std::size_t cumulative = 0;
+        for (std::size_t i = 0; i < s.bucket_bounds.size(); ++i) {
+          cumulative += s.bucket_counts[i];
+          out += pname + "_bucket" +
+                 prometheus_labels(s.labels, "le",
+                                   fmt_double(s.bucket_bounds[i])) +
+                 " " + std::to_string(cumulative) + "\n";
+        }
+        out += pname + "_bucket" + prometheus_labels(s.labels, "le", "+Inf") +
+               " " + std::to_string(s.observations) + "\n";
+        out += pname + "_sum" + prometheus_labels(s.labels) + " " +
+               fmt_double(s.value) + "\n";
+        out += pname + "_count" + prometheus_labels(s.labels) + " " +
+               std::to_string(s.observations) + "\n";
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace sesame::obs

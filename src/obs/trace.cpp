@@ -1,0 +1,85 @@
+#include "sesame/obs/trace.hpp"
+
+#include <cstdio>
+
+namespace sesame::obs {
+
+std::string attr_value(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.6g", v);
+  return buf;
+}
+
+Span& Span::operator=(Span&& o) noexcept {
+  end();
+  tracer_ = o.tracer_;
+  name_ = std::move(o.name_);
+  attributes_ = std::move(o.attributes_);
+  id_ = o.id_;
+  parent_ = o.parent_;
+  start_us_ = o.start_us_;
+  o.tracer_ = nullptr;
+  return *this;
+}
+
+void Span::set_attribute(const std::string& key, const std::string& value) {
+  if (tracer_ == nullptr) return;
+  attributes_.emplace_back(key, value);
+}
+
+void Span::set_attribute(const std::string& key, double value) {
+  set_attribute(key, attr_value(value));
+}
+
+void Span::end() {
+  if (tracer_ == nullptr) return;
+  tracer_->finish(*this);
+  tracer_ = nullptr;
+}
+
+Tracer::Tracer() : epoch_(std::chrono::steady_clock::now()) {}
+
+double Tracer::now_us() const {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
+
+Span Tracer::start_span(std::string name, Labels attributes) {
+  if (sink_ == nullptr) return Span{};
+  const std::uint64_t id = next_id_++;
+  const std::uint64_t parent = current_;
+  current_ = id;
+  return Span(this, std::move(name), std::move(attributes), id, parent,
+              now_us());
+}
+
+void Tracer::event(std::string name, Labels attributes) {
+  if (sink_ == nullptr) return;
+  TraceEvent e;
+  e.kind = TraceEvent::Kind::kEvent;
+  e.name = std::move(name);
+  e.span_id = next_id_++;
+  e.parent_id = current_;
+  e.start_us = now_us();
+  e.attributes = std::move(attributes);
+  sink_->consume(e);
+}
+
+void Tracer::finish(Span& span) {
+  // Restore nesting: spans are well-nested in this single-threaded
+  // codebase, so the finishing span is the innermost one.
+  current_ = span.parent_;
+  if (sink_ == nullptr) return;
+  TraceEvent e;
+  e.kind = TraceEvent::Kind::kSpan;
+  e.name = std::move(span.name_);
+  e.span_id = span.id_;
+  e.parent_id = span.parent_;
+  e.start_us = span.start_us_;
+  e.duration_us = now_us() - span.start_us_;
+  e.attributes = std::move(span.attributes_);
+  sink_->consume(e);
+}
+
+}  // namespace sesame::obs

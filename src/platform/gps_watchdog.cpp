@@ -37,6 +37,16 @@ void GpsWatchdog::on_telemetry(const std::string& name,
   }
   alerted_[name] = true;
   ++alerts_raised_;
+  if (obs_ != nullptr) {
+    obs_->metrics.counter("sesame.platform.gps_watchdog_alerts_total",
+                          {{"uav", name}})
+        .inc();
+    obs_->tracer.event("sesame.platform.gps_fix_lost",
+                       {{"uav", name},
+                        {"capec", "CAPEC-601"},
+                        {"streak", std::to_string(loss_streak_[name])},
+                        {"time_s", obs::attr_value(t.time_s)}});
+  }
   security::IdsAlert alert;
   alert.rule = "gps_fix_lost";
   alert.capec_id = "CAPEC-601";

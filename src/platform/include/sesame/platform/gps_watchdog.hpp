@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "sesame/mw/bus.hpp"
+#include "sesame/obs/observability.hpp"
 #include "sesame/sim/world.hpp"
 
 namespace sesame::platform {
@@ -32,8 +33,14 @@ class GpsWatchdog {
 
   std::size_t alerts_raised() const noexcept { return alerts_raised_; }
 
+  /// Attaches (nullptr: detaches) observability: each jamming detection
+  /// increments `sesame.platform.gps_watchdog_alerts_total{uav}` and emits
+  /// a structured `sesame.platform.gps_fix_lost` trace event.
+  void set_observability(obs::Observability* o) noexcept { obs_ = o; }
+
  private:
   mw::Bus* bus_;
+  obs::Observability* obs_ = nullptr;
   GpsWatchdogConfig config_;
   std::vector<mw::Subscription> subscriptions_;
   std::map<std::string, std::size_t> loss_streak_;

@@ -25,6 +25,7 @@
 
 #include "sesame/conserts/assurance_trace.hpp"
 #include "sesame/eddi/uav_eddi.hpp"
+#include "sesame/obs/observability.hpp"
 #include "sesame/localization/collaborative.hpp"
 #include "sesame/platform/database.hpp"
 #include "sesame/platform/managers.hpp"
@@ -139,6 +140,19 @@ class MissionRunner {
   /// or max_time reached) and returns the recorded outcome.
   RunnerResult run();
 
+  /// Attaches observability for the next run() (call before it; the bundle
+  /// must outlive the runner). Wires the metrics registry into the world
+  /// and bus, the tracer into the IDS, and makes run() emit:
+  ///  - a root `sesame.mission.run` span,
+  ///  - one `sesame.mission.phase` span per fleet phase
+  ///    (launch → search → recovery),
+  ///  - one `sesame.mission.consert_eval` span per periodic ConSert
+  ///    network evaluation (SESAME runs only),
+  ///  - a `sesame.mission.complete` event when the last waypoint is
+  ///    consumed, and `sesame.mission.ticks_total` /
+  ///    `sesame.mission.consert_evals_total` counters.
+  void attach_observability(obs::Observability& o);
+
   /// Access to the world (benches inspect trajectories after run()).
   sim::World& world() noexcept { return *world_; }
 
@@ -167,6 +181,10 @@ class MissionRunner {
   conserts::ConSertNetwork consert_network_;
   std::unique_ptr<conserts::AssuranceTrace> assurance_trace_;
   sim::CommLink comm_link_{sim::CommLinkConfig{}};
+
+  obs::Observability* obs_ = nullptr;
+  obs::Counter* ticks_counter_ = nullptr;
+  obs::Counter* consert_evals_counter_ = nullptr;
 
   // Baseline battery-swap state.
   std::map<std::string, double> swap_until_;

@@ -223,6 +223,14 @@ void MissionRunner::setup_sesame() {
   assurance_trace_ = std::make_unique<conserts::AssuranceTrace>(consert_network_);
 }
 
+void MissionRunner::attach_observability(obs::Observability& o) {
+  obs_ = &o;
+  world_->set_metrics(&o.metrics);
+  if (ids_) ids_->set_observability(&o);
+  ticks_counter_ = &o.metrics.counter("sesame.mission.ticks_total");
+  consert_evals_counter_ = &o.metrics.counter("sesame.mission.consert_evals_total");
+}
+
 eddi::EddiInputs MissionRunner::gather_inputs(const std::string& name) {
   const sim::Uav& uav = world_->uav_by_name(name);
   eddi::EddiInputs in;
@@ -351,6 +359,35 @@ void MissionRunner::start_spoof_response(const std::string& victim,
 
 RunnerResult MissionRunner::run() {
   RunnerResult result;
+
+  // Tracing: one root span for the run, one child span per fleet phase
+  // (launch -> search -> recovery), plus per-evaluation spans below. All
+  // inert when no observability is attached.
+  obs::Span run_span;
+  obs::Span phase_span;
+  std::string phase_name;
+  const auto end_phase = [&] {
+    if (phase_span.recording()) {
+      phase_span.set_attribute("t_end_s", world_->time_s());
+    }
+    phase_span.end();
+  };
+  const auto begin_phase = [&](const std::string& next) {
+    phase_name = next;
+    if (obs_ == nullptr) return;
+    end_phase();
+    phase_span = obs_->tracer.start_span(
+        "sesame.mission.phase",
+        {{"phase", next}, {"t_start_s", obs::attr_value(world_->time_s())}});
+  };
+  if (obs_ != nullptr) {
+    run_span = obs_->tracer.start_span(
+        "sesame.mission.run",
+        {{"uavs", std::to_string(names_.size())},
+         {"sesame", config_.sesame_enabled ? "on" : "off"}});
+  }
+  begin_phase("launch");
+
   std::map<std::string, double> productive_s;
   std::map<std::string, conserts::UavAction> current_action;
   for (const auto& name : names_) {
@@ -371,6 +408,13 @@ RunnerResult MissionRunner::run() {
     }
 
     world_->step(config_.dt_s);
+    if (ticks_counter_ != nullptr) ticks_counter_->inc();
+    if (phase_name == "launch" &&
+        std::all_of(names_.begin(), names_.end(), [&](const std::string& n) {
+          return world_->uav_by_name(n).mode() != sim::FlightMode::kTakeoff;
+        })) {
+      begin_phase("search");
+    }
 
     // Spoofing attack and (SESAME-only) automated response.
     if (config_.spoofing && world_->time_s() >= config_.spoofing->time_s) {
@@ -411,6 +455,13 @@ RunnerResult MissionRunner::run() {
         conserts::apply_evidence(ctx, name, evidence);
       }
       if (consert_due) {
+        obs::Span eval_span;
+        if (obs_ != nullptr) {
+          eval_span = obs_->tracer.start_span(
+              "sesame.mission.consert_eval",
+              {{"t_s", obs::attr_value(world_->time_s())}});
+          consert_evals_counter_->inc();
+        }
         const auto eval = assurance_trace_->evaluate(ctx, world_->time_s());
         for (const auto& name : names_) {
           auto action = conserts::uav_action(eval, name);
@@ -520,6 +571,11 @@ RunnerResult MissionRunner::run() {
 
     if (!result.mission_complete_time_s && mission_->complete()) {
       result.mission_complete_time_s = world_->time_s();
+      if (obs_ != nullptr) {
+        obs_->tracer.event("sesame.mission.complete",
+                           {{"t_s", obs::attr_value(world_->time_s())}});
+      }
+      if (phase_name == "search") begin_phase("recovery");
     }
 
     // Stop when the mission is complete and everyone is grounded or idle,
@@ -552,6 +608,15 @@ RunnerResult MissionRunner::run() {
     avail += a;
   }
   result.availability = avail / static_cast<double>(names_.size());
+
+  end_phase();
+  if (run_span.recording()) {
+    run_span.set_attribute("total_time_s", result.total_time_s);
+    run_span.set_attribute("availability", result.availability);
+    run_span.set_attribute(
+        "decision", conserts::mission_decision_name(result.final_decision));
+  }
+  run_span.end();
   return result;
 }
 

@@ -96,6 +96,18 @@ void IntrusionDetectionSystem::inspect(const mw::MessageHeader& h,
 
 void IntrusionDetectionSystem::raise(IdsAlert alert) {
   ++alerts_raised_;
+  if (obs_ != nullptr) {
+    obs_->metrics.counter("sesame.security.ids_alerts_total",
+                          {{"rule", alert.rule}})
+        .inc();
+    obs_->tracer.event("sesame.security.ids_alert",
+                       {{"rule", alert.rule},
+                        {"capec", alert.capec_id},
+                        {"topic", alert.topic},
+                        {"source", alert.source},
+                        {"time_s", obs::attr_value(alert.time_s)},
+                        {"detail", alert.detail}});
+  }
   publishing_alert_ = true;
   bus_->publish(ids_alert_topic(), alert, "ids", alert.time_s);
   publishing_alert_ = false;

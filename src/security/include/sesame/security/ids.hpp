@@ -17,6 +17,7 @@
 
 #include "sesame/geo/geodesy.hpp"
 #include "sesame/mw/bus.hpp"
+#include "sesame/obs/observability.hpp"
 
 namespace sesame::security {
 
@@ -56,8 +57,15 @@ class IntrusionDetectionSystem {
 
   std::size_t alerts_raised() const noexcept { return alerts_raised_; }
 
+  /// Attaches (nullptr: detaches) observability: every alert increments
+  /// `sesame.security.ids_alerts_total{rule}` and emits a structured
+  /// `sesame.security.ids_alert` trace event carrying the rule, CAPEC id,
+  /// topic, source and mission time.
+  void set_observability(obs::Observability* o) noexcept { obs_ = o; }
+
  private:
   mw::Bus* bus_;
+  obs::Observability* obs_ = nullptr;
   IdsConfig config_;
   mw::Subscription tap_;
   std::map<std::string, std::string> authorized_;  // topic -> source

@@ -17,6 +17,7 @@
 #include "sesame/geo/geodesy.hpp"
 #include "sesame/mathx/rng.hpp"
 #include "sesame/mw/bus.hpp"
+#include "sesame/obs/metrics.hpp"
 #include "sesame/sim/uav.hpp"
 
 namespace sesame::sim {
@@ -78,6 +79,12 @@ class World {
   /// Runs `n` steps of dt seconds each.
   void run(std::size_t n, double dt_s);
 
+  /// Attaches (nullptr: detaches) a metrics registry to the world *and its
+  /// bus*. The world maintains `sesame.sim.step_duration_seconds` (wall
+  /// time per step), `sesame.sim.steps_total` and the mission-clock gauge
+  /// `sesame.sim.time_s`; the bus adds its per-topic counters/latency.
+  void set_metrics(obs::MetricsRegistry* registry);
+
  private:
   geo::LocalFrame frame_;
   mathx::Rng rng_;
@@ -91,6 +98,10 @@ class World {
   };
   std::vector<Slot> uavs_;
   std::vector<Person> persons_;
+
+  obs::Histogram* step_duration_ = nullptr;
+  obs::Counter* steps_total_ = nullptr;
+  obs::Gauge* clock_gauge_ = nullptr;
 };
 
 }  // namespace sesame::sim

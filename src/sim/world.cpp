@@ -1,5 +1,6 @@
 #include "sesame/sim/world.hpp"
 
+#include <chrono>
 #include <stdexcept>
 
 namespace sesame::sim {
@@ -53,8 +54,25 @@ std::size_t World::persons_detected() const {
   return n;
 }
 
+void World::set_metrics(obs::MetricsRegistry* registry) {
+  bus_.set_metrics(registry);
+  if (registry == nullptr) {
+    step_duration_ = nullptr;
+    steps_total_ = nullptr;
+    clock_gauge_ = nullptr;
+    return;
+  }
+  step_duration_ = &registry->histogram("sesame.sim.step_duration_seconds", {},
+                                        obs::duration_buckets_s());
+  steps_total_ = &registry->counter("sesame.sim.steps_total");
+  clock_gauge_ = &registry->gauge("sesame.sim.time_s");
+}
+
 void World::step(double dt_s) {
   if (dt_s <= 0.0) throw std::invalid_argument("World::step: non-positive dt");
+  const auto t0 = step_duration_ != nullptr
+                      ? std::chrono::steady_clock::now()
+                      : std::chrono::steady_clock::time_point{};
   for (auto& slot : uavs_) {
     slot.uav->step(dt_s, wind_);
   }
@@ -71,6 +89,13 @@ void World::step(double dt_s) {
     t.time_s = time_s_;
     t.gps_fix = !u.gps().signal_lost() && !u.gps().disabled();
     bus_.publish(telemetry_topic(u.name()), t, u.name(), time_s_);
+  }
+  if (step_duration_ != nullptr) {
+    step_duration_->observe(
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count());
+    steps_total_->inc();
+    clock_gauge_->set(time_s_);
   }
 }
 

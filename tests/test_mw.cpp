@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include "sesame/mw/bus.hpp"
+#include "sesame/obs/metrics.hpp"
 
 namespace mw = sesame::mw;
 
@@ -245,6 +246,63 @@ TEST(Bus, RestrictionIsPerTopic) {
   bus.publish("open", 1, "anyone", 0.0);
   EXPECT_EQ(open_count, 1);
   EXPECT_EQ(bus.rejected_publications(), 0u);
+}
+
+TEST(BusMetrics, PublishIncrementsPerTopicCounter) {
+  mw::Bus bus;
+  sesame::obs::MetricsRegistry reg;
+  bus.set_metrics(&reg);
+  auto sub = bus.subscribe<int>("uav/uav1/telemetry",
+                                [](const mw::MessageHeader&, const int&) {});
+  bus.publish("uav/uav1/telemetry", 1, "uav1", 0.0);
+  bus.publish("uav/uav1/telemetry", 2, "uav1", 1.0);
+  bus.publish("other", 3, "uav2", 1.0);
+  EXPECT_DOUBLE_EQ(
+      reg.counter("sesame.mw.publish_total", {{"topic", "uav/uav1/telemetry"}})
+          .value(),
+      2.0);
+  EXPECT_DOUBLE_EQ(
+      reg.counter("sesame.mw.publish_total", {{"topic", "other"}}).value(),
+      1.0);
+}
+
+TEST(BusMetrics, DeliverCountsHandlerInvocations) {
+  mw::Bus bus;
+  sesame::obs::MetricsRegistry reg;
+  bus.set_metrics(&reg);
+  auto s1 = bus.subscribe<int>("t", [](const mw::MessageHeader&, const int&) {});
+  auto s2 = bus.subscribe<int>("t", [](const mw::MessageHeader&, const int&) {});
+  bus.publish("t", 1, "n", 0.0);
+  EXPECT_DOUBLE_EQ(
+      reg.counter("sesame.mw.deliver_total", {{"topic", "t"}}).value(), 2.0);
+  // The latency histogram saw exactly one fan-out.
+  EXPECT_EQ(reg.histogram("sesame.mw.delivery_latency_seconds",
+                          {{"topic", "t"}})
+                .count(),
+            1u);
+}
+
+TEST(BusMetrics, RejectedPublicationsAreCounted) {
+  mw::Bus bus;
+  sesame::obs::MetricsRegistry reg;
+  bus.set_metrics(&reg);
+  bus.restrict_publisher("cmd", "operator");
+  bus.publish("cmd", 1, "attacker", 0.0);
+  EXPECT_DOUBLE_EQ(reg.counter("sesame.mw.rejected_total").value(), 1.0);
+  // The attempt still shows in publish_total, mirroring the journal.
+  EXPECT_DOUBLE_EQ(
+      reg.counter("sesame.mw.publish_total", {{"topic", "cmd"}}).value(), 1.0);
+}
+
+TEST(BusMetrics, DetachStopsCounting) {
+  mw::Bus bus;
+  sesame::obs::MetricsRegistry reg;
+  bus.set_metrics(&reg);
+  bus.publish("t", 1, "n", 0.0);
+  bus.set_metrics(nullptr);
+  bus.publish("t", 2, "n", 0.0);
+  EXPECT_DOUBLE_EQ(
+      reg.counter("sesame.mw.publish_total", {{"topic", "t"}}).value(), 1.0);
 }
 
 #include "sesame/mw/node.hpp"

@@ -1,0 +1,270 @@
+// Tests for the observability layer: metric registry semantics, histogram
+// bucketing and quantile estimation, Prometheus rendering, span nesting,
+// and both trace sinks.
+#include <algorithm>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "sesame/obs/metrics.hpp"
+#include "sesame/obs/observability.hpp"
+#include "sesame/obs/sinks.hpp"
+#include "sesame/obs/trace.hpp"
+
+namespace obs = sesame::obs;
+
+TEST(Counter, IncrementsAndReads) {
+  obs::Counter c;
+  EXPECT_DOUBLE_EQ(c.value(), 0.0);
+  c.inc();
+  c.inc(2.5);
+  EXPECT_DOUBLE_EQ(c.value(), 3.5);
+}
+
+TEST(Gauge, SetAndAdd) {
+  obs::Gauge g;
+  g.set(10.0);
+  g.add(-3.0);
+  EXPECT_DOUBLE_EQ(g.value(), 7.0);
+}
+
+TEST(Registry, SameNameAndLabelsReturnsSameInstance) {
+  obs::MetricsRegistry reg;
+  obs::Counter& a = reg.counter("sesame.test.total", {{"topic", "t1"}});
+  obs::Counter& b = reg.counter("sesame.test.total", {{"topic", "t1"}});
+  EXPECT_EQ(&a, &b);
+  obs::Counter& c = reg.counter("sesame.test.total", {{"topic", "t2"}});
+  EXPECT_NE(&a, &c);
+  EXPECT_EQ(reg.series_count(), 2u);
+}
+
+TEST(Registry, LabelOrderDoesNotMatter) {
+  obs::MetricsRegistry reg;
+  obs::Counter& a = reg.counter("m", {{"a", "1"}, {"b", "2"}});
+  obs::Counter& b = reg.counter("m", {{"b", "2"}, {"a", "1"}});
+  EXPECT_EQ(&a, &b);
+}
+
+TEST(Registry, KindConflictThrows) {
+  obs::MetricsRegistry reg;
+  reg.counter("sesame.test.metric");
+  EXPECT_THROW(reg.gauge("sesame.test.metric"), std::logic_error);
+  EXPECT_THROW(reg.histogram("sesame.test.metric"), std::logic_error);
+}
+
+TEST(Registry, SnapshotFindsSeries) {
+  obs::MetricsRegistry reg;
+  reg.counter("sesame.mw.publish_total", {{"topic", "a"}}).inc(4.0);
+  reg.gauge("sesame.sim.time_s").set(12.0);
+  const auto snap = reg.snapshot();
+  const auto* c = snap.find("sesame.mw.publish_total", {{"topic", "a"}});
+  ASSERT_NE(c, nullptr);
+  EXPECT_DOUBLE_EQ(c->value, 4.0);
+  EXPECT_EQ(c->kind, obs::MetricKind::kCounter);
+  const auto* g = snap.find("sesame.sim.time_s");
+  ASSERT_NE(g, nullptr);
+  EXPECT_DOUBLE_EQ(g->value, 12.0);
+  EXPECT_EQ(snap.find("nope"), nullptr);
+}
+
+TEST(Histogram, RejectsBadBounds) {
+  EXPECT_THROW(obs::Histogram({}), std::invalid_argument);
+  EXPECT_THROW(obs::Histogram({1.0, 1.0}), std::invalid_argument);
+  EXPECT_THROW(obs::Histogram({2.0, 1.0}), std::invalid_argument);
+}
+
+TEST(Histogram, BucketsObservations) {
+  obs::Histogram h({1.0, 2.0, 4.0});
+  h.observe(0.5);   // bucket 0 (le 1)
+  h.observe(1.0);   // bucket 0 (le is inclusive)
+  h.observe(1.5);   // bucket 1
+  h.observe(3.0);   // bucket 2
+  h.observe(100.0); // overflow
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_DOUBLE_EQ(h.sum(), 106.0);
+  ASSERT_EQ(h.bucket_counts().size(), 4u);
+  EXPECT_EQ(h.bucket_counts()[0], 2u);
+  EXPECT_EQ(h.bucket_counts()[1], 1u);
+  EXPECT_EQ(h.bucket_counts()[2], 1u);
+  EXPECT_EQ(h.bucket_counts()[3], 1u);
+}
+
+TEST(Histogram, QuantileInterpolatesWithinBucket) {
+  obs::Histogram h({1.0, 2.0, 4.0});
+  for (int i = 0; i < 10; ++i) h.observe(0.5);  // all in (0, 1]
+  // Median of a bucket spanning (0, 1] interpolates to its middle.
+  EXPECT_NEAR(h.quantile(0.5), 0.5, 1e-9);
+  EXPECT_NEAR(h.quantile(1.0), 1.0, 1e-9);
+  obs::Histogram empty({1.0});
+  EXPECT_DOUBLE_EQ(empty.quantile(0.5), 0.0);
+  // Overflow samples clamp to the largest finite bound.
+  obs::Histogram over({1.0, 2.0});
+  over.observe(50.0);
+  EXPECT_DOUBLE_EQ(over.quantile(0.99), 2.0);
+}
+
+TEST(Prometheus, RendersCountersGaugesWithSanitizedNames) {
+  obs::MetricsRegistry reg;
+  reg.counter("sesame.mw.publish_total", {{"topic", "uav/uav1/telemetry"}})
+      .inc(42.0);
+  reg.gauge("sesame.sim.time_s").set(3.5);
+  const std::string text = reg.render_prometheus();
+  EXPECT_NE(text.find("# TYPE sesame_mw_publish_total counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("sesame_mw_publish_total{topic=\"uav/uav1/telemetry\"}"
+                      " 42"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE sesame_sim_time_s gauge"), std::string::npos);
+  EXPECT_NE(text.find("sesame_sim_time_s 3.5"), std::string::npos);
+}
+
+TEST(Prometheus, RendersCumulativeHistogramBuckets) {
+  obs::MetricsRegistry reg;
+  obs::Histogram& h = reg.histogram("lat", {}, {1.0, 2.0});
+  h.observe(0.5);
+  h.observe(1.5);
+  h.observe(9.0);
+  const std::string text = reg.render_prometheus();
+  EXPECT_NE(text.find("lat_bucket{le=\"1\"} 1"), std::string::npos);
+  EXPECT_NE(text.find("lat_bucket{le=\"2\"} 2"), std::string::npos);
+  EXPECT_NE(text.find("lat_bucket{le=\"+Inf\"} 3"), std::string::npos);
+  EXPECT_NE(text.find("lat_sum 11"), std::string::npos);
+  EXPECT_NE(text.find("lat_count 3"), std::string::npos);
+}
+
+TEST(Prometheus, EscapesLabelValues) {
+  obs::MetricsRegistry reg;
+  reg.counter("m", {{"k", "quote\"back\\slash"}}).inc();
+  const std::string text = reg.render_prometheus();
+  EXPECT_NE(text.find("m{k=\"quote\\\"back\\\\slash\"} 1"), std::string::npos);
+}
+
+TEST(Tracer, DisabledTracerEmitsNothingCheaply) {
+  obs::Tracer tracer;
+  EXPECT_FALSE(tracer.enabled());
+  {
+    obs::Span s = tracer.start_span("anything");
+    EXPECT_FALSE(s.recording());
+    s.set_attribute("k", "v");  // must be a no-op, not a crash
+  }
+  tracer.event("anything");  // no sink: dropped
+}
+
+TEST(Tracer, SpansNestByIdAndRestoreParent) {
+  obs::MemorySink sink;
+  obs::Tracer tracer;
+  tracer.set_sink(&sink);
+  {
+    obs::Span root = tracer.start_span("root");
+    {
+      obs::Span child = tracer.start_span("child");
+      obs::Span grandchild = tracer.start_span("grandchild");
+      grandchild.end();
+      child.end();
+    }
+    obs::Span sibling = tracer.start_span("sibling");
+  }
+  // Events arrive in *end* order: grandchild, child, sibling, root.
+  ASSERT_EQ(sink.events().size(), 4u);
+  const auto root = sink.named("root").at(0);
+  const auto child = sink.named("child").at(0);
+  const auto grandchild = sink.named("grandchild").at(0);
+  const auto sibling = sink.named("sibling").at(0);
+  EXPECT_EQ(root.parent_id, 0u);
+  EXPECT_EQ(child.parent_id, root.span_id);
+  EXPECT_EQ(grandchild.parent_id, child.span_id);
+  EXPECT_EQ(sibling.parent_id, root.span_id);  // parent restored after child
+  EXPECT_GE(root.duration_us, child.duration_us);
+}
+
+TEST(Tracer, EventsInheritTheOpenSpan) {
+  obs::MemorySink sink;
+  obs::Tracer tracer;
+  tracer.set_sink(&sink);
+  tracer.event("orphan");
+  {
+    obs::Span s = tracer.start_span("phase", {{"phase", "search"}});
+    tracer.event("alert", {{"rule", "position_jump"}});
+  }
+  const auto orphan = sink.named("orphan").at(0);
+  EXPECT_EQ(orphan.parent_id, 0u);
+  EXPECT_EQ(orphan.kind, obs::TraceEvent::Kind::kEvent);
+  const auto alert = sink.named("alert").at(0);
+  const auto phase = sink.named("phase").at(0);
+  EXPECT_EQ(alert.parent_id, phase.span_id);
+  ASSERT_EQ(alert.attributes.size(), 1u);
+  EXPECT_EQ(alert.attributes[0].second, "position_jump");
+}
+
+TEST(Tracer, SpanAttributesSurviveToTheSink) {
+  obs::MemorySink sink;
+  obs::Tracer tracer;
+  tracer.set_sink(&sink);
+  {
+    obs::Span s = tracer.start_span("run", {{"uavs", "3"}});
+    s.set_attribute("availability", 0.915);
+  }
+  const auto e = sink.named("run").at(0);
+  ASSERT_EQ(e.attributes.size(), 2u);
+  EXPECT_EQ(e.attributes[0].first, "uavs");
+  EXPECT_EQ(e.attributes[1].second, "0.915");
+}
+
+TEST(Tracer, EndIsIdempotentAndMoveSafe) {
+  obs::MemorySink sink;
+  obs::Tracer tracer;
+  tracer.set_sink(&sink);
+  obs::Span s = tracer.start_span("once");
+  obs::Span moved = std::move(s);
+  s.end();      // moved-from: no-op
+  moved.end();
+  moved.end();  // second end: no-op
+  EXPECT_EQ(sink.named("once").size(), 1u);
+}
+
+TEST(JsonLines, SerializesSpansAndEvents) {
+  obs::TraceEvent e;
+  e.kind = obs::TraceEvent::Kind::kSpan;
+  e.name = "sesame.mission.phase";
+  e.span_id = 2;
+  e.parent_id = 1;
+  e.start_us = 10.5;
+  e.duration_us = 99.5;
+  e.attributes = {{"phase", "search"}};
+  EXPECT_EQ(obs::to_json_line(e),
+            "{\"kind\":\"span\",\"name\":\"sesame.mission.phase\","
+            "\"span_id\":2,\"parent_id\":1,\"start_us\":10.5,"
+            "\"duration_us\":99.5,\"attrs\":{\"phase\":\"search\"}}");
+  e.kind = obs::TraceEvent::Kind::kEvent;
+  EXPECT_EQ(obs::to_json_line(e).find("\"duration_us\""), std::string::npos);
+}
+
+TEST(JsonLines, EscapesStrings) {
+  EXPECT_EQ(obs::json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+  EXPECT_EQ(obs::json_escape(std::string("x\x01y")), "x\\u0001y");
+}
+
+TEST(JsonLines, SinkWritesOneLinePerEvent) {
+  std::ostringstream out;
+  obs::JsonLinesSink sink(out);
+  obs::Tracer tracer;
+  tracer.set_sink(&sink);
+  tracer.event("a");
+  { obs::Span s = tracer.start_span("b"); }
+  EXPECT_EQ(sink.events_written(), 2u);
+  const std::string text = out.str();
+  EXPECT_EQ(std::count(text.begin(), text.end(), '\n'), 2);
+  EXPECT_NE(text.find("\"kind\":\"event\""), std::string::npos);
+  EXPECT_NE(text.find("\"kind\":\"span\""), std::string::npos);
+}
+
+TEST(Observability, BundleComposes) {
+  obs::Observability o;
+  obs::MemorySink sink;
+  o.tracer.set_sink(&sink);
+  o.metrics.counter("sesame.test.total").inc();
+  o.tracer.event("sesame.test.event");
+  EXPECT_EQ(o.metrics.series_count(), 1u);
+  EXPECT_EQ(sink.events().size(), 1u);
+}
