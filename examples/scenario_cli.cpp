@@ -6,11 +6,15 @@
 //   scenario_cli [--config FILE.json] [--uavs N] [--area-m M]
 //                [--altitude-m A] [--persons P] [--baseline]
 //                [--battery-fault UAV:T] [--spoof UAV:T] [--seed S]
+//                [--fault-plan FILE] [--link-loss]
 //                [--csv PREFIX] [--save-config FILE.json]
 //                [--metrics FILE|-] [--trace FILE.jsonl]
 //
 // --config loads a JSON scenario file first; later flags override it.
 // --save-config writes the effective configuration back out.
+// --fault-plan applies a message-fault schedule to the bus (drop/delay/
+//   duplicate/reorder; format in docs/FAULT_INJECTION.md); --link-loss
+//   turns on the distance-dependent UAV<->GCS radio model.
 // --metrics dumps a Prometheus-format metrics report after the run
 //   ("-" = stdout); --trace streams the structured span/event trace as
 //   JSON lines. See docs/OBSERVABILITY.md for both formats.
@@ -19,9 +23,11 @@
 //   scenario_cli --uavs 3 --area-m 300 --battery-fault uav2:250
 //   scenario_cli --spoof uav1:60 --csv /tmp/run
 //   scenario_cli --spoof uav1:60 --metrics - --trace /tmp/run.jsonl
+//   scenario_cli --link-loss --fault-plan stress.plan --metrics -
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <exception>
 #include <memory>
 #include <string>
 
@@ -95,6 +101,15 @@ int main(int argc, char** argv) {
       config.spoofing = platform::SpoofingEvent{uav, t, 2.0};
     } else if (std::strcmp(argv[i], "--seed") == 0) {
       config.seed = static_cast<std::uint64_t>(std::atoll(need_value("--seed")));
+    } else if (std::strcmp(argv[i], "--fault-plan") == 0) {
+      try {
+        config.fault_plan = mw::load_fault_plan(need_value("--fault-plan"));
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "--fault-plan: %s\n", e.what());
+        return 2;
+      }
+    } else if (std::strcmp(argv[i], "--link-loss") == 0) {
+      config.lossy_links = true;
     } else if (std::strcmp(argv[i], "--csv") == 0) {
       csv_prefix = need_value("--csv");
     } else if (std::strcmp(argv[i], "--config") == 0) {
@@ -151,6 +166,13 @@ int main(int argc, char** argv) {
   }
   std::printf("final decision    : %s\n",
               conserts::mission_decision_name(result.final_decision).c_str());
+  if (config.fault_plan || config.lossy_links) {
+    const auto& bus = runner.world().bus();
+    std::printf("bus faults        : %llu dropped, %llu delayed, %llu duplicated\n",
+                static_cast<unsigned long long>(bus.faults_dropped()),
+                static_cast<unsigned long long>(bus.faults_delayed()),
+                static_cast<unsigned long long>(bus.faults_duplicated()));
+  }
 
   if (!csv_prefix.empty()) {
     platform::export_result(result, csv_prefix + "_series.csv",

@@ -8,6 +8,32 @@ Subscription Bus::add_tap(TapFn tap) {
   return Subscription([this, id] { taps_.erase(id); });
 }
 
+Subscription Bus::add_delivery_policy(DeliveryPolicy* policy) {
+  if (policy == nullptr) {
+    throw std::invalid_argument("Bus::add_delivery_policy: null policy");
+  }
+  const std::uint64_t id = next_sub_id_++;
+  policies_.emplace(id, policy);
+  return Subscription([this, id] { policies_.erase(id); });
+}
+
+std::size_t Bus::drain_delayed() {
+  if (delayed_.empty()) return 0;
+  // Collect the due batch first: delivering may publish (and so enqueue)
+  // further delayed messages, which must not be touched mid-iteration.
+  std::vector<Delayed> due;
+  for (auto it = delayed_.begin(); it != delayed_.end();) {
+    if (--it->steps_left == 0) {
+      due.push_back(std::move(*it));
+      it = delayed_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  for (auto& d : due) d.deliver(*this);
+  return due.size();
+}
+
 void Bus::restrict_publisher(const std::string& topic,
                              const std::string& source) {
   acl_[topic] = source;
@@ -16,6 +42,20 @@ void Bus::restrict_publisher(const std::string& topic,
 std::size_t Bus::subscriber_count(const std::string& topic) const {
   const auto it = subscribers_.find(topic);
   return it == subscribers_.end() ? 0 : it->second.size();
+}
+
+void Bus::validate_subscriber_types(const std::string& topic,
+                                    std::type_index type,
+                                    const char* type_name) const {
+  const auto it = subscribers_.find(topic);
+  if (it == subscribers_.end()) return;
+  for (const auto& s : it->second) {
+    if (s.type != type) {
+      throw std::runtime_error("Bus: type mismatch on topic '" + topic +
+                               "': published " + type_name +
+                               " but a subscriber expects a different type");
+    }
+  }
 }
 
 void Bus::set_metrics(obs::MetricsRegistry* registry) {
@@ -34,6 +74,12 @@ Bus::TopicInstruments& Bus::instruments(const std::string& topic) {
     it->second.deliver = &metrics_->counter("sesame.mw.deliver_total", labels);
     it->second.latency =
         &metrics_->histogram("sesame.mw.delivery_latency_seconds", labels);
+    it->second.dropped =
+        &metrics_->counter("sesame.mw.fault_dropped_total", labels);
+    it->second.delayed =
+        &metrics_->counter("sesame.mw.fault_delayed_total", labels);
+    it->second.duplicated =
+        &metrics_->counter("sesame.mw.fault_duplicated_total", labels);
   }
   return it->second;
 }

@@ -1,0 +1,203 @@
+#include "sesame/mw/fault_plan.hpp"
+
+#include <cmath>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace sesame::mw {
+
+namespace {
+
+bool starts_with(const std::string& s, const std::string& prefix) {
+  return s.size() >= prefix.size() &&
+         s.compare(0, prefix.size(), prefix) == 0;
+}
+
+bool ends_with(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+[[noreturn]] void bad_plan(std::size_t line_no, const std::string& what) {
+  throw std::runtime_error("parse_fault_plan: line " +
+                           std::to_string(line_no) + ": " + what);
+}
+
+double parse_probability(const std::string& text, std::size_t line_no,
+                         const std::string& key) {
+  std::size_t consumed = 0;
+  double p = 0.0;
+  try {
+    p = std::stod(text, &consumed);
+  } catch (const std::exception&) {
+    bad_plan(line_no, key + " needs a number, got '" + text + "'");
+  }
+  if (consumed != text.size()) {
+    bad_plan(line_no, key + " needs a number, got '" + text + "'");
+  }
+  return p;
+}
+
+}  // namespace
+
+bool FaultRule::matches(const MessageHeader& header) const {
+  if (header.time_s < start_time_s || header.time_s >= stop_time_s) {
+    return false;
+  }
+  if (!topic_prefix.empty() && !starts_with(header.topic, topic_prefix)) {
+    return false;
+  }
+  if (!topic_suffix.empty() && !ends_with(header.topic, topic_suffix)) {
+    return false;
+  }
+  if (!source.empty() && header.source != source) return false;
+  return true;
+}
+
+void FaultRule::validate() const {
+  const auto probability = [](double p) { return p >= 0.0 && p <= 1.0; };
+  if (!probability(drop_probability) || !probability(delay_probability) ||
+      !probability(duplicate_probability)) {
+    throw std::invalid_argument(
+        "FaultRule: probabilities must lie in [0, 1]");
+  }
+  if (delay_steps == 0) {
+    throw std::invalid_argument("FaultRule: delay_steps must be >= 1");
+  }
+  if (!(start_time_s < stop_time_s)) {
+    throw std::invalid_argument("FaultRule: empty active time window");
+  }
+}
+
+FaultPlan FaultPlan::telemetry_stress() {
+  FaultPlan plan;
+  plan.seed = 1337;
+  FaultRule rule;
+  rule.topic_suffix = "/telemetry";
+  rule.drop_probability = 0.10;
+  rule.delay_probability = 0.20;
+  rule.delay_steps = 2;
+  rule.duplicate_probability = 0.10;
+  rule.reorder = true;
+  plan.rules.push_back(rule);
+  return plan;
+}
+
+FaultPlan parse_fault_plan(const std::string& text) {
+  FaultPlan plan;
+  std::istringstream lines(text);
+  std::string line;
+  std::size_t line_no = 0;
+  bool saw_directive = false;
+  while (std::getline(lines, line)) {
+    ++line_no;
+    if (const auto hash = line.find('#'); hash != std::string::npos) {
+      line.erase(hash);
+    }
+    std::istringstream tokens(line);
+    std::string head;
+    if (!(tokens >> head)) continue;  // blank / comment-only line
+    if (head == "seed") {
+      unsigned long long seed = 0;
+      if (!(tokens >> seed)) bad_plan(line_no, "seed needs an integer");
+      plan.seed = static_cast<std::uint64_t>(seed);
+      saw_directive = true;
+    } else if (head == "rule") {
+      FaultRule rule;
+      std::string token;
+      while (tokens >> token) {
+        const auto eq = token.find('=');
+        const std::string key = token.substr(0, eq);
+        const std::string value =
+            eq == std::string::npos ? std::string() : token.substr(eq + 1);
+        if (key == "reorder" && eq == std::string::npos) {
+          rule.reorder = true;
+        } else if (eq == std::string::npos || value.empty()) {
+          bad_plan(line_no, "expected key=value, got '" + token + "'");
+        } else if (key == "topic") {
+          rule.topic_prefix = value;
+        } else if (key == "suffix") {
+          rule.topic_suffix = value;
+        } else if (key == "source") {
+          rule.source = value;
+        } else if (key == "drop") {
+          rule.drop_probability = parse_probability(value, line_no, key);
+        } else if (key == "dup") {
+          rule.duplicate_probability = parse_probability(value, line_no, key);
+        } else if (key == "from") {
+          rule.start_time_s = parse_probability(value, line_no, key);
+        } else if (key == "until") {
+          rule.stop_time_s = parse_probability(value, line_no, key);
+        } else if (key == "delay") {
+          // delay=P or delay=P:N (probability : hold steps, default 1).
+          const auto colon = value.find(':');
+          rule.delay_probability = parse_probability(
+              value.substr(0, colon), line_no, key);
+          if (colon != std::string::npos) {
+            const std::string steps = value.substr(colon + 1);
+            try {
+              rule.delay_steps = static_cast<std::size_t>(std::stoul(steps));
+            } catch (const std::exception&) {
+              bad_plan(line_no, "delay steps must be an integer, got '" +
+                                    steps + "'");
+            }
+          }
+        } else {
+          bad_plan(line_no, "unknown rule key '" + key + "'");
+        }
+      }
+      rule.validate();
+      plan.rules.push_back(std::move(rule));
+      saw_directive = true;
+    } else {
+      bad_plan(line_no, "expected 'seed' or 'rule', got '" + head + "'");
+    }
+  }
+  if (!saw_directive) {
+    throw std::runtime_error("parse_fault_plan: no seed or rule directives");
+  }
+  return plan;
+}
+
+FaultPlan load_fault_plan(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::runtime_error("load_fault_plan: cannot open " + path);
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return parse_fault_plan(buffer.str());
+}
+
+FaultInjector::FaultInjector(FaultPlan plan)
+    : plan_(std::move(plan)), rng_(plan_.seed) {
+  for (const auto& rule : plan_.rules) rule.validate();
+}
+
+FaultDecision FaultInjector::decide(const MessageHeader& header) {
+  FaultDecision d;
+  for (const auto& rule : plan_.rules) {
+    if (!rule.matches(header)) continue;
+    // First matching rule wins. Draw order is fixed (drop, duplicate,
+    // delay) so the realized fault sequence is a pure function of the
+    // plan, the seed, and the matched-publication order.
+    if (rule.drop_probability > 0.0 && rng_.bernoulli(rule.drop_probability)) {
+      d.drop = true;
+      return d;
+    }
+    if (rule.duplicate_probability > 0.0 &&
+        rng_.bernoulli(rule.duplicate_probability)) {
+      d.duplicates = 1;
+    }
+    if (rule.delay_probability > 0.0 &&
+        rng_.bernoulli(rule.delay_probability)) {
+      d.delay_steps = rule.delay_steps;
+      d.reorder = rule.reorder;
+    }
+    return d;
+  }
+  return d;
+}
+
+}  // namespace sesame::mw

@@ -6,11 +6,31 @@
 // scenario — *any* participant can publish to any topic (no authentication),
 // so a spoofing node can inject falsified telemetry/waypoints. The IDS taps
 // the bus through `add_tap` to inspect traffic.
+//
+// Delivery contract (single-threaded by design — the simulator steps the
+// world deterministically, so fan-out is synchronous and in subscription
+// order):
+//  - Each publication runs the pipeline journal → taps → ACL → type
+//    validation → fault policies → delivery. Taps and the journal observe
+//    every attempt; the ACL drops unauthorized publications before
+//    subscribers; subscriber payload types are validated *before* any
+//    handler runs; registered `DeliveryPolicy` objects may then drop,
+//    delay, duplicate or reorder the message (see fault_plan.hpp).
+//  - Re-entrancy: tap and subscriber lists are copied before each fan-out,
+//    so handlers may freely (un)subscribe, add taps, or release their own
+//    Subscription mid-delivery. A handler or tap removed during a fan-out
+//    still observes the in-flight message; one added during a fan-out
+//    first observes the next message. Delivery policies must not mutate
+//    the bus from inside decide().
+//  - Delayed messages sit in a queue drained by `drain_delayed()` (called
+//    once per `sim::World::step`); they are delivered to the subscribers
+//    registered *at drain time*, with their original header.
 #pragma once
 
 #include <any>
 #include <chrono>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <map>
 #include <memory>
@@ -37,7 +57,25 @@ struct JournalEntry {
   std::string type_name;  ///< mangled C++ type of the payload
 };
 
-/// Token returned by subscribe/tap registration; unsubscribes on release.
+/// What a delivery policy decided for one accepted publication.
+struct FaultDecision {
+  bool drop = false;          ///< lose the message in flight
+  std::size_t delay_steps = 0;  ///< 0 = deliver now; N = after N drains
+  std::size_t duplicates = 0;   ///< extra copies delivered
+  bool reorder = false;  ///< delayed copies jump ahead of earlier ones
+};
+
+/// Pluggable per-publication delivery fault model. Implementations must be
+/// deterministic given the publication sequence (any randomness must come
+/// from an owned seeded RNG) and must not mutate the bus from decide().
+class DeliveryPolicy {
+ public:
+  virtual ~DeliveryPolicy() = default;
+  virtual FaultDecision decide(const MessageHeader& header) = 0;
+};
+
+/// Token returned by subscribe/tap/policy registration; unsubscribes on
+/// release.
 class Subscription {
  public:
   Subscription() = default;
@@ -45,9 +83,11 @@ class Subscription {
       : unsubscribe_(std::move(unsubscribe)) {}
   Subscription(Subscription&&) = default;
   Subscription& operator=(Subscription&& o) {
-    reset();
-    unsubscribe_ = std::move(o.unsubscribe_);
-    o.unsubscribe_ = nullptr;
+    if (this != &o) {  // self-move must not release the live registration
+      reset();
+      unsubscribe_ = std::move(o.unsubscribe_);
+      o.unsubscribe_ = nullptr;
+    }
     return *this;
   }
   Subscription(const Subscription&) = delete;
@@ -66,19 +106,23 @@ class Subscription {
   std::function<void()> unsubscribe_;
 };
 
-/// The message bus. Single-threaded by design (the simulator steps the
-/// world deterministically); delivery is synchronous and in subscription
-/// order, which keeps every experiment reproducible.
+/// The message bus. Single-threaded by design; see the delivery contract
+/// in the file header.
 class Bus {
  public:
-  /// Publishes a payload on `topic`. Delivery is immediate. The payload
-  /// type must match subscribers' expected type exactly; a mismatch throws
-  /// std::runtime_error (it is a programming error, not an attack vector).
+  /// Publishes a payload on `topic`. The payload type must match
+  /// subscribers' expected type exactly; a mismatch throws
+  /// std::runtime_error *before any handler runs* (it is a programming
+  /// error, not an attack vector).
   ///
   /// When the topic carries a publisher restriction (restrict_publisher —
   /// the SROS2-style authentication mitigation), publications from any
   /// other source are dropped before reaching subscribers; taps (IDS)
   /// still observe the attempt, as a network IDS would.
+  ///
+  /// Registered delivery policies (add_delivery_policy) may drop, delay,
+  /// duplicate or reorder the accepted message; without policies delivery
+  /// is immediate and lossless.
   template <typename T>
   void publish(const std::string& topic, const T& payload,
                const std::string& source, double time_s) {
@@ -97,10 +141,16 @@ class Bus {
     if (journal_enabled_) {
       journal_.push_back({h, typeid(T).name()});
     }
-    // Taps see everything, before subscribers.
-    for (const auto& [id, tap] : taps_) {
-      (void)id;
-      tap(h, std::any(std::cref(payload)), std::type_index(typeid(T)));
+    // Taps see everything, before subscribers. Iterate over a copy: a tap
+    // may re-entrantly add taps or release tap Subscriptions, which would
+    // invalidate the registry iterators.
+    if (!taps_.empty()) {
+      std::vector<TapFn> taps;
+      taps.reserve(taps_.size());
+      for (const auto& [id, tap] : taps_) taps.push_back(tap);
+      for (const auto& tap : taps) {
+        tap(h, std::any(std::cref(payload)), std::type_index(typeid(T)));
+      }
     }
     if (const auto acl = acl_.find(topic);
         acl != acl_.end() && acl->second != source) {
@@ -108,26 +158,55 @@ class Bus {
       if (rejected_counter_ != nullptr) rejected_counter_->inc();
       return;  // authenticated transport: unauthorized publication dropped
     }
-    const auto it = subscribers_.find(topic);
-    if (it == subscribers_.end()) return;
-    // Copy the handler list: handlers may (un)subscribe re-entrantly.
-    auto handlers = it->second;
-    const auto t0 = ti != nullptr ? std::chrono::steady_clock::now()
-                                  : std::chrono::steady_clock::time_point{};
-    for (const auto& s : handlers) {
-      if (s.type != std::type_index(typeid(T))) {
-        throw std::runtime_error("Bus: type mismatch on topic '" + topic +
-                                 "': published " + typeid(T).name() +
-                                 " but a subscriber expects a different type");
+    ++published_;
+    // A type mismatch must surface deterministically, before any handler
+    // runs and regardless of what the fault policies decide.
+    validate_subscriber_types(topic, std::type_index(typeid(T)),
+                              typeid(T).name());
+    FaultDecision fd;
+    if (!policies_.empty()) {
+      // Every policy is consulted for every accepted publication (even
+      // when an earlier one already dropped it), so each policy's random
+      // stream advances independently of the others' decisions.
+      std::vector<DeliveryPolicy*> policies;
+      policies.reserve(policies_.size());
+      for (const auto& [id, p] : policies_) policies.push_back(p);
+      for (DeliveryPolicy* p : policies) {
+        const FaultDecision d = p->decide(h);
+        fd.drop = fd.drop || d.drop;
+        fd.delay_steps = std::max(fd.delay_steps, d.delay_steps);
+        fd.duplicates += d.duplicates;
+        fd.reorder = fd.reorder || d.reorder;
       }
-      s.handler(h, &payload);
     }
-    if (ti != nullptr) {
-      ti->deliver->inc(static_cast<double>(handlers.size()));
-      ti->latency->observe(std::chrono::duration<double>(
-                               std::chrono::steady_clock::now() - t0)
-                               .count());
+    if (fd.drop) {
+      ++faults_dropped_;
+      if (ti != nullptr) ti->dropped->inc();
+      return;
     }
+    const std::size_t copies = 1 + fd.duplicates;
+    if (fd.duplicates > 0) {
+      faults_duplicated_ += fd.duplicates;
+      if (ti != nullptr) ti->duplicated->inc(static_cast<double>(fd.duplicates));
+    }
+    if (fd.delay_steps > 0) {
+      faults_delayed_ += 1;
+      if (ti != nullptr) ti->delayed->inc();
+      Delayed d;
+      d.steps_left = fd.delay_steps;
+      d.deliver = [topic, h, payload, copies](Bus& bus) {
+        for (std::size_t i = 0; i < copies; ++i) {
+          bus.deliver_now(topic, h, payload);
+        }
+      };
+      if (fd.reorder) {
+        delayed_.push_front(std::move(d));
+      } else {
+        delayed_.push_back(std::move(d));
+      }
+      return;
+    }
+    for (std::size_t i = 0; i < copies; ++i) deliver_now(topic, h, payload);
   }
 
   /// Subscribes a handler to `topic`. Returns a token whose destruction
@@ -162,6 +241,21 @@ class Bus {
                                    std::type_index)>;
   [[nodiscard]] Subscription add_tap(TapFn tap);
 
+  /// Registers a delivery fault policy (non-owning; the policy must
+  /// outlive the returned token). Multiple policies compose: a message is
+  /// dropped if any policy drops it, delayed by the longest requested
+  /// delay, and duplicated once per requesting policy.
+  [[nodiscard]] Subscription add_delivery_policy(DeliveryPolicy* policy);
+
+  /// Delivers every delayed message whose hold time has elapsed (called
+  /// once per simulation step). Messages enqueue with their original
+  /// header and reach the subscribers registered at drain time. Returns
+  /// the number of delayed messages delivered this drain.
+  std::size_t drain_delayed();
+
+  /// Delayed messages currently queued.
+  std::size_t delayed_pending() const noexcept { return delayed_.size(); }
+
   /// Number of registered subscribers on a topic.
   std::size_t subscriber_count(const std::string& topic) const;
 
@@ -170,7 +264,11 @@ class Bus {
   const std::vector<JournalEntry>& journal() const noexcept { return journal_; }
   void clear_journal() { journal_.clear(); }
 
-  std::uint64_t messages_published() const noexcept { return next_seq_; }
+  /// Publications accepted by the transport (attempts minus ACL rejects).
+  /// Messages later dropped or delayed by fault policies still count: the
+  /// transport accepted them, the link lost them. The journal records
+  /// every attempt, accepted or not.
+  std::uint64_t messages_published() const noexcept { return published_; }
 
   /// Enables authenticated publishing on `topic`: only `source` may
   /// publish there; other publications are dropped (and counted). This is
@@ -183,12 +281,23 @@ class Bus {
     return rejected_publications_;
   }
 
+  /// Fault-policy outcomes so far (bus-wide; per-topic counters live in
+  /// the metrics registry when one is attached).
+  std::uint64_t faults_dropped() const noexcept { return faults_dropped_; }
+  std::uint64_t faults_delayed() const noexcept { return faults_delayed_; }
+  std::uint64_t faults_duplicated() const noexcept {
+    return faults_duplicated_;
+  }
+
   /// Attaches (nullptr: detaches) a metrics registry. While attached the
   /// bus maintains, per topic: `sesame.mw.publish_total` (every publication
   /// attempt, like the journal), `sesame.mw.deliver_total` (handler
-  /// invocations) and `sesame.mw.delivery_latency_seconds` (wall time to
-  /// fan one message out to a topic's subscribers); plus the bus-wide
-  /// `sesame.mw.rejected_total`. The registry must outlive the attachment.
+  /// invocations), `sesame.mw.delivery_latency_seconds` (wall time to
+  /// fan one message out to a topic's subscribers) and the fault-policy
+  /// counters `sesame.mw.fault_dropped_total` /
+  /// `sesame.mw.fault_delayed_total` / `sesame.mw.fault_duplicated_total`;
+  /// plus the bus-wide `sesame.mw.rejected_total`. The registry must
+  /// outlive the attachment.
   void set_metrics(obs::MetricsRegistry* registry);
 
  private:
@@ -198,13 +307,66 @@ class Bus {
     std::function<void(const MessageHeader&, const void*)> handler;
   };
 
+  /// A message held back by a fault policy; `deliver` re-runs the fan-out
+  /// against the subscribers present at drain time.
+  struct Delayed {
+    std::size_t steps_left = 0;
+    std::function<void(Bus&)> deliver;
+  };
+
   /// Per-topic instruments, looked up once per topic then cached.
   struct TopicInstruments {
     obs::Counter* publish = nullptr;
     obs::Counter* deliver = nullptr;
     obs::Histogram* latency = nullptr;
+    obs::Counter* dropped = nullptr;
+    obs::Counter* delayed = nullptr;
+    obs::Counter* duplicated = nullptr;
   };
   TopicInstruments& instruments(const std::string& topic);
+
+  /// Throws std::runtime_error if any subscriber on `topic` expects a
+  /// payload type other than `type`.
+  void validate_subscriber_types(const std::string& topic,
+                                 std::type_index type,
+                                 const char* type_name) const;
+
+  /// Synchronous fan-out of one message to the current subscribers.
+  /// Re-validates types (the subscriber set may have changed since a
+  /// delayed message was enqueued) and records delivery metrics for the
+  /// handlers that completed, even when one of them throws.
+  template <typename T>
+  void deliver_now(const std::string& topic, const MessageHeader& h,
+                   const T& payload) {
+    const auto it = subscribers_.find(topic);
+    if (it == subscribers_.end()) return;
+    // Copy the handler list: handlers may (un)subscribe re-entrantly.
+    auto handlers = it->second;
+    validate_subscriber_types(topic, std::type_index(typeid(T)),
+                              typeid(T).name());
+    TopicInstruments* ti =
+        metrics_ != nullptr ? &instruments(topic) : nullptr;
+    const auto t0 = ti != nullptr ? std::chrono::steady_clock::now()
+                                  : std::chrono::steady_clock::time_point{};
+    std::size_t completed = 0;
+    const auto record = [&] {
+      if (ti == nullptr) return;
+      ti->deliver->inc(static_cast<double>(completed));
+      ti->latency->observe(std::chrono::duration<double>(
+                               std::chrono::steady_clock::now() - t0)
+                               .count());
+    };
+    try {
+      for (const auto& s : handlers) {
+        s.handler(h, &payload);
+        ++completed;
+      }
+    } catch (...) {
+      record();  // the handlers that ran are still accounted for
+      throw;
+    }
+    record();
+  }
 
   std::map<std::string, std::vector<Entry>> subscribers_;
   std::map<std::string, std::string> acl_;  // topic -> sole allowed source
@@ -213,9 +375,15 @@ class Bus {
   std::map<std::string, TopicInstruments> instruments_;
   std::uint64_t rejected_publications_ = 0;
   std::map<std::uint64_t, TapFn> taps_;
+  std::map<std::uint64_t, DeliveryPolicy*> policies_;
+  std::deque<Delayed> delayed_;
   std::vector<JournalEntry> journal_;
   bool journal_enabled_ = true;
   std::uint64_t next_seq_ = 0;
+  std::uint64_t published_ = 0;
+  std::uint64_t faults_dropped_ = 0;
+  std::uint64_t faults_delayed_ = 0;
+  std::uint64_t faults_duplicated_ = 0;
   std::uint64_t next_sub_id_ = 0;
 };
 

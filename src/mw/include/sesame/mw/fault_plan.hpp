@@ -1,0 +1,91 @@
+// Deterministic fault injection for the message bus.
+//
+// The bus is a perfect transport by default: every accepted publication
+// reaches every subscriber instantly. Real UAV C2 links are not — the
+// dependability scenarios (ConSert demotion on link loss, IDS robustness
+// under degraded telemetry) need messages that are *lost, late, repeated
+// or reordered* on demand, reproducibly. A `FaultPlan` is a list of rules
+// matched against each publication's header; the `FaultInjector` policy
+// applies them with its own seeded RNG, so the same plan and seed produce
+// the same fault sequence on every run (the determinism contract in
+// docs/FAULT_INJECTION.md).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "sesame/mathx/rng.hpp"
+#include "sesame/mw/bus.hpp"
+
+namespace sesame::mw {
+
+/// One fault rule: a (topic, source, time-window) match plus the faults to
+/// apply. The first rule of a plan that matches a publication wins.
+struct FaultRule {
+  // --- match -------------------------------------------------------------
+  std::string topic_prefix;  ///< "" = any; else topic must start with this
+  std::string topic_suffix;  ///< "" = any; else topic must end with this
+  std::string source;        ///< "" = any; else exact publisher match
+  double start_time_s = 0.0;  ///< rule active from this publish time
+  double stop_time_s = std::numeric_limits<double>::infinity();  ///< exclusive
+
+  // --- effects -----------------------------------------------------------
+  double drop_probability = 0.0;       ///< message lost in flight
+  double delay_probability = 0.0;      ///< message held for `delay_steps`
+  std::size_t delay_steps = 1;         ///< drain cycles a delayed message waits
+  double duplicate_probability = 0.0;  ///< message delivered twice
+  bool reorder = false;  ///< delayed messages jump ahead of earlier ones
+
+  bool matches(const MessageHeader& header) const;
+
+  /// Throws std::invalid_argument on out-of-range probabilities, a zero
+  /// delay, or an empty time window.
+  void validate() const;
+};
+
+/// A reproducible fault schedule: rules plus the seed of the dedicated
+/// random stream that realizes their probabilities.
+struct FaultPlan {
+  std::uint64_t seed = 1;
+  std::vector<FaultRule> rules;
+
+  /// The CI stress plan: drop + delay + duplicate + reorder on every
+  /// telemetry topic — lossy, laggy, chatty links for sanitizer runs.
+  static FaultPlan telemetry_stress();
+};
+
+/// Parses the line-based fault-plan format (docs/FAULT_INJECTION.md):
+///
+///   # comment
+///   seed 1337
+///   rule topic=uav/uav1/ suffix=/telemetry drop=0.1 delay=0.2:3 dup=0.05
+///   rule source=attacker drop=1.0 from=60 until=120 reorder
+///
+/// Throws std::runtime_error on malformed input, std::invalid_argument on
+/// structurally invalid rules.
+FaultPlan parse_fault_plan(const std::string& text);
+
+/// Reads and parses a fault-plan file.
+FaultPlan load_fault_plan(const std::string& path);
+
+/// The standard delivery policy: realizes a FaultPlan with a private
+/// seeded RNG. Random draws happen only for publications matched by a
+/// rule, so the fault sequence depends solely on the plan and the order
+/// of matched publications — never on unrelated traffic.
+class FaultInjector : public DeliveryPolicy {
+ public:
+  /// Validates every rule; throws std::invalid_argument on a bad plan.
+  explicit FaultInjector(FaultPlan plan);
+
+  const FaultPlan& plan() const noexcept { return plan_; }
+
+  FaultDecision decide(const MessageHeader& header) override;
+
+ private:
+  FaultPlan plan_;
+  mathx::Rng rng_;
+};
+
+}  // namespace sesame::mw

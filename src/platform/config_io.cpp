@@ -1,5 +1,6 @@
 #include "sesame/platform/config_io.hpp"
 
+#include <cmath>
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
@@ -20,7 +21,39 @@ eddi::ode::Value config_to_json(const RunnerConfig& config) {
   doc["n_persons"] = config.n_persons;
   doc["descend_altitude_m"] = config.descend_altitude_m;
   doc["descend_patience"] = config.descend_patience;
+  doc["lossy_links"] = config.lossy_links;
+  doc["telemetry_staleness_window_s"] = config.telemetry_staleness_window_s;
   doc["seed"] = static_cast<double>(config.seed);
+
+  ode::Value comm_link;
+  comm_link["nominal_range_m"] = config.comm_link.nominal_range_m;
+  comm_link["max_range_m"] = config.comm_link.max_range_m;
+  comm_link["fading_sigma"] = config.comm_link.fading_sigma;
+  comm_link["usable_threshold"] = config.comm_link.usable_threshold;
+  doc["comm_link"] = comm_link;
+
+  if (config.fault_plan) {
+    ode::Value plan;
+    plan["seed"] = static_cast<double>(config.fault_plan->seed);
+    ode::Value rules{ode::Value::Array{}};
+    for (const auto& r : config.fault_plan->rules) {
+      ode::Value rule;
+      if (!r.topic_prefix.empty()) rule["topic_prefix"] = r.topic_prefix;
+      if (!r.topic_suffix.empty()) rule["topic_suffix"] = r.topic_suffix;
+      if (!r.source.empty()) rule["source"] = r.source;
+      rule["start_time_s"] = r.start_time_s;
+      // Infinity is not representable in JSON; absent = never stops.
+      if (std::isfinite(r.stop_time_s)) rule["stop_time_s"] = r.stop_time_s;
+      rule["drop_probability"] = r.drop_probability;
+      rule["delay_probability"] = r.delay_probability;
+      rule["delay_steps"] = static_cast<double>(r.delay_steps);
+      rule["duplicate_probability"] = r.duplicate_probability;
+      rule["reorder"] = r.reorder;
+      rules.push_back(rule);
+    }
+    plan["rules"] = rules;
+    doc["fault_plan"] = plan;
+  }
 
   ode::Value area;
   area["east_min"] = config.area.east_min;
@@ -100,8 +133,58 @@ RunnerConfig config_from_json(const eddi::ode::Value& doc) {
     } else if (key == "descend_patience") {
       config.descend_patience =
           static_cast<int>(number(value, "descend_patience"));
+    } else if (key == "lossy_links") {
+      if (!value.is_bool()) {
+        throw std::invalid_argument("config_from_json: lossy_links bool");
+      }
+      config.lossy_links = value.as_bool();
+    } else if (key == "telemetry_staleness_window_s") {
+      config.telemetry_staleness_window_s =
+          number(value, "telemetry_staleness_window_s");
     } else if (key == "seed") {
       config.seed = static_cast<std::uint64_t>(number(value, "seed"));
+    } else if (key == "comm_link") {
+      for (const auto& [lkey, lvalue] : value.as_object()) {
+        if (lkey == "nominal_range_m") config.comm_link.nominal_range_m = number(lvalue, lkey.c_str());
+        else if (lkey == "max_range_m") config.comm_link.max_range_m = number(lvalue, lkey.c_str());
+        else if (lkey == "fading_sigma") config.comm_link.fading_sigma = number(lvalue, lkey.c_str());
+        else if (lkey == "usable_threshold") config.comm_link.usable_threshold = number(lvalue, lkey.c_str());
+        else unknown_key("comm_link", lkey);
+      }
+    } else if (key == "fault_plan") {
+      mw::FaultPlan plan;
+      for (const auto& [pkey, pvalue] : value.as_object()) {
+        if (pkey == "seed") {
+          plan.seed = static_cast<std::uint64_t>(number(pvalue, "fault_plan.seed"));
+        } else if (pkey == "rules") {
+          if (!pvalue.is_array()) {
+            throw std::invalid_argument("config_from_json: fault_plan.rules array");
+          }
+          for (const auto& rvalue : pvalue.as_array()) {
+            mw::FaultRule rule;
+            for (const auto& [rkey, rv] : rvalue.as_object()) {
+              if (rkey == "topic_prefix") rule.topic_prefix = rv.as_string();
+              else if (rkey == "topic_suffix") rule.topic_suffix = rv.as_string();
+              else if (rkey == "source") rule.source = rv.as_string();
+              else if (rkey == "start_time_s") rule.start_time_s = number(rv, rkey.c_str());
+              else if (rkey == "stop_time_s") rule.stop_time_s = number(rv, rkey.c_str());
+              else if (rkey == "drop_probability") rule.drop_probability = number(rv, rkey.c_str());
+              else if (rkey == "delay_probability") rule.delay_probability = number(rv, rkey.c_str());
+              else if (rkey == "delay_steps") rule.delay_steps = static_cast<std::size_t>(number(rv, rkey.c_str()));
+              else if (rkey == "duplicate_probability") rule.duplicate_probability = number(rv, rkey.c_str());
+              else if (rkey == "reorder") {
+                if (!rv.is_bool()) {
+                  throw std::invalid_argument("config_from_json: reorder bool");
+                }
+                rule.reorder = rv.as_bool();
+              } else unknown_key("fault_plan rule", rkey);
+            }
+            rule.validate();
+            plan.rules.push_back(std::move(rule));
+          }
+        } else unknown_key("fault_plan", pkey);
+      }
+      config.fault_plan = std::move(plan);
     } else if (key == "area") {
       for (const auto& [akey, avalue] : value.as_object()) {
         if (akey == "east_min") config.area.east_min = number(avalue, akey.c_str());

@@ -18,6 +18,13 @@ void DatabaseManager::attach_uav(const std::string& name) {
       sim::telemetry_topic(name),
       [this, name](const mw::MessageHeader&, const sim::Telemetry& t) {
         auto& history = store_[name];
+        // The transport may duplicate or reorder messages (see
+        // docs/FAULT_INJECTION.md); a state database must not let a late
+        // copy of an old record shadow newer state.
+        if (!history.empty() && t.time_s <= history.back().time_s) {
+          ++records_rejected_;
+          return;
+        }
         history.push_back(t);
         if (history.size() > history_limit_) history.pop_front();
         ++records_stored_;

@@ -41,6 +41,10 @@ class DatabaseManager {
 
   std::size_t records_stored() const noexcept { return records_stored_; }
 
+  /// Stale or duplicate telemetry discarded (record time not newer than
+  /// the stored head) — non-zero only on a faulty/lossy transport.
+  std::size_t records_rejected() const noexcept { return records_rejected_; }
+
  private:
   mw::Bus* bus_;
   std::size_t history_limit_;
@@ -48,6 +52,7 @@ class DatabaseManager {
   std::map<std::string, std::deque<sim::Telemetry>> store_;
   std::vector<mw::Subscription> subscriptions_;
   std::size_t records_stored_ = 0;
+  std::size_t records_rejected_ = 0;
 
   void check_client(const std::string& client) const;
 };

@@ -25,6 +25,7 @@
 
 #include "sesame/conserts/assurance_trace.hpp"
 #include "sesame/eddi/uav_eddi.hpp"
+#include "sesame/mw/fault_plan.hpp"
 #include "sesame/obs/observability.hpp"
 #include "sesame/localization/collaborative.hpp"
 #include "sesame/platform/database.hpp"
@@ -81,6 +82,19 @@ struct RunnerConfig {
   /// C2 link budget: each UAV's comm_link_good evidence comes from the
   /// link quality at its range from the ground station (its home pad).
   sim::CommLinkConfig comm_link;
+  /// Fault schedule applied to every bus publication (drop/delay/dup/
+  /// reorder; see docs/FAULT_INJECTION.md). When unset, the constructor
+  /// falls back to the path in the SESAME_FAULT_PLAN environment variable
+  /// — the hook the CI stress job uses.
+  std::optional<mw::FaultPlan> fault_plan;
+  /// Model the UAV↔GCS radio: telemetry and position-fix messages are
+  /// dropped with distance-dependent probability (comm_link budget, GCS
+  /// at the middle of the southern base line).
+  bool lossy_links = false;
+  /// Telemetry-staleness watchdog: a UAV whose last received telemetry is
+  /// older than this loses its comm_link_good evidence, demoting the
+  /// comm_localization ConSert guarantee until telemetry resumes.
+  double telemetry_staleness_window_s = 5.0;
   std::uint64_t seed = 7;
 };
 
@@ -165,6 +179,10 @@ class MissionRunner {
     return *eddis_.at(name);
   }
 
+  /// Age of the named UAV's last *received* telemetry (mission clock
+  /// seconds). 0 while telemetry flows every tick; grows under link loss.
+  double telemetry_staleness_s(const std::string& name) const;
+
  private:
   RunnerConfig config_;
   std::unique_ptr<sim::World> world_;
@@ -201,6 +219,14 @@ class MissionRunner {
   bool spoof_response_started_ = false;
   std::unique_ptr<localization::CollaborativeLocalizer> cl_;
   std::unique_ptr<localization::SafeLandingGuide> landing_guide_;
+
+  // Fault-injection wiring. Subscriptions are declared after world_ so
+  // they release their bus registrations before the bus is destroyed.
+  std::unique_ptr<mw::FaultInjector> fault_injector_;
+  mw::Subscription fault_policy_sub_;
+  std::map<std::string, double> last_telemetry_rx_s_;
+  std::vector<mw::Subscription> telemetry_subscriptions_;
+  std::map<std::string, obs::Gauge*> staleness_gauges_;
 
   void inject_spoofed_fix(RunnerResult& result);
   void start_spoof_response(const std::string& victim, RunnerResult& result);

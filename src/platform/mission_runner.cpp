@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdlib>
 #include <stdexcept>
 
 #include "sesame/geo/geodesy.hpp"
@@ -27,8 +28,16 @@ sinadra::AltitudeBand altitude_band(double altitude_m) {
 MissionRunner::MissionRunner(RunnerConfig config) : config_(std::move(config)) {
   if (config_.n_uavs == 0) throw std::invalid_argument("MissionRunner: no UAVs");
   if (config_.dt_s <= 0.0 || config_.max_time_s <= 0.0 ||
-      config_.consert_period_s <= 0.0) {
+      config_.consert_period_s <= 0.0 ||
+      config_.telemetry_staleness_window_s <= 0.0) {
     throw std::invalid_argument("MissionRunner: non-positive timing");
+  }
+  if (!config_.fault_plan) {
+    // CI stress hook: a plan file named in the environment applies to every
+    // runner that was not given an explicit plan.
+    if (const char* path = std::getenv("SESAME_FAULT_PLAN")) {
+      config_.fault_plan = mw::load_fault_plan(path);
+    }
   }
   comm_link_ = sim::CommLink(config_.comm_link);
   setup_world();
@@ -78,9 +87,43 @@ void MissionRunner::setup_world() {
   mission_ = std::make_unique<sar::SarMission>(*world_, names_, plans_);
   mission_->enable_coverage_tracking(config_.area);
 
+  if (config_.fault_plan) {
+    fault_injector_ = std::make_unique<mw::FaultInjector>(*config_.fault_plan);
+    fault_policy_sub_ = world_->bus().add_delivery_policy(fault_injector_.get());
+  }
+  if (config_.lossy_links) {
+    sim::LossyLinkConfig llc;
+    llc.link = config_.comm_link;
+    // GCS at the middle of the southern base line, level with the pads.
+    llc.gcs_enu = {(config_.area.east_min + config_.area.east_max) / 2.0,
+                   config_.area.north_min - 20.0, 0.0};
+    // Fading/drop stream decoupled from the world seed so turning the link
+    // model on never changes trajectories of the same-seed clean run.
+    llc.seed = config_.seed ^ 0x9E3779B97F4A7C15ULL;
+    world_->enable_lossy_links(llc);
+  }
+
+  // Telemetry-staleness watchdog: track the newest *received* sample per
+  // UAV. max() keeps reordered or delayed arrivals from rolling time back.
+  for (const auto& name : names_) {
+    last_telemetry_rx_s_[name] = 0.0;
+    telemetry_subscriptions_.push_back(world_->bus().subscribe<sim::Telemetry>(
+        sim::telemetry_topic(name),
+        [this, name](const mw::MessageHeader&, const sim::Telemetry& t) {
+          auto& last = last_telemetry_rx_s_[name];
+          last = std::max(last, t.time_s);
+        }));
+  }
+
   for (const auto& name : names_) {
     world_->uav_by_name(name).command_takeoff();
   }
+}
+
+double MissionRunner::telemetry_staleness_s(const std::string& name) const {
+  const auto it = last_telemetry_rx_s_.find(name);
+  if (it == last_telemetry_rx_s_.end()) return 0.0;
+  return std::max(0.0, world_->time_s() - it->second);
 }
 
 std::vector<std::vector<double>> MissionRunner::collect_safeml_reference() {
@@ -229,6 +272,11 @@ void MissionRunner::attach_observability(obs::Observability& o) {
   if (ids_) ids_->set_observability(&o);
   ticks_counter_ = &o.metrics.counter("sesame.mission.ticks_total");
   consert_evals_counter_ = &o.metrics.counter("sesame.mission.consert_evals_total");
+  staleness_gauges_.clear();
+  for (const auto& name : names_) {
+    staleness_gauges_[name] = &o.metrics.gauge(
+        "sesame.platform.telemetry_staleness_s", {{"uav", name}});
+  }
 }
 
 eddi::EddiInputs MissionRunner::gather_inputs(const std::string& name) {
@@ -258,9 +306,13 @@ eddi::EddiInputs MissionRunner::gather_inputs(const std::string& name) {
                                      : sinadra::PersonDensity::kSparse;
   in.gps_fix_available = !uav.gps().signal_lost() && !uav.gps().disabled();
   in.vision_sensor_healthy = uav.vision_sensor_healthy();
-  // C2 link quality at the range from the ground station (home pad).
-  in.comm_link_good = comm_link_.usable(
-      geo::enu_ground_distance_m(uav.true_position(), home_enu_.at(name)));
+  // C2 link quality at the range from the ground station (home pad),
+  // gated by the staleness watchdog: a link budget that looks fine on
+  // paper is still not good evidence when no telemetry actually arrives.
+  in.comm_link_good =
+      comm_link_.usable(
+          geo::enu_ground_distance_m(uav.true_position(), home_enu_.at(name))) &&
+      telemetry_staleness_s(name) <= config_.telemetry_staleness_window_s;
   // A nearby fleet member within 250 m can assist (CL availability).
   for (const auto& other : names_) {
     if (other == name) continue;
@@ -560,6 +612,10 @@ RunnerResult MissionRunner::run() {
         rec.sar_uncertainty = a.sar_uncertainty;
       }
       result.series[name].push_back(rec);
+      if (const auto it = staleness_gauges_.find(name);
+          it != staleness_gauges_.end()) {
+        it->second->set(telemetry_staleness_s(name));
+      }
 
       // Available = airborne and able to serve (Fig. 5 availability).
       const bool available = uav.mode() == sim::FlightMode::kTakeoff ||

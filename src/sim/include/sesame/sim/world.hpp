@@ -18,6 +18,7 @@
 #include "sesame/mathx/rng.hpp"
 #include "sesame/mw/bus.hpp"
 #include "sesame/obs/metrics.hpp"
+#include "sesame/sim/comm_link.hpp"
 #include "sesame/sim/uav.hpp"
 
 namespace sesame::sim {
@@ -44,10 +45,25 @@ struct Person {
 std::string telemetry_topic(const std::string& uav_name);
 std::string position_fix_topic(const std::string& uav_name);
 
+/// Radio model for the UAV↔GCS C2 links: every `uav/<name>/telemetry` and
+/// `uav/<name>/position_fix` publication rides the named UAV's link, and is
+/// dropped with probability 1 − CommLink::sample_quality(ground distance
+/// from that UAV to `gcs_enu`). Fading draws come from a dedicated stream
+/// seeded with `seed`, so enabling the link model never perturbs the world
+/// RNG (trajectories are unchanged).
+struct LossyLinkConfig {
+  CommLinkConfig link;
+  geo::EnuPoint gcs_enu{0.0, 0.0, 0.0};  ///< ground-station position
+  std::uint64_t seed = 1;
+};
+
 class World {
  public:
   /// `origin` anchors the local ENU frame (mission-area corner).
   World(const geo::GeoPoint& origin, std::uint64_t seed = 1);
+  ~World();
+  World(World&&) noexcept;
+  World& operator=(World&&) noexcept;
 
   const geo::LocalFrame& frame() const noexcept { return frame_; }
   mw::Bus& bus() noexcept { return bus_; }
@@ -72,8 +88,14 @@ class World {
   const std::vector<Person>& persons() const noexcept { return persons_; }
   std::size_t persons_detected() const;
 
-  /// Advances the whole world by dt seconds: steps every UAV, publishes
-  /// telemetry, increments the clock.
+  /// Installs a distance-dependent drop policy on the bus (see
+  /// LossyLinkConfig). Throws std::logic_error if already enabled.
+  void enable_lossy_links(const LossyLinkConfig& config);
+  bool lossy_links_enabled() const noexcept { return link_gate_ != nullptr; }
+
+  /// Advances the whole world by dt seconds: first drains bus messages whose
+  /// fault-injected delay expires this step, then steps every UAV, publishes
+  /// telemetry, and increments the clock.
   void step(double dt_s);
 
   /// Runs `n` steps of dt seconds each.
@@ -98,6 +120,10 @@ class World {
   };
   std::vector<Slot> uavs_;
   std::vector<Person> persons_;
+
+  class LinkGate;  // the lossy-link DeliveryPolicy (defined in world.cpp)
+  std::unique_ptr<LinkGate> link_gate_;
+  mw::Subscription link_gate_sub_;  // after bus_: released before bus_ dies
 
   obs::Histogram* step_duration_ = nullptr;
   obs::Counter* steps_total_ = nullptr;

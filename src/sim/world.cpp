@@ -13,8 +13,64 @@ std::string position_fix_topic(const std::string& uav_name) {
   return "uav/" + uav_name + "/position_fix";
 }
 
+// Drops C2 traffic with probability 1 − link quality at the publishing
+// UAV's current ground distance from the GCS. Quality is sampled (fading
+// included) from a private RNG so the world's own random stream — and with
+// it every trajectory — is untouched by the link model.
+class World::LinkGate : public mw::DeliveryPolicy {
+ public:
+  LinkGate(World& world, const LossyLinkConfig& config)
+      : world_(world), link_(config.link), gcs_(config.gcs_enu),
+        rng_(config.seed) {}
+
+  mw::FaultDecision decide(const mw::MessageHeader& header) override {
+    mw::FaultDecision d;
+    const Uav* uav = uav_for_topic(header.topic);
+    if (uav == nullptr) return d;  // not C2 traffic
+    const double distance_m =
+        geo::enu_ground_distance_m(uav->true_position(), gcs_);
+    const double quality = link_.sample_quality(distance_m, rng_);
+    d.drop = rng_.bernoulli(1.0 - quality);
+    return d;
+  }
+
+ private:
+  /// Resolves "uav/<name>/telemetry" and "uav/<name>/position_fix" to the
+  /// UAV whose link the message rides; nullptr for any other topic.
+  const Uav* uav_for_topic(const std::string& topic) const {
+    if (topic.rfind("uav/", 0) != 0) return nullptr;
+    const auto slash = topic.find('/', 4);
+    if (slash == std::string::npos) return nullptr;
+    const std::string suffix = topic.substr(slash);
+    if (suffix != "/telemetry" && suffix != "/position_fix") return nullptr;
+    const std::string name = topic.substr(4, slash - 4);
+    for (const auto& slot : world_.uavs_) {
+      if (slot.uav->name() == name) return slot.uav.get();
+    }
+    return nullptr;
+  }
+
+  World& world_;
+  CommLink link_;
+  geo::EnuPoint gcs_;
+  mathx::Rng rng_;
+};
+
 World::World(const geo::GeoPoint& origin, std::uint64_t seed)
     : frame_(origin), rng_(seed) {}
+
+// Out-of-line: LinkGate is incomplete in the header.
+World::~World() = default;
+World::World(World&&) noexcept = default;
+World& World::operator=(World&&) noexcept = default;
+
+void World::enable_lossy_links(const LossyLinkConfig& config) {
+  if (link_gate_ != nullptr) {
+    throw std::logic_error("World::enable_lossy_links: already enabled");
+  }
+  link_gate_ = std::make_unique<LinkGate>(*this, config);
+  link_gate_sub_ = bus_.add_delivery_policy(link_gate_.get());
+}
 
 std::size_t World::add_uav(UavConfig config, const geo::GeoPoint& home) {
   for (const auto& slot : uavs_) {
@@ -73,6 +129,9 @@ void World::step(double dt_s) {
   const auto t0 = step_duration_ != nullptr
                       ? std::chrono::steady_clock::now()
                       : std::chrono::steady_clock::time_point{};
+  // Delayed messages mature on the step boundary so a "delay by N steps"
+  // fault means exactly N calls to step(), independent of wall time.
+  bus_.drain_delayed();
   for (auto& slot : uavs_) {
     slot.uav->step(dt_s, wind_);
   }

@@ -333,3 +333,384 @@ TEST(NodeHandle, WorksWithPublisherRestrictions) {
   rogue_node.publish("cmd", 2, 0.1);
   EXPECT_EQ(delivered, 1);
 }
+
+// ---------------------------------------------------------------------------
+// Bus correctness regressions.
+
+TEST(Bus, TapMayAddTapDuringFanOut) {
+  // Regression: publish used to iterate the live tap map while invoking
+  // taps, so a tap registering another tap invalidated the iterator (UB).
+  mw::Bus bus;
+  int second_tap_calls = 0;
+  mw::Subscription late_tap;
+  auto first_tap = bus.add_tap(
+      [&](const mw::MessageHeader&, const std::any&, std::type_index) {
+        if (!late_tap.active()) {
+          late_tap = bus.add_tap(
+              [&](const mw::MessageHeader&, const std::any&, std::type_index) {
+                ++second_tap_calls;
+              });
+        }
+      });
+  bus.publish("t", 1, "n", 0.0);
+  EXPECT_EQ(second_tap_calls, 0);  // registered mid-flight: misses this one
+  bus.publish("t", 2, "n", 1.0);
+  EXPECT_EQ(second_tap_calls, 1);
+}
+
+TEST(Bus, TapMayReleaseOtherTapDuringFanOut) {
+  // Regression companion: erasing a map entry mid-iteration was UB too.
+  // The released tap still observes the in-flight message (the fan-out
+  // works on a copy of the tap list) and nothing afterwards.
+  mw::Bus bus;
+  int released_tap_calls = 0;
+  mw::Subscription victim = bus.add_tap(
+      [&](const mw::MessageHeader&, const std::any&, std::type_index) {
+        ++released_tap_calls;
+      });
+  auto killer = bus.add_tap(
+      [&](const mw::MessageHeader&, const std::any&, std::type_index) {
+        victim.reset();
+      });
+  bus.publish("t", 1, "n", 0.0);
+  EXPECT_EQ(released_tap_calls, 1);
+  bus.publish("t", 2, "n", 1.0);
+  EXPECT_EQ(released_tap_calls, 1);
+}
+
+TEST(Bus, TypeMismatchDeliversToNoOneAtAll) {
+  // Regression: the type check used to fire mid-fan-out, after earlier
+  // same-type handlers had already run — a half-delivered publication.
+  mw::Bus bus;
+  int delivered = 0;
+  auto ok = bus.subscribe<int>(
+      "t", [&](const mw::MessageHeader&, const int&) { ++delivered; });
+  auto bad = bus.subscribe<double>("t",
+                                   [](const mw::MessageHeader&, const double&) {});
+  EXPECT_THROW(bus.publish("t", 1, "n", 0.0), std::runtime_error);
+  EXPECT_EQ(delivered, 0);  // all-or-nothing: nobody saw the bad publication
+}
+
+TEST(Bus, MessagesPublishedExcludesAclRejected) {
+  // Regression: messages_published() returned the raw sequence counter,
+  // which also counts publications the ACL rejected.
+  mw::Bus bus;
+  bus.restrict_publisher("cmd", "operator");
+  bus.publish("cmd", 1, "operator", 0.0);
+  bus.publish("cmd", 2, "attacker", 0.1);
+  bus.publish("cmd", 3, "attacker", 0.2);
+  EXPECT_EQ(bus.messages_published(), 1u);
+  EXPECT_EQ(bus.rejected_publications(), 2u);
+}
+
+TEST(Bus, SubscriptionSelfMoveAssignmentKeepsRegistration) {
+  mw::Bus bus;
+  int delivered = 0;
+  auto sub = bus.subscribe<int>(
+      "t", [&](const mw::MessageHeader&, const int&) { ++delivered; });
+  auto& alias = sub;  // defeats trivial self-move lint, not the bug
+  sub = std::move(alias);
+  EXPECT_TRUE(sub.active());
+  bus.publish("t", 1, "n", 0.0);
+  EXPECT_EQ(delivered, 1);
+}
+
+TEST(BusMetrics, ThrowingHandlerStillRecordsCompletedDeliveries) {
+  // Regression: a throwing handler used to skip the deliver/latency
+  // instruments entirely, under-counting the handlers that did run.
+  mw::Bus bus;
+  sesame::obs::MetricsRegistry reg;
+  bus.set_metrics(&reg);
+  auto ok = bus.subscribe<int>("t", [](const mw::MessageHeader&, const int&) {});
+  auto boom = bus.subscribe<int>("t", [](const mw::MessageHeader&, const int&) {
+    throw std::runtime_error("handler failure");
+  });
+  EXPECT_THROW(bus.publish("t", 1, "n", 0.0), std::runtime_error);
+  EXPECT_DOUBLE_EQ(
+      reg.counter("sesame.mw.deliver_total", {{"topic", "t"}}).value(), 1.0);
+  EXPECT_EQ(
+      reg.histogram("sesame.mw.delivery_latency_seconds", {{"topic", "t"}})
+          .count(),
+      1u);
+}
+
+// ---------------------------------------------------------------------------
+// Fault injection.
+
+#include "sesame/mw/fault_plan.hpp"
+
+TEST(FaultPlan, ParserReadsSeedAndRules) {
+  const auto plan = mw::parse_fault_plan(
+      "# stress schedule\n"
+      "seed 99\n"
+      "rule topic=uav/uav1/ suffix=/telemetry drop=0.25 delay=0.5:3 dup=0.1\n"
+      "rule source=attacker drop=1.0 from=60 until=120 reorder\n");
+  EXPECT_EQ(plan.seed, 99u);
+  ASSERT_EQ(plan.rules.size(), 2u);
+  EXPECT_EQ(plan.rules[0].topic_prefix, "uav/uav1/");
+  EXPECT_EQ(plan.rules[0].topic_suffix, "/telemetry");
+  EXPECT_DOUBLE_EQ(plan.rules[0].drop_probability, 0.25);
+  EXPECT_DOUBLE_EQ(plan.rules[0].delay_probability, 0.5);
+  EXPECT_EQ(plan.rules[0].delay_steps, 3u);
+  EXPECT_DOUBLE_EQ(plan.rules[0].duplicate_probability, 0.1);
+  EXPECT_FALSE(plan.rules[0].reorder);
+  EXPECT_EQ(plan.rules[1].source, "attacker");
+  EXPECT_DOUBLE_EQ(plan.rules[1].start_time_s, 60.0);
+  EXPECT_DOUBLE_EQ(plan.rules[1].stop_time_s, 120.0);
+  EXPECT_TRUE(plan.rules[1].reorder);
+}
+
+TEST(FaultPlan, ParserRejectsMalformedInput) {
+  EXPECT_THROW(mw::parse_fault_plan(""), std::runtime_error);
+  EXPECT_THROW(mw::parse_fault_plan("# only a comment\n"), std::runtime_error);
+  EXPECT_THROW(mw::parse_fault_plan("bogus 1\n"), std::runtime_error);
+  EXPECT_THROW(mw::parse_fault_plan("rule drop=maybe\n"), std::runtime_error);
+  EXPECT_THROW(mw::parse_fault_plan("rule color=red\n"), std::runtime_error);
+  EXPECT_THROW(mw::parse_fault_plan("rule drop=1.5\n"), std::invalid_argument);
+  EXPECT_THROW(mw::parse_fault_plan("rule drop=0.5 from=9 until=3\n"),
+               std::invalid_argument);
+  EXPECT_THROW(mw::load_fault_plan("/nonexistent/faults.plan"),
+               std::runtime_error);
+}
+
+TEST(FaultPlan, FirstMatchingRuleWins) {
+  mw::FaultRule specific;
+  specific.topic_prefix = "uav/uav1/";
+  mw::FaultRule broad;
+  broad.drop_probability = 1.0;
+  mw::FaultPlan plan;
+  plan.rules = {specific, broad};  // specific (no-op) shadows broad
+
+  mw::FaultInjector injector(plan);
+  mw::MessageHeader h;
+  h.topic = "uav/uav1/telemetry";
+  EXPECT_FALSE(injector.decide(h).drop);
+  h.topic = "uav/uav2/telemetry";
+  EXPECT_TRUE(injector.decide(h).drop);
+}
+
+TEST(FaultPlan, RuleWindowGatesMatching) {
+  mw::FaultRule rule;
+  rule.start_time_s = 10.0;
+  rule.stop_time_s = 20.0;
+  mw::MessageHeader h;
+  h.topic = "t";
+  h.time_s = 9.9;
+  EXPECT_FALSE(rule.matches(h));
+  h.time_s = 10.0;
+  EXPECT_TRUE(rule.matches(h));
+  h.time_s = 20.0;  // stop is exclusive
+  EXPECT_FALSE(rule.matches(h));
+}
+
+TEST(FaultInjection, DropRuleSuppressesDeliveryButCountsAsPublished) {
+  mw::Bus bus;
+  mw::FaultPlan plan;
+  mw::FaultRule rule;
+  rule.topic_prefix = "lossy";
+  rule.drop_probability = 1.0;
+  plan.rules.push_back(rule);
+  mw::FaultInjector injector(plan);
+  auto policy = bus.add_delivery_policy(&injector);
+
+  int delivered = 0;
+  auto sub = bus.subscribe<int>(
+      "lossy", [&](const mw::MessageHeader&, const int&) { ++delivered; });
+  int safe = 0;
+  auto sub2 = bus.subscribe<int>(
+      "safe", [&](const mw::MessageHeader&, const int&) { ++safe; });
+  bus.publish("lossy", 1, "n", 0.0);
+  bus.publish("safe", 2, "n", 0.0);
+  EXPECT_EQ(delivered, 0);
+  EXPECT_EQ(safe, 1);
+  // Accepted by the transport, lost on the link: still "published".
+  EXPECT_EQ(bus.messages_published(), 2u);
+  EXPECT_EQ(bus.faults_dropped(), 1u);
+  EXPECT_EQ(bus.journal().size(), 2u);  // the journal records the attempt
+}
+
+TEST(FaultInjection, DelayedMessageArrivesAfterNDrains) {
+  mw::Bus bus;
+  mw::FaultPlan plan;
+  mw::FaultRule rule;
+  rule.delay_probability = 1.0;
+  rule.delay_steps = 2;
+  plan.rules.push_back(rule);
+  mw::FaultInjector injector(plan);
+  auto policy = bus.add_delivery_policy(&injector);
+
+  std::vector<int> received;
+  auto sub = bus.subscribe<int>(
+      "t", [&](const mw::MessageHeader&, const int& v) { received.push_back(v); });
+  bus.publish("t", 7, "n", 0.0);
+  EXPECT_TRUE(received.empty());
+  EXPECT_EQ(bus.delayed_pending(), 1u);
+  EXPECT_EQ(bus.drain_delayed(), 0u);  // one step down, one to go
+  EXPECT_TRUE(received.empty());
+  EXPECT_EQ(bus.drain_delayed(), 1u);
+  ASSERT_EQ(received.size(), 1u);
+  EXPECT_EQ(received[0], 7);
+  EXPECT_EQ(bus.delayed_pending(), 0u);
+  EXPECT_EQ(bus.faults_delayed(), 1u);
+}
+
+TEST(FaultInjection, DuplicateDeliversTwice) {
+  mw::Bus bus;
+  mw::FaultPlan plan;
+  mw::FaultRule rule;
+  rule.duplicate_probability = 1.0;
+  plan.rules.push_back(rule);
+  mw::FaultInjector injector(plan);
+  auto policy = bus.add_delivery_policy(&injector);
+
+  int delivered = 0;
+  auto sub = bus.subscribe<int>(
+      "t", [&](const mw::MessageHeader&, const int&) { ++delivered; });
+  bus.publish("t", 1, "n", 0.0);
+  EXPECT_EQ(delivered, 2);
+  EXPECT_EQ(bus.faults_duplicated(), 1u);
+  EXPECT_EQ(bus.messages_published(), 1u);  // one publication, two copies
+}
+
+TEST(FaultInjection, ReorderedDelayedMessageOvertakesEarlierOne) {
+  mw::Bus bus;
+
+  // Handwritten policy: delay the first message plainly, the second with
+  // reorder, letting both mature on the same drain.
+  class Script : public mw::DeliveryPolicy {
+   public:
+    mw::FaultDecision decide(const mw::MessageHeader&) override {
+      mw::FaultDecision d;
+      d.delay_steps = 1;
+      d.reorder = calls_++ > 0;
+      return d;
+    }
+
+   private:
+    int calls_ = 0;
+  };
+  Script script;
+  auto policy = bus.add_delivery_policy(&script);
+
+  std::vector<int> received;
+  auto sub = bus.subscribe<int>(
+      "t", [&](const mw::MessageHeader&, const int& v) { received.push_back(v); });
+  bus.publish("t", 1, "n", 0.0);
+  bus.publish("t", 2, "n", 0.1);
+  EXPECT_EQ(bus.drain_delayed(), 2u);
+  ASSERT_EQ(received.size(), 2u);
+  EXPECT_EQ(received[0], 2);  // the reordered message jumped the queue
+  EXPECT_EQ(received[1], 1);
+}
+
+TEST(FaultInjection, SameSeedReproducesDecisions) {
+  mw::FaultPlan plan;
+  plan.seed = 4242;
+  mw::FaultRule rule;
+  rule.drop_probability = 0.3;
+  rule.delay_probability = 0.3;
+  rule.duplicate_probability = 0.3;
+  plan.rules.push_back(rule);
+
+  const auto run = [&plan] {
+    mw::FaultInjector injector(plan);
+    std::vector<std::string> decisions;
+    for (int i = 0; i < 200; ++i) {
+      mw::MessageHeader h;
+      h.topic = "t";
+      h.time_s = i;
+      const auto d = injector.decide(h);
+      decisions.push_back(std::to_string(d.drop) + ":" +
+                          std::to_string(d.delay_steps) + ":" +
+                          std::to_string(d.duplicates));
+    }
+    return decisions;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+TEST(FaultInjection, UnmatchedTrafficConsumesNoRandomness) {
+  // Determinism contract: rule-free topics must not advance the fault
+  // stream, so adding chatter on other topics never shifts the faults.
+  mw::FaultPlan plan;
+  plan.seed = 7;
+  mw::FaultRule rule;
+  rule.topic_prefix = "watched";
+  rule.drop_probability = 0.5;
+  plan.rules.push_back(rule);
+
+  const auto run = [&plan](bool with_chatter) {
+    mw::FaultInjector injector(plan);
+    std::vector<bool> drops;
+    for (int i = 0; i < 100; ++i) {
+      if (with_chatter) {
+        mw::MessageHeader noise;
+        noise.topic = "unwatched/" + std::to_string(i);
+        injector.decide(noise);
+      }
+      mw::MessageHeader h;
+      h.topic = "watched";
+      drops.push_back(injector.decide(h).drop);
+    }
+    return drops;
+  };
+  EXPECT_EQ(run(false), run(true));
+}
+
+TEST(FaultInjection, ReleasingPolicyStopsFaulting) {
+  mw::Bus bus;
+  mw::FaultPlan plan;
+  mw::FaultRule rule;
+  rule.drop_probability = 1.0;
+  plan.rules.push_back(rule);
+  mw::FaultInjector injector(plan);
+  auto policy = bus.add_delivery_policy(&injector);
+
+  int delivered = 0;
+  auto sub = bus.subscribe<int>(
+      "t", [&](const mw::MessageHeader&, const int&) { ++delivered; });
+  bus.publish("t", 1, "n", 0.0);
+  EXPECT_EQ(delivered, 0);
+  policy.reset();
+  bus.publish("t", 2, "n", 1.0);
+  EXPECT_EQ(delivered, 1);
+  EXPECT_THROW(bus.add_delivery_policy(nullptr), std::invalid_argument);
+}
+
+TEST(FaultInjection, FaultCountersExportedPerTopic) {
+  mw::Bus bus;
+  sesame::obs::MetricsRegistry reg;
+  bus.set_metrics(&reg);
+  mw::FaultPlan plan;
+  mw::FaultRule drop_rule;
+  drop_rule.topic_prefix = "a";
+  drop_rule.drop_probability = 1.0;
+  mw::FaultRule dup_rule;
+  dup_rule.topic_prefix = "b";
+  dup_rule.duplicate_probability = 1.0;
+  plan.rules = {drop_rule, dup_rule};
+  mw::FaultInjector injector(plan);
+  auto policy = bus.add_delivery_policy(&injector);
+
+  auto sub = bus.subscribe<int>("b", [](const mw::MessageHeader&, const int&) {});
+  bus.publish("a", 1, "n", 0.0);
+  bus.publish("b", 2, "n", 0.0);
+  EXPECT_DOUBLE_EQ(
+      reg.counter("sesame.mw.fault_dropped_total", {{"topic", "a"}}).value(),
+      1.0);
+  EXPECT_DOUBLE_EQ(
+      reg.counter("sesame.mw.fault_duplicated_total", {{"topic", "b"}}).value(),
+      1.0);
+  EXPECT_DOUBLE_EQ(
+      reg.counter("sesame.mw.fault_delayed_total", {{"topic", "a"}}).value(),
+      0.0);
+}
+
+TEST(FaultInjection, TelemetryStressPlanIsValid) {
+  const auto plan = mw::FaultPlan::telemetry_stress();
+  ASSERT_FALSE(plan.rules.empty());
+  for (const auto& rule : plan.rules) EXPECT_NO_THROW(rule.validate());
+  mw::MessageHeader h;
+  h.topic = "uav/uav1/telemetry";
+  EXPECT_TRUE(plan.rules[0].matches(h));
+}

@@ -73,6 +73,36 @@ TEST(DatabaseManager, HistoryBounded) {
   EXPECT_DOUBLE_EQ(db.history("gcs", "u1").front().time_s, 8.0);
 }
 
+TEST(DatabaseManager, DiscardsStaleAndDuplicateTelemetry) {
+  // Regression: a duplicating/reordering transport must not corrupt the
+  // state database — a late copy of an old record may not shadow newer
+  // state, and duplicates may not inflate the history.
+  sim::World world(kOrigin);
+  pf::DatabaseManager db(world.bus());
+  db.attach_uav("u1");
+  db.allow_client("gcs");
+  const auto publish_at = [&](double t, double soc) {
+    sim::Telemetry tel;
+    tel.uav = "u1";
+    tel.time_s = t;
+    tel.battery_soc = soc;
+    world.bus().publish(sim::telemetry_topic("u1"), tel, "u1", t);
+  };
+  publish_at(1.0, 0.99);
+  publish_at(2.0, 0.98);
+  publish_at(2.0, 0.98);  // duplicate delivery
+  publish_at(1.5, 0.985);  // reordered stale copy
+  publish_at(3.0, 0.97);
+  const auto history = db.history("gcs", "u1");
+  ASSERT_EQ(history.size(), 3u);
+  EXPECT_DOUBLE_EQ(history[0].time_s, 1.0);
+  EXPECT_DOUBLE_EQ(history[1].time_s, 2.0);
+  EXPECT_DOUBLE_EQ(history[2].time_s, 3.0);
+  EXPECT_DOUBLE_EQ(db.latest("gcs", "u1")->battery_soc, 0.97);
+  EXPECT_EQ(db.records_stored(), 3u);
+  EXPECT_EQ(db.records_rejected(), 2u);
+}
+
 TEST(UavManager, RegistrationAndInfo) {
   sim::World world(kOrigin);
   sim::UavConfig uc;
@@ -568,4 +598,142 @@ TEST(ConfigIo, FileRoundTrip) {
   ASSERT_TRUE(back.spoofing.has_value());
   EXPECT_EQ(back.spoofing->uav, "uav3");
   EXPECT_THROW(pf::load_config("/nonexistent/nope.json"), std::runtime_error);
+}
+
+// ---------------------------------------------------------------------------
+// Fault injection: telemetry-staleness watchdog, alert paths under loss,
+// and config round-tripping of the new fields.
+
+#include <cmath>
+
+#include "sesame/mw/fault_plan.hpp"
+
+namespace mw = sesame::mw;
+
+TEST(MissionRunner, TelemetryStalenessDemotesCommGuarantee) {
+  pf::RunnerConfig cfg = small_scenario();
+  cfg.sesame_enabled = true;
+  // Total uav1 telemetry blackout from t=60 on — a dead C2 link.
+  mw::FaultPlan plan;
+  mw::FaultRule rule;
+  rule.topic_prefix = "uav/uav1/";
+  rule.topic_suffix = "/telemetry";
+  rule.drop_probability = 1.0;
+  rule.start_time_s = 60.0;
+  plan.rules.push_back(rule);
+  cfg.fault_plan = plan;
+  cfg.telemetry_staleness_window_s = 5.0;
+
+  pf::MissionRunner runner(cfg);
+  const auto result = runner.run();
+
+  // The watchdog saw the outage...
+  EXPECT_GT(runner.telemetry_staleness_s("uav1"),
+            cfg.telemetry_staleness_window_s);
+  EXPECT_LE(runner.telemetry_staleness_s("uav2"),
+            cfg.telemetry_staleness_window_s);
+
+  // ...and the comm_localization ConSert guarantee was granted, then
+  // demoted within the staleness window plus one evaluation period.
+  const auto comm = cs::uav_consert_names("uav1").comm_localization;
+  bool granted = false, demoted = false;
+  double demotion_time_s = -1.0;
+  for (const auto& t : result.assurance_trace) {
+    if (t.consert != comm) continue;
+    if (t.to == cs::guarantees::kCommAvailable) granted = true;
+    if (granted && !demoted && t.to.empty()) {
+      demoted = true;
+      demotion_time_s = t.time_s;
+    }
+  }
+  EXPECT_TRUE(granted);
+  ASSERT_TRUE(demoted);
+  EXPECT_GT(demotion_time_s, 60.0);
+  EXPECT_LE(demotion_time_s, 60.0 + cfg.telemetry_staleness_window_s +
+                                 2.0 * cfg.consert_period_s);
+}
+
+TEST(GpsWatchdog, JammingAlertSurvivesTelemetryLoss) {
+  // The watchdog needs consecutive *received* no-fix samples; a 10%-lossy
+  // telemetry stream must still produce the alert, just possibly later.
+  sim::World world(kOrigin, 81);
+  sim::UavConfig uc;
+  uc.name = "u1";
+  world.add_uav(uc, kOrigin);
+
+  mw::FaultPlan plan;
+  plan.seed = 5150;
+  mw::FaultRule rule;
+  rule.topic_suffix = "/telemetry";
+  rule.drop_probability = 0.10;
+  plan.rules.push_back(rule);
+  mw::FaultInjector injector(plan);
+  auto policy = world.bus().add_delivery_policy(&injector);
+
+  pf::GpsWatchdog watchdog(world.bus());
+  watchdog.watch_uav("u1");
+  sesame::security::SecurityEddi eddi(
+      world.bus(), sesame::security::make_jamming_attack_tree());
+
+  auto& uav = world.uav_by_name("u1");
+  uav.command_takeoff();
+  world.run(10, 1.0);
+  EXPECT_EQ(watchdog.alerts_raised(), 0u);
+
+  uav.gps().set_signal_lost(true);
+  world.run(30, 1.0);
+  EXPECT_TRUE(eddi.attack_detected());
+  EXPECT_GE(watchdog.alerts_raised(), 1u);
+}
+
+TEST(ConfigIo, RoundTripsFaultInjectionFields) {
+  pf::RunnerConfig cfg;
+  cfg.lossy_links = true;
+  cfg.telemetry_staleness_window_s = 7.5;
+  cfg.comm_link.nominal_range_m = 350.0;
+  cfg.comm_link.max_range_m = 900.0;
+  cfg.comm_link.fading_sigma = 0.02;
+  cfg.comm_link.usable_threshold = 0.4;
+  mw::FaultPlan plan;
+  plan.seed = 2024;
+  mw::FaultRule windowed;
+  windowed.topic_prefix = "uav/uav1/";
+  windowed.topic_suffix = "/telemetry";
+  windowed.source = "uav1";
+  windowed.start_time_s = 30.0;
+  windowed.stop_time_s = 90.0;
+  windowed.drop_probability = 0.2;
+  windowed.delay_probability = 0.3;
+  windowed.delay_steps = 4;
+  windowed.duplicate_probability = 0.1;
+  windowed.reorder = true;
+  mw::FaultRule open_ended;  // infinite stop must survive the JSON trip
+  open_ended.drop_probability = 0.05;
+  plan.rules = {windowed, open_ended};
+  cfg.fault_plan = plan;
+
+  const auto back = pf::config_from_json(
+      sesame::eddi::ode::parse_json(pf::config_to_json(cfg).to_json()));
+  EXPECT_TRUE(back.lossy_links);
+  EXPECT_DOUBLE_EQ(back.telemetry_staleness_window_s, 7.5);
+  EXPECT_DOUBLE_EQ(back.comm_link.nominal_range_m, 350.0);
+  EXPECT_DOUBLE_EQ(back.comm_link.usable_threshold, 0.4);
+  ASSERT_TRUE(back.fault_plan.has_value());
+  EXPECT_EQ(back.fault_plan->seed, 2024u);
+  ASSERT_EQ(back.fault_plan->rules.size(), 2u);
+  const auto& r0 = back.fault_plan->rules[0];
+  EXPECT_EQ(r0.topic_prefix, "uav/uav1/");
+  EXPECT_EQ(r0.topic_suffix, "/telemetry");
+  EXPECT_EQ(r0.source, "uav1");
+  EXPECT_DOUBLE_EQ(r0.start_time_s, 30.0);
+  EXPECT_DOUBLE_EQ(r0.stop_time_s, 90.0);
+  EXPECT_DOUBLE_EQ(r0.drop_probability, 0.2);
+  EXPECT_EQ(r0.delay_steps, 4u);
+  EXPECT_TRUE(r0.reorder);
+  EXPECT_TRUE(std::isinf(back.fault_plan->rules[1].stop_time_s));
+  // Rules are validated on the way in.
+  EXPECT_THROW(
+      pf::config_from_json(sesame::eddi::ode::parse_json(
+          R"({"fault_plan": {"rules": [{"drop_probability": 2.0}]}})")),
+      std::invalid_argument);
 }

@@ -2,6 +2,7 @@
 // GPS spoofing effects, UAV flight modes and navigation, camera geometry,
 // and world/bus wiring.
 #include <cmath>
+#include <map>
 
 #include <gtest/gtest.h>
 
@@ -506,4 +507,119 @@ TEST(Uav, WaypointTransferValidation) {
   auto& uav = world.uav(0);
   EXPECT_THROW(uav.transfer_waypoints_to(uav), std::invalid_argument);
   EXPECT_THROW(uav.lower_waypoints_to(0.0), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Fault injection at world level: delayed-message drain and the lossy-link
+// radio model.
+
+#include "sesame/mw/fault_plan.hpp"
+
+TEST(World, StepDrainsDelayedBusMessages) {
+  sim::World world(kOrigin, 3);
+  world.add_uav(test_uav("u1"), kOrigin);
+
+  sesame::mw::FaultPlan plan;
+  sesame::mw::FaultRule rule;
+  rule.topic_suffix = "/telemetry";
+  rule.delay_probability = 1.0;
+  rule.delay_steps = 2;
+  plan.rules.push_back(rule);
+  sesame::mw::FaultInjector injector(plan);
+  auto policy = world.bus().add_delivery_policy(&injector);
+
+  std::vector<double> rx_times;
+  auto sub = world.bus().subscribe<sim::Telemetry>(
+      sim::telemetry_topic("u1"),
+      [&](const sesame::mw::MessageHeader&, const sim::Telemetry& t) {
+        rx_times.push_back(t.time_s);
+      });
+
+  world.step(1.0);  // publishes t=1 telemetry, delayed 2 steps
+  EXPECT_TRUE(rx_times.empty());
+  EXPECT_EQ(world.bus().delayed_pending(), 1u);
+  world.step(1.0);  // drain #1: not due yet; publishes t=2 (delayed too)
+  EXPECT_TRUE(rx_times.empty());
+  world.step(1.0);  // drain #2: t=1 telemetry matures
+  ASSERT_EQ(rx_times.size(), 1u);
+  EXPECT_DOUBLE_EQ(rx_times[0], 1.0);
+  world.step(1.0);
+  ASSERT_EQ(rx_times.size(), 2u);
+  EXPECT_DOUBLE_EQ(rx_times[1], 2.0);
+}
+
+TEST(World, LossyLinksDropTelemetryWithDistance) {
+  // Fig. 6 geometry writ small: three parked UAVs at increasing range from
+  // the GCS. Per the log-linear CommLink model the telemetry drop rate
+  // must rise with distance: ~0% inside nominal range, ~63% at 1000 m
+  // (quality 0.369), 100% past max range.
+  sim::World world(kOrigin, 11);
+  const geo::LocalFrame& frame = world.frame();
+  world.add_uav(test_uav("near"), frame.to_geo({100.0, 0.0, 0.0}));
+  world.add_uav(test_uav("mid"), frame.to_geo({1000.0, 0.0, 0.0}));
+  world.add_uav(test_uav("far"), frame.to_geo({2000.0, 0.0, 0.0}));
+
+  sim::LossyLinkConfig llc;
+  llc.link.fading_sigma = 0.0;  // pure distance effect
+  llc.gcs_enu = {0.0, 0.0, 0.0};
+  llc.seed = 99;
+  world.enable_lossy_links(llc);
+  EXPECT_TRUE(world.lossy_links_enabled());
+
+  std::map<std::string, int> delivered;
+  std::vector<sesame::mw::Subscription> subs;
+  for (const char* name : {"near", "mid", "far"}) {
+    subs.push_back(world.bus().subscribe<sim::Telemetry>(
+        sim::telemetry_topic(name),
+        [&delivered, name](const sesame::mw::MessageHeader&,
+                           const sim::Telemetry&) { ++delivered[name]; }));
+  }
+
+  const int steps = 300;
+  world.run(steps, 1.0);
+  EXPECT_EQ(delivered["near"], steps);          // inside nominal range
+  EXPECT_GT(delivered["mid"], 70);              // ~110 of 300 expected
+  EXPECT_LT(delivered["mid"], 150);
+  EXPECT_EQ(delivered["far"], 0);               // beyond max range
+  EXPECT_GT(delivered["near"], delivered["mid"]);
+  EXPECT_GT(delivered["mid"], delivered["far"]);
+}
+
+TEST(World, LossyLinksDoNotPerturbTrajectories) {
+  // The link model's RNG is private: a clean run and a lossy run with the
+  // same world seed must fly byte-identical trajectories.
+  const auto fly = [](bool lossy) {
+    sim::World world(kOrigin, 21);
+    sim::UavConfig cfg;
+    cfg.name = "u1";
+    world.add_uav(cfg, kOrigin);  // default GPS noise: consumes world RNG
+    if (lossy) {
+      sim::LossyLinkConfig llc;
+      llc.gcs_enu = {0.0, 0.0, 0.0};
+      world.enable_lossy_links(llc);
+    }
+    auto& uav = world.uav_by_name("u1");
+    uav.add_waypoint({400.0, 300.0, 30.0});
+    uav.command_takeoff();
+    std::vector<geo::EnuPoint> track;
+    for (int i = 0; i < 60; ++i) {
+      world.step(1.0);
+      track.push_back(world.uav_by_name("u1").true_position());
+    }
+    return track;
+  };
+  const auto clean = fly(false);
+  const auto lossy = fly(true);
+  ASSERT_EQ(clean.size(), lossy.size());
+  for (std::size_t i = 0; i < clean.size(); ++i) {
+    EXPECT_DOUBLE_EQ(clean[i].east_m, lossy[i].east_m);
+    EXPECT_DOUBLE_EQ(clean[i].north_m, lossy[i].north_m);
+    EXPECT_DOUBLE_EQ(clean[i].up_m, lossy[i].up_m);
+  }
+}
+
+TEST(World, LossyLinksEnableTwiceThrows) {
+  sim::World world(kOrigin);
+  world.enable_lossy_links({});
+  EXPECT_THROW(world.enable_lossy_links({}), std::logic_error);
 }
