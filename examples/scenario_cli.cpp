@@ -31,6 +31,7 @@
 #include <memory>
 #include <string>
 
+#include "sesame/campaign/scenario_factory.hpp"
 #include "sesame/obs/observability.hpp"
 #include "sesame/obs/sinks.hpp"
 #include "sesame/platform/mission_runner.hpp"
@@ -55,12 +56,7 @@ std::pair<std::string, double> parse_event(const char* arg) {
 int main(int argc, char** argv) {
   using namespace sesame;
 
-  platform::RunnerConfig config;
-  config.n_uavs = 3;
-  config.area = {0.0, 300.0, 0.0, 300.0};
-  config.coverage.altitude_m = 20.0;
-  config.n_persons = 8;
-  config.max_time_s = 2000.0;
+  platform::RunnerConfig config = campaign::ScenarioFactory::default_scenario();
   std::string csv_prefix;
   std::string save_config_path;
   std::string metrics_path;

@@ -1,0 +1,238 @@
+#include "sesame/campaign/campaign.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+#include "sesame/conserts/uav_network.hpp"
+#include "sesame/mathx/stats.hpp"
+#include "sesame/obs/observability.hpp"
+
+namespace sesame::campaign {
+
+namespace {
+
+/// One extractor row of the summary table: name, per-run value, and
+/// whether the run contributes (latency-style metrics only exist for runs
+/// where the event happened).
+struct MetricSpec {
+  const char* name;
+  double (*value)(const RunOutcome&);
+  bool (*contributes)(const RunOutcome&);
+};
+
+bool always(const RunOutcome&) { return true; }
+
+const MetricSpec kMetricSpecs[] = {
+    {"total_time_s", [](const RunOutcome& o) { return o.total_time_s; },
+     always},
+    {"mission_complete_rate",
+     [](const RunOutcome& o) { return o.mission_complete ? 1.0 : 0.0; },
+     always},
+    {"mission_complete_time_s",
+     [](const RunOutcome& o) { return o.mission_complete_time_s; },
+     [](const RunOutcome& o) { return o.mission_complete; }},
+    {"availability", [](const RunOutcome& o) { return o.availability; },
+     always},
+    {"area_coverage", [](const RunOutcome& o) { return o.area_coverage; },
+     always},
+    {"recall",
+     [](const RunOutcome& o) {
+       return o.persons_total == 0
+                  ? 0.0
+                  : static_cast<double>(o.persons_found) /
+                        static_cast<double>(o.persons_total);
+     },
+     always},
+    {"min_soc", [](const RunOutcome& o) { return o.min_soc; }, always},
+    {"soc_at_rth", [](const RunOutcome& o) { return o.soc_at_rth; },
+     [](const RunOutcome& o) { return o.soc_at_rth >= 0.0; }},
+    {"attack_detection_rate",
+     [](const RunOutcome& o) { return o.attack_detected ? 1.0 : 0.0; },
+     always},
+    {"attack_detection_latency_s",
+     [](const RunOutcome& o) { return o.attack_detection_latency_s; },
+     [](const RunOutcome& o) { return o.attack_detection_latency_s >= 0.0; }},
+    {"waypoints_redistributed",
+     [](const RunOutcome& o) {
+       return static_cast<double>(o.waypoints_redistributed);
+     },
+     always},
+    {"faults_dropped",
+     [](const RunOutcome& o) { return static_cast<double>(o.faults_dropped); },
+     always},
+    {"faults_delayed",
+     [](const RunOutcome& o) { return static_cast<double>(o.faults_delayed); },
+     always},
+    {"faults_duplicated",
+     [](const RunOutcome& o) {
+       return static_cast<double>(o.faults_duplicated);
+     },
+     always},
+    {"rejected_publications",
+     [](const RunOutcome& o) {
+       return static_cast<double>(o.rejected_publications);
+     },
+     always},
+};
+
+}  // namespace
+
+RunOutcome extract_outcome(std::uint64_t run_index, std::uint64_t seed,
+                           const platform::RunnerResult& result,
+                           const mw::Bus& bus, bool attack_scheduled,
+                           double attack_time_s) {
+  RunOutcome o;
+  o.run_index = run_index;
+  o.seed = seed;
+  o.mission_complete = result.mission_complete_time_s.has_value();
+  o.mission_complete_time_s = result.mission_complete_time_s.value_or(-1.0);
+  o.total_time_s = result.total_time_s;
+  o.availability = result.availability;
+  o.area_coverage = result.area_coverage;
+  o.persons_found = result.detection.persons_found;
+  o.persons_total = result.detection.persons_total;
+  for (const auto& [uav, series] : result.series) {
+    bool rth_seen = false;
+    for (const auto& rec : series) {
+      o.min_soc = std::min(o.min_soc, rec.soc);
+      if (!rth_seen && (rec.mode == sim::FlightMode::kReturnToBase ||
+                        rec.mode == sim::FlightMode::kEmergencyLand)) {
+        rth_seen = true;
+        if (o.soc_at_rth < 0.0 || rec.soc < o.soc_at_rth) {
+          o.soc_at_rth = rec.soc;
+        }
+      }
+    }
+  }
+  o.attack_detected = result.attack_detected;
+  if (attack_scheduled && result.attack_detected &&
+      result.attack_detection_time_s >= 0.0) {
+    o.attack_detection_latency_s =
+        result.attack_detection_time_s - attack_time_s;
+  }
+  o.waypoints_redistributed = result.waypoints_redistributed;
+  o.descended = result.descended;
+  o.final_decision = conserts::mission_decision_name(result.final_decision);
+  o.faults_dropped = bus.faults_dropped();
+  o.faults_delayed = bus.faults_delayed();
+  o.faults_duplicated = bus.faults_duplicated();
+  o.rejected_publications = bus.rejected_publications();
+  return o;
+}
+
+std::vector<StatSummary> summarize(const std::vector<RunOutcome>& outcomes) {
+  std::vector<StatSummary> summaries;
+  summaries.reserve(std::size(kMetricSpecs));
+  for (const auto& spec : kMetricSpecs) {
+    StatSummary s;
+    s.metric = spec.name;
+    std::vector<double> values;
+    values.reserve(outcomes.size());
+    for (const auto& o : outcomes) {
+      if (spec.contributes(o)) values.push_back(spec.value(o));
+    }
+    s.count = values.size();
+    if (!values.empty()) {
+      s.mean = mathx::mean(values);
+      s.stddev = values.size() >= 2 ? mathx::stddev(values) : 0.0;
+      const double half =
+          values.size() >= 2
+              ? mathx::normal_quantile(0.975) * s.stddev /
+                    std::sqrt(static_cast<double>(values.size()))
+              : 0.0;
+      s.ci95_lo = s.mean - half;
+      s.ci95_hi = s.mean + half;
+      s.min = mathx::min_value(values);
+      s.p50 = mathx::quantile(values, 0.5);
+      s.p90 = mathx::quantile(values, 0.9);
+      s.max = mathx::max_value(values);
+    }
+    summaries.push_back(std::move(s));
+  }
+  return summaries;
+}
+
+CampaignResult run_campaign(const ScenarioFactory& factory,
+                            const CampaignConfig& config) {
+  const auto wall0 = std::chrono::steady_clock::now();
+
+  CampaignResult result;
+  result.seed = config.seed;
+  result.runs = config.runs;
+  result.outcomes.resize(config.runs);
+
+  std::size_t jobs = config.jobs != 0
+                         ? config.jobs
+                         : std::max(1u, std::thread::hardware_concurrency());
+  jobs = std::max<std::size_t>(1, std::min(jobs, std::max<std::size_t>(
+                                                     config.runs, 1)));
+  result.jobs_used = jobs;
+
+  // Per-run metric snapshots, merged in index order after the pool joins —
+  // merging inside the workers would make float accumulation order (and so
+  // the merged bits) depend on the run-to-worker schedule.
+  std::vector<obs::MetricsSnapshot> snapshots(
+      config.collect_metrics ? config.runs : 0);
+
+  const bool attack_scheduled = factory.base().spoofing.has_value();
+  const double attack_time_s =
+      attack_scheduled ? factory.base().spoofing->time_s : 0.0;
+
+  std::atomic<std::size_t> next_run{0};
+  std::mutex error_mutex;
+  std::exception_ptr first_error;
+
+  const auto worker = [&] {
+    for (;;) {
+      const std::size_t i = next_run.fetch_add(1, std::memory_order_relaxed);
+      if (i >= config.runs) return;
+      {
+        std::lock_guard<std::mutex> lock(error_mutex);
+        if (first_error) return;  // fail fast: stop claiming new runs
+      }
+      try {
+        const std::uint64_t seed = derive_run_seed(config.seed, i);
+        auto runner = factory.make_runner(config.seed, i);
+        obs::Observability o;
+        if (config.collect_metrics) runner->attach_observability(o);
+        const platform::RunnerResult run_result = runner->run();
+        result.outcomes[i] =
+            extract_outcome(i, seed, run_result, runner->world().bus(),
+                            attack_scheduled, attack_time_s);
+        if (config.collect_metrics) snapshots[i] = o.metrics.snapshot();
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+        return;
+      }
+    }
+  };
+
+  if (jobs == 1) {
+    worker();  // in-process: keeps single-job campaigns debugger-friendly
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(jobs);
+    for (std::size_t t = 0; t < jobs; ++t) pool.emplace_back(worker);
+    for (auto& t : pool) t.join();
+  }
+  if (first_error) std::rethrow_exception(first_error);
+
+  if (config.collect_metrics) {
+    obs::MetricsRegistry merged;
+    for (const auto& snap : snapshots) merged.merge(snap);
+    result.metrics = merged.snapshot();
+  }
+  result.summaries = summarize(result.outcomes);
+  result.wall_seconds = std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - wall0)
+                            .count();
+  return result;
+}
+
+}  // namespace sesame::campaign

@@ -1,0 +1,127 @@
+// Parallel Monte Carlo campaign runner.
+//
+// The paper reports each scenario (Figs. 5-7) as a single seeded run; every
+// headline number — detection latency, spoofing-detection rate under loss,
+// battery-failure margins — is really a statistical claim that needs many
+// seeded repetitions. A campaign executes N scenario runs on a worker pool
+// and aggregates their outcomes into mean / 95% CI / quantile summaries,
+// in the spirit of statistical model checking over the SafeDrones models.
+//
+// Determinism contract (tested: reports are byte-identical for any --jobs):
+//  - Each worker owns a fully isolated stack per run (mw::Bus + sim::World
+//    + MissionRunner + a per-run obs::MetricsRegistry); no mutable state is
+//    shared between in-flight runs.
+//  - Run i's seed is derive_run_seed(campaign_seed, i) — a pure function
+//    of the campaign seed and the run index, never of thread assignment.
+//  - Outcomes land in a pre-sized slot vector indexed by run; aggregation
+//    and metric merging walk that vector in index order after the pool
+//    joins, so floating-point reductions see one fixed operand order.
+//  - Wall-clock observables (worker timings, `_seconds` histograms) are
+//    kept out of the deterministic report surface (see report.hpp).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sesame/campaign/scenario_factory.hpp"
+#include "sesame/obs/metrics.hpp"
+
+namespace sesame::campaign {
+
+struct CampaignConfig {
+  std::size_t runs = 16;
+  /// Worker threads; 0 = one per hardware thread.
+  std::size_t jobs = 1;
+  /// Campaign seed; run i simulates with derive_run_seed(seed, i).
+  std::uint64_t seed = 1;
+  /// Attach a per-run metrics registry and merge all runs' series into
+  /// CampaignResult::metrics (in run order).
+  bool collect_metrics = true;
+};
+
+/// Scalar outcome of one campaign run (the per-run RunnerResult reduced to
+/// what campaign statistics consume; time series are dropped).
+struct RunOutcome {
+  std::uint64_t run_index = 0;
+  std::uint64_t seed = 0;
+
+  bool mission_complete = false;
+  double mission_complete_time_s = -1.0;  ///< -1 when never completed
+  double total_time_s = 0.0;
+  double availability = 0.0;
+  double area_coverage = 0.0;
+  std::size_t persons_found = 0;
+  std::size_t persons_total = 0;
+
+  /// Lowest state of charge any UAV reached during the run (the Fig. 5
+  /// battery margin).
+  double min_soc = 1.0;
+  /// SoC at the moment the first UAV entered ReturnToBase/EmergencyLand;
+  /// -1 when no UAV ever did.
+  double soc_at_rth = -1.0;
+
+  bool attack_detected = false;
+  /// Detection latency from attack start (Fig. 6); -1 when not detected
+  /// or no attack was scheduled.
+  double attack_detection_latency_s = -1.0;
+
+  std::size_t waypoints_redistributed = 0;
+  bool descended = false;
+  std::string final_decision;
+
+  // Bus / fault counters for the alert-and-fault roll-up.
+  std::uint64_t faults_dropped = 0;
+  std::uint64_t faults_delayed = 0;
+  std::uint64_t faults_duplicated = 0;
+  std::uint64_t rejected_publications = 0;
+};
+
+/// Mean / spread / quantile digest of one outcome metric across the runs
+/// that contributed to it (latencies only exist for runs where the event
+/// happened; `count` says how many).
+struct StatSummary {
+  std::string metric;
+  std::size_t count = 0;  ///< contributing runs; 0 = everything below is 0
+  double mean = 0.0;
+  double stddev = 0.0;  ///< 0 when count < 2
+  double ci95_lo = 0.0;  ///< normal-approximation 95% CI of the mean
+  double ci95_hi = 0.0;
+  double min = 0.0;
+  double p50 = 0.0;
+  double p90 = 0.0;
+  double max = 0.0;
+};
+
+struct CampaignResult {
+  std::uint64_t seed = 0;
+  std::size_t runs = 0;
+  std::vector<RunOutcome> outcomes;    ///< indexed by run
+  std::vector<StatSummary> summaries;  ///< fixed metric order
+  /// Per-run registries merged in run order (campaign-level histograms).
+  obs::MetricsSnapshot metrics;
+  /// Execution footprint — depends on load and --jobs, so report writers
+  /// exclude both from the deterministic report surface.
+  std::size_t jobs_used = 0;
+  double wall_seconds = 0.0;
+};
+
+/// Reduces a finished run to its outcome scalars (exposed for tests and
+/// for callers that drive MissionRunner themselves).
+RunOutcome extract_outcome(std::uint64_t run_index, std::uint64_t seed,
+                           const platform::RunnerResult& result,
+                           const mw::Bus& bus,
+                           bool attack_scheduled, double attack_time_s);
+
+/// Computes the campaign summary table from outcomes (in the order given;
+/// call with outcomes sorted by run index for deterministic results).
+std::vector<StatSummary> summarize(const std::vector<RunOutcome>& outcomes);
+
+/// Executes the campaign: `config.runs` seeded repetitions of the
+/// factory's scenario on `config.jobs` workers. Runs are claimed from a
+/// shared counter, so workers stay busy regardless of per-run variance.
+/// The first exception thrown by any run is rethrown after the pool joins.
+CampaignResult run_campaign(const ScenarioFactory& factory,
+                            const CampaignConfig& config);
+
+}  // namespace sesame::campaign

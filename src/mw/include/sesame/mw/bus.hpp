@@ -256,6 +256,18 @@ class Bus {
   /// Delayed messages currently queued.
   std::size_t delayed_pending() const noexcept { return delayed_.size(); }
 
+  /// Discards every pending delayed delivery without delivering it and
+  /// returns how many were dropped. A bus reused across scenario runs must
+  /// call this between runs (sim::World does, on reset and teardown) —
+  /// otherwise the next run's subscribers receive the previous run's
+  /// in-flight messages. Discards are not counted as fault drops: the
+  /// run that published them is over.
+  std::size_t clear_delayed() noexcept {
+    const std::size_t n = delayed_.size();
+    delayed_.clear();
+    return n;
+  }
+
   /// Number of registered subscribers on a topic.
   std::size_t subscriber_count(const std::string& topic) const;
 

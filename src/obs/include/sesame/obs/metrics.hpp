@@ -68,16 +68,35 @@ class Histogram {
   const std::vector<std::size_t>& bucket_counts() const noexcept {
     return counts_;
   }
+  /// Smallest / largest value observed so far; 0 while empty. These tighten
+  /// quantile interpolation at the distribution's edges (the first bucket
+  /// reaches down to min, the overflow bucket up to max) and survive merges.
+  double min_observed() const noexcept { return count_ == 0 ? 0.0 : min_; }
+  double max_observed() const noexcept { return count_ == 0 ? 0.0 : max_; }
 
   /// Bucket-interpolated quantile estimate (q in [0,1]); 0 when empty.
-  /// Samples in the overflow bucket clamp to the largest finite bound.
+  /// Interpolation is bracketed by the observed min/max, so quantiles of
+  /// series with mass in the overflow bucket (or below the first bound,
+  /// e.g. negative-valued error gauges) stay inside the observed range.
   double quantile(double q) const;
 
+  /// Folds another histogram's observations into this one (campaign-level
+  /// roll-up of per-run registries). Throws std::invalid_argument when the
+  /// bucket bounds differ.
+  void merge(const Histogram& other);
+
  private:
+  friend class MetricsRegistry;  // snapshot merge uses merge_raw
+  void merge_raw(const std::vector<double>& bounds,
+                 const std::vector<std::size_t>& counts, std::size_t count,
+                 double sum, double min_observed, double max_observed);
+
   std::vector<double> bounds_;        // ascending upper limits
   std::vector<std::size_t> counts_;   // bounds_.size() + 1 (overflow)
   std::size_t count_ = 0;
   double sum_ = 0.0;
+  double min_ = 0.0;  // valid only while count_ > 0
+  double max_ = 0.0;
 };
 
 /// Default bucket ladder for sub-millisecond code-path latencies (seconds).
@@ -96,6 +115,8 @@ struct MetricSample {
   std::size_t observations = 0;              ///< histogram count
   std::vector<double> bucket_bounds;         ///< histogram only
   std::vector<std::size_t> bucket_counts;    ///< histogram only (non-cumulative)
+  double min_observed = 0.0;                 ///< histogram only; 0 when empty
+  double max_observed = 0.0;                 ///< histogram only; 0 when empty
 };
 
 struct MetricsSnapshot {
@@ -121,6 +142,14 @@ class MetricsRegistry {
 
   /// Point-in-time copy of every series, sorted by (name, labels).
   MetricsSnapshot snapshot() const;
+
+  /// Folds a snapshot (typically of another registry — one campaign run's
+  /// metrics) into this registry: counters add their value, histograms add
+  /// their bucket counts / sum / min / max, gauges take the snapshot's
+  /// value (last merge wins — merge in run order for determinism). Series
+  /// absent here are created. Throws std::logic_error on a kind clash and
+  /// std::invalid_argument on histogram bound mismatch.
+  void merge(const MetricsSnapshot& snapshot);
 
   /// Prometheus text exposition (v0.0.4) of the current state: dotted
   /// names become underscored, histograms expand to cumulative

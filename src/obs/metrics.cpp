@@ -109,6 +109,12 @@ void Histogram::observe(double v) noexcept {
   std::size_t i = 0;
   while (i < bounds_.size() && v > bounds_[i]) ++i;
   ++counts_[i];
+  if (count_ == 0) {
+    min_ = max_ = v;
+  } else {
+    min_ = std::min(min_, v);
+    max_ = std::max(max_, v);
+  }
   ++count_;
   sum_ += v;
 }
@@ -121,16 +127,47 @@ double Histogram::quantile(double q) const {
   for (std::size_t i = 0; i < counts_.size(); ++i) {
     const double next = cumulative + static_cast<double>(counts_[i]);
     if (next >= target && counts_[i] > 0) {
-      if (i >= bounds_.size()) return bounds_.back();  // overflow: clamp
-      const double lo = i == 0 ? 0.0 : bounds_[i - 1];
-      const double hi = bounds_[i];
+      // Interpolate within the bucket, bracketed by the observed extremes:
+      // the first bucket's true lower edge is the observed min (not 0 —
+      // series can be negative), and the overflow bucket's upper edge is
+      // the observed max (not the last finite bound).
+      double lo = i == 0 ? min_ : bounds_[i - 1];
+      double hi = i >= bounds_.size() ? max_ : bounds_[i];
+      lo = std::max(lo, min_);
+      hi = std::min(hi, max_);
+      if (hi <= lo) return lo;  // all of the bucket's range collapsed
       const double within =
           (target - cumulative) / static_cast<double>(counts_[i]);
       return lo + within * (hi - lo);
     }
     cumulative = next;
   }
-  return bounds_.back();
+  return max_;
+}
+
+void Histogram::merge(const Histogram& other) {
+  merge_raw(other.bounds_, other.counts_, other.count_, other.sum_,
+            other.min_observed(), other.max_observed());
+}
+
+void Histogram::merge_raw(const std::vector<double>& bounds,
+                          const std::vector<std::size_t>& counts,
+                          std::size_t count, double sum, double min_observed,
+                          double max_observed) {
+  if (bounds != bounds_ || counts.size() != counts_.size()) {
+    throw std::invalid_argument("Histogram::merge: bucket bounds differ");
+  }
+  if (count == 0) return;
+  for (std::size_t i = 0; i < counts_.size(); ++i) counts_[i] += counts[i];
+  if (count_ == 0) {
+    min_ = min_observed;
+    max_ = max_observed;
+  } else {
+    min_ = std::min(min_, min_observed);
+    max_ = std::max(max_, max_observed);
+  }
+  count_ += count;
+  sum_ += sum;
 }
 
 std::vector<double> latency_buckets_s() {
@@ -229,10 +266,30 @@ MetricsSnapshot MetricsRegistry::snapshot() const {
       s.observations = h->count();
       s.bucket_bounds = h->bounds();
       s.bucket_counts = h->bucket_counts();
+      s.min_observed = h->min_observed();
+      s.max_observed = h->max_observed();
       emit(key, std::move(s));
     }
   }
   return snap;
+}
+
+void MetricsRegistry::merge(const MetricsSnapshot& snapshot) {
+  for (const auto& s : snapshot.samples) {
+    switch (s.kind) {
+      case MetricKind::kCounter:
+        counter(s.name, s.labels).inc(s.value);
+        break;
+      case MetricKind::kGauge:
+        gauge(s.name, s.labels).set(s.value);
+        break;
+      case MetricKind::kHistogram:
+        histogram(s.name, s.labels, s.bucket_bounds)
+            .merge_raw(s.bucket_bounds, s.bucket_counts, s.observations,
+                       s.value, s.min_observed, s.max_observed);
+        break;
+    }
+  }
 }
 
 std::size_t MetricsRegistry::series_count() const noexcept {

@@ -93,6 +93,15 @@ class World {
   void enable_lossy_links(const LossyLinkConfig& config);
   bool lossy_links_enabled() const noexcept { return link_gate_ != nullptr; }
 
+  /// Discards bus state left over from a completed run — pending
+  /// fault-delayed deliveries and the message journal — so a world (and
+  /// its bus) reused for a fresh scenario starts clean instead of
+  /// replaying the previous run's in-flight traffic into the next run's
+  /// subscribers. Vehicles, persons and the mission clock are untouched.
+  /// Teardown does the same implicitly. Returns the number of delayed
+  /// deliveries dropped.
+  std::size_t reset_pending_comms();
+
   /// Advances the whole world by dt seconds: first drains bus messages whose
   /// fault-injected delay expires this step, then steps every UAV, publishes
   /// telemetry, and increments the clock.

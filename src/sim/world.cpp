@@ -60,9 +60,18 @@ World::World(const geo::GeoPoint& origin, std::uint64_t seed)
     : frame_(origin), rng_(seed) {}
 
 // Out-of-line: LinkGate is incomplete in the header.
-World::~World() = default;
+World::~World() {
+  // Teardown half of the reset contract: in-flight delayed deliveries must
+  // not survive the run that published them.
+  bus_.clear_delayed();
+}
 World::World(World&&) noexcept = default;
 World& World::operator=(World&&) noexcept = default;
+
+std::size_t World::reset_pending_comms() {
+  bus_.clear_journal();
+  return bus_.clear_delayed();
+}
 
 void World::enable_lossy_links(const LossyLinkConfig& config) {
   if (link_gate_ != nullptr) {

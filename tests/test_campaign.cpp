@@ -1,0 +1,193 @@
+// Tests for the Monte Carlo campaign layer: seed derivation, scenario
+// presets, outcome extraction, summary statistics, report writers, and the
+// headline determinism contract — campaign results are bit-identical
+// regardless of how many worker threads executed them.
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <unordered_set>
+
+#include <gtest/gtest.h>
+
+#include "sesame/campaign/campaign.hpp"
+#include "sesame/campaign/report.hpp"
+#include "sesame/mathx/stats.hpp"
+
+namespace campaign = sesame::campaign;
+namespace platform = sesame::platform;
+
+namespace {
+
+/// A scenario small enough for the test suite: two UAVs, 150 m square,
+/// 200 s budget. Baseline arm (no monitor calibration) unless stated.
+platform::RunnerConfig small_scenario() {
+  platform::RunnerConfig config = campaign::ScenarioFactory::default_scenario();
+  config.n_uavs = 2;
+  config.area = {0.0, 150.0, 0.0, 150.0};
+  config.n_persons = 3;
+  config.max_time_s = 200.0;
+  config.sesame_enabled = false;
+  return config;
+}
+
+campaign::CampaignConfig small_campaign(std::size_t runs, std::size_t jobs) {
+  campaign::CampaignConfig config;
+  config.runs = runs;
+  config.jobs = jobs;
+  config.seed = 99;
+  return config;
+}
+
+}  // namespace
+
+TEST(SeedDerivation, IsAPureFunctionOfSeedAndIndex) {
+  const std::uint64_t a = campaign::derive_run_seed(42, 0);
+  EXPECT_EQ(a, campaign::derive_run_seed(42, 0));
+  EXPECT_NE(a, campaign::derive_run_seed(42, 1));
+  EXPECT_NE(a, campaign::derive_run_seed(43, 0));
+  // Run 0 must not echo the campaign seed itself: a campaign and a manual
+  // single run seeded S must not share a random stream.
+  EXPECT_NE(campaign::derive_run_seed(42, 0), 42u);
+}
+
+TEST(SeedDerivation, NeighbouringRunsGetDistinctSeeds) {
+  std::unordered_set<std::uint64_t> seen;
+  for (std::uint64_t i = 0; i < 10000; ++i) {
+    seen.insert(campaign::derive_run_seed(7, i));
+  }
+  EXPECT_EQ(seen.size(), 10000u);  // no collisions across a large campaign
+}
+
+TEST(ScenarioFactory, PresetsCoverThePaperScenarios) {
+  for (const auto& name : campaign::ScenarioFactory::preset_names()) {
+    EXPECT_NO_THROW(campaign::ScenarioFactory::preset(name)) << name;
+  }
+  EXPECT_TRUE(campaign::ScenarioFactory::preset("battery_fault")
+                  .base()
+                  .battery_fault.has_value());
+  EXPECT_TRUE(
+      campaign::ScenarioFactory::preset("spoofing").base().spoofing.has_value());
+  EXPECT_TRUE(
+      campaign::ScenarioFactory::preset("spoofing_lossy").base().lossy_links);
+  EXPECT_FALSE(
+      campaign::ScenarioFactory::preset("baseline").base().sesame_enabled);
+  EXPECT_THROW(campaign::ScenarioFactory::preset("nope"),
+               std::invalid_argument);
+}
+
+TEST(ScenarioFactory, ConfigForRunOverridesOnlyTheSeed) {
+  const campaign::ScenarioFactory factory(small_scenario());
+  const auto config = factory.config_for_run(99, 3);
+  EXPECT_EQ(config.seed, campaign::derive_run_seed(99, 3));
+  EXPECT_EQ(config.n_uavs, factory.base().n_uavs);
+  EXPECT_DOUBLE_EQ(config.max_time_s, factory.base().max_time_s);
+  EXPECT_EQ(config.sesame_enabled, factory.base().sesame_enabled);
+}
+
+// The acceptance criterion: byte-identical reports for --jobs 1 vs --jobs 8
+// at a fixed campaign seed (run-claiming order and thread interleaving must
+// never leak into results).
+TEST(Campaign, ReportsAreBitIdenticalAcrossJobCounts) {
+  const campaign::ScenarioFactory factory(small_scenario());
+  const auto r1 = campaign::run_campaign(factory, small_campaign(6, 1));
+  const auto r8 = campaign::run_campaign(factory, small_campaign(6, 8));
+
+  EXPECT_EQ(r8.jobs_used, 6u);  // clamped to the number of runs
+  EXPECT_EQ(campaign::campaign_json(r1), campaign::campaign_json(r8));
+
+  std::ostringstream csv1, csv8, sum1, sum8;
+  campaign::write_runs_csv(r1, csv1);
+  campaign::write_runs_csv(r8, csv8);
+  campaign::write_summary_csv(r1, sum1);
+  campaign::write_summary_csv(r8, sum8);
+  EXPECT_EQ(csv1.str(), csv8.str());
+  EXPECT_EQ(sum1.str(), sum8.str());
+}
+
+// Same contract with the full stack engaged: SESAME monitors, a message
+// fault plan and the distance-dependent lossy C2 radio.
+TEST(Campaign, DeterminismHoldsUnderFaultsAndMonitors) {
+  platform::RunnerConfig scenario = small_scenario();
+  scenario.sesame_enabled = true;
+  scenario.lossy_links = true;
+  scenario.fault_plan = sesame::mw::FaultPlan::telemetry_stress();
+  const campaign::ScenarioFactory factory(scenario);
+  const auto r1 = campaign::run_campaign(factory, small_campaign(3, 1));
+  const auto r4 = campaign::run_campaign(factory, small_campaign(3, 4));
+  EXPECT_EQ(campaign::campaign_json(r1), campaign::campaign_json(r4));
+  // Faults actually fired (the determinism is not vacuous).
+  std::uint64_t dropped = 0;
+  for (const auto& o : r1.outcomes) dropped += o.faults_dropped;
+  EXPECT_GT(dropped, 0u);
+}
+
+TEST(Campaign, OutcomesCarryPerRunSeedsAndScalars) {
+  const campaign::ScenarioFactory factory(small_scenario());
+  const auto result = campaign::run_campaign(factory, small_campaign(4, 2));
+  ASSERT_EQ(result.outcomes.size(), 4u);
+  for (std::size_t i = 0; i < result.outcomes.size(); ++i) {
+    const auto& o = result.outcomes[i];
+    EXPECT_EQ(o.run_index, i);
+    EXPECT_EQ(o.seed, campaign::derive_run_seed(99, i));
+    EXPECT_GT(o.total_time_s, 0.0);
+    EXPECT_GE(o.availability, 0.0);
+    EXPECT_LE(o.availability, 1.0);
+    EXPECT_GT(o.min_soc, 0.0);
+    EXPECT_LE(o.min_soc, 1.0);
+    EXPECT_EQ(o.persons_total, 3u);
+  }
+}
+
+TEST(Campaign, SummariesAgreeWithMathxOverOutcomes) {
+  const campaign::ScenarioFactory factory(small_scenario());
+  const auto result = campaign::run_campaign(factory, small_campaign(5, 2));
+
+  std::vector<double> availability;
+  for (const auto& o : result.outcomes) availability.push_back(o.availability);
+
+  const campaign::StatSummary* row = nullptr;
+  for (const auto& s : result.summaries) {
+    if (s.metric == "availability") row = &s;
+  }
+  ASSERT_NE(row, nullptr);
+  EXPECT_EQ(row->count, 5u);
+  EXPECT_DOUBLE_EQ(row->mean, sesame::mathx::mean(availability));
+  EXPECT_DOUBLE_EQ(row->p90, sesame::mathx::quantile(availability, 0.9));
+  EXPECT_LE(row->ci95_lo, row->mean);
+  EXPECT_GE(row->ci95_hi, row->mean);
+}
+
+TEST(Campaign, MergedMetricsRollUpAcrossRuns) {
+  const campaign::ScenarioFactory factory(small_scenario());
+  const auto result = campaign::run_campaign(factory, small_campaign(3, 3));
+  // Every run publishes telemetry for uav1; the merged counter is the sum
+  // over all runs, so it must exceed any single run's step count.
+  const auto* published = result.metrics.find(
+      "sesame.mw.publish_total", {{"topic", "uav/uav1/telemetry"}});
+  ASSERT_NE(published, nullptr);
+  double total_steps = 0.0;
+  for (const auto& o : result.outcomes) total_steps += o.total_time_s;
+  EXPECT_DOUBLE_EQ(published->value, total_steps);  // dt = 1 s: one per step
+}
+
+TEST(Campaign, WorkerExceptionsPropagate) {
+  platform::RunnerConfig bad = small_scenario();
+  bad.n_uavs = 0;  // MissionRunner rejects this in its constructor
+  const campaign::ScenarioFactory factory(bad);
+  EXPECT_THROW(campaign::run_campaign(factory, small_campaign(4, 2)),
+               std::invalid_argument);
+}
+
+TEST(Report, WallClockFamiliesAreExcluded) {
+  EXPECT_FALSE(campaign::deterministic_metric("sesame.sim.step_duration_seconds"));
+  EXPECT_FALSE(
+      campaign::deterministic_metric("sesame.mw.delivery_latency_seconds"));
+  EXPECT_TRUE(campaign::deterministic_metric("sesame.sim.time_s"));
+  EXPECT_TRUE(campaign::deterministic_metric("sesame.mw.publish_total"));
+
+  const campaign::ScenarioFactory factory(small_scenario());
+  const auto result = campaign::run_campaign(factory, small_campaign(2, 1));
+  const std::string json = campaign::campaign_json(result);
+  EXPECT_EQ(json.find("_seconds"), std::string::npos);
+  EXPECT_NE(json.find("sesame.mw.publish_total"), std::string::npos);
+}

@@ -92,16 +92,125 @@ TEST(Histogram, BucketsObservations) {
 
 TEST(Histogram, QuantileInterpolatesWithinBucket) {
   obs::Histogram h({1.0, 2.0, 4.0});
-  for (int i = 0; i < 10; ++i) h.observe(0.5);  // all in (0, 1]
-  // Median of a bucket spanning (0, 1] interpolates to its middle.
+  for (int i = 0; i < 10; ++i) h.observe(0.5);  // all at one point
+  // Every sample sits at 0.5, so every quantile is 0.5: the bucket's
+  // interpolation range collapses to [min, max].
   EXPECT_NEAR(h.quantile(0.5), 0.5, 1e-9);
-  EXPECT_NEAR(h.quantile(1.0), 1.0, 1e-9);
+  EXPECT_NEAR(h.quantile(1.0), 0.5, 1e-9);
   obs::Histogram empty({1.0});
   EXPECT_DOUBLE_EQ(empty.quantile(0.5), 0.0);
-  // Overflow samples clamp to the largest finite bound.
-  obs::Histogram over({1.0, 2.0});
-  over.observe(50.0);
-  EXPECT_DOUBLE_EQ(over.quantile(0.99), 2.0);
+  // A spread within one bucket interpolates across [min, bound].
+  obs::Histogram spread({1.0, 2.0, 4.0});
+  spread.observe(0.2);
+  spread.observe(0.6);
+  spread.observe(1.0);
+  EXPECT_NEAR(spread.quantile(0.0), 0.2, 1e-9);
+  EXPECT_NEAR(spread.quantile(1.0), 1.0, 1e-9);
+}
+
+TEST(Histogram, TracksObservedMinMax) {
+  obs::Histogram h({0.0, 10.0});
+  EXPECT_DOUBLE_EQ(h.min_observed(), 0.0);  // empty: 0 by convention
+  EXPECT_DOUBLE_EQ(h.max_observed(), 0.0);
+  h.observe(3.0);
+  h.observe(-7.0);
+  h.observe(42.0);
+  EXPECT_DOUBLE_EQ(h.min_observed(), -7.0);
+  EXPECT_DOUBLE_EQ(h.max_observed(), 42.0);
+}
+
+// Regression: overflow-bucket mass used to clamp every upper quantile to
+// the largest finite bound, underreporting p99 of a saturating series.
+TEST(Histogram, OverflowQuantilesInterpolateUpToObservedMax) {
+  obs::Histogram h({1.0, 2.0});
+  h.observe(50.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.99), 50.0);  // was 2.0 before the fix
+
+  // Half the mass saturates: upper quantiles walk (2, max], not clamp.
+  obs::Histogram sat({1.0, 2.0});
+  for (int i = 0; i < 50; ++i) sat.observe(0.5);
+  for (int i = 0; i < 50; ++i) sat.observe(10.0);
+  EXPECT_GT(sat.quantile(0.99), 2.0);
+  EXPECT_LE(sat.quantile(0.99), 10.0);
+  EXPECT_DOUBLE_EQ(sat.quantile(1.0), 10.0);
+}
+
+// Regression: the first bucket's lower edge was hard-coded to 0, so
+// quantiles of negative-valued series (signed error gauges) were wrong —
+// q=0 of an all-negative series reported 0.
+TEST(Histogram, NegativeSeriesQuantilesUseObservedMin) {
+  obs::Histogram h({-5.0, 0.0, 5.0});
+  h.observe(-9.0);
+  h.observe(-8.0);
+  h.observe(-7.0);
+  h.observe(-6.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), -9.0);  // was 0 before the fix
+  EXPECT_LE(h.quantile(0.5), -5.0);
+  EXPECT_GE(h.quantile(0.5), -9.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), -6.0);  // observed max, not bucket edge
+}
+
+TEST(Histogram, MergeAddsCountsAndExtremes) {
+  obs::Histogram a({1.0, 2.0});
+  obs::Histogram b({1.0, 2.0});
+  a.observe(0.5);
+  a.observe(1.5);
+  b.observe(9.0);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 3u);
+  EXPECT_DOUBLE_EQ(a.sum(), 11.0);
+  EXPECT_EQ(a.bucket_counts()[0], 1u);
+  EXPECT_EQ(a.bucket_counts()[1], 1u);
+  EXPECT_EQ(a.bucket_counts()[2], 1u);
+  EXPECT_DOUBLE_EQ(a.min_observed(), 0.5);
+  EXPECT_DOUBLE_EQ(a.max_observed(), 9.0);
+
+  obs::Histogram other_bounds({1.0, 3.0});
+  EXPECT_THROW(a.merge(other_bounds), std::invalid_argument);
+
+  // Merging an empty histogram is a no-op (does not corrupt min/max).
+  obs::Histogram empty({1.0, 2.0});
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 3u);
+  EXPECT_DOUBLE_EQ(a.min_observed(), 0.5);
+}
+
+TEST(Registry, MergeRollsUpSnapshots) {
+  obs::MetricsRegistry run1;
+  run1.counter("sesame.mw.publish_total", {{"topic", "a"}}).inc(3.0);
+  run1.gauge("sesame.sim.time_s").set(100.0);
+  run1.histogram("sesame.platform.staleness_s", {}, {1.0, 5.0}).observe(0.5);
+
+  obs::MetricsRegistry run2;
+  run2.counter("sesame.mw.publish_total", {{"topic", "a"}}).inc(4.0);
+  run2.counter("sesame.mw.publish_total", {{"topic", "b"}}).inc(1.0);
+  run2.gauge("sesame.sim.time_s").set(250.0);
+  run2.histogram("sesame.platform.staleness_s", {}, {1.0, 5.0}).observe(7.0);
+
+  obs::MetricsRegistry campaign;
+  campaign.merge(run1.snapshot());
+  campaign.merge(run2.snapshot());
+
+  const auto snap = campaign.snapshot();
+  const auto* c = snap.find("sesame.mw.publish_total", {{"topic", "a"}});
+  ASSERT_NE(c, nullptr);
+  EXPECT_DOUBLE_EQ(c->value, 7.0);  // counters add
+  const auto* cb = snap.find("sesame.mw.publish_total", {{"topic", "b"}});
+  ASSERT_NE(cb, nullptr);
+  EXPECT_DOUBLE_EQ(cb->value, 1.0);  // absent series are created
+  const auto* g = snap.find("sesame.sim.time_s");
+  ASSERT_NE(g, nullptr);
+  EXPECT_DOUBLE_EQ(g->value, 250.0);  // gauges: last merge wins
+  const auto* h = snap.find("sesame.platform.staleness_s");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->observations, 2u);  // histograms add buckets
+  EXPECT_DOUBLE_EQ(h->min_observed, 0.5);
+  EXPECT_DOUBLE_EQ(h->max_observed, 7.0);
+
+  // Kind clash across snapshots surfaces, like direct registration.
+  obs::MetricsRegistry clash;
+  clash.gauge("sesame.mw.publish_total");
+  EXPECT_THROW(clash.merge(run1.snapshot()), std::logic_error);
 }
 
 TEST(Prometheus, RendersCountersGaugesWithSanitizedNames) {

@@ -709,3 +709,82 @@ INSTANTIATE_TEST_SUITE_P(Seeds, TrackerStreamProperties,
                          ::testing::Values(5u, 55u, 555u));
 
 }  // namespace
+
+// ---------------------------------------------------------------------------
+// Histogram quantiles vs. exact sample quantiles.
+//
+// A bucketed histogram only knows which bucket each sample fell into, so its
+// quantile estimate can never be more than one bucket width away from the
+// exact empirical quantile over the same samples — provided the bucket edges
+// are clamped to the observed min/max (the PR-3 bugfix). These properties
+// sweep random sample sets, including negative values and all-overflow mass.
+// ---------------------------------------------------------------------------
+#include "sesame/mathx/stats.hpp"
+#include "sesame/obs/metrics.hpp"
+
+namespace {
+
+class HistogramQuantileProperties : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(HistogramQuantileProperties, WithinOneBucketWidthOfExactQuantile) {
+  sesame::mathx::Rng rng(GetParam());
+  const std::vector<double> bounds = {-5.0, -2.0, 0.0, 2.0, 5.0};
+  sesame::obs::Histogram h(bounds);
+
+  std::vector<double> samples;
+  for (int i = 0; i < 400; ++i) {
+    // Uniform over [-9, 9]: exercises every finite bucket plus the
+    // underflow-below-first-bound and overflow-above-last-bound regions.
+    const double x = rng.uniform(-9.0, 9.0);
+    samples.push_back(x);
+    h.observe(x);
+  }
+
+  // Worst-case bucket width once edges are clamped to [min, max]: walk the
+  // effective edge list {min, bounds..., max} exactly as quantile() does.
+  const double lo_edge = h.min_observed();
+  const double hi_edge = h.max_observed();
+  std::vector<double> edges = {lo_edge};
+  for (double b : bounds) {
+    if (b > lo_edge && b < hi_edge) edges.push_back(b);
+  }
+  edges.push_back(hi_edge);
+  double max_width = 0.0;
+  for (std::size_t i = 1; i < edges.size(); ++i) {
+    max_width = std::max(max_width, edges[i] - edges[i - 1]);
+  }
+
+  for (double q : {0.0, 0.05, 0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 1.0}) {
+    const double exact = sesame::mathx::quantile(samples, q);
+    const double est = h.quantile(q);
+    EXPECT_NEAR(est, exact, max_width + 1e-9)
+        << "q=" << q << " seed=" << GetParam();
+    // The estimate must also stay inside the observed range.
+    EXPECT_GE(est, h.min_observed());
+    EXPECT_LE(est, h.max_observed());
+  }
+}
+
+TEST_P(HistogramQuantileProperties, AllOverflowMassStaysInObservedRange) {
+  sesame::mathx::Rng rng(GetParam());
+  sesame::obs::Histogram h({1.0, 2.0});  // every sample lands past the bounds
+  std::vector<double> samples;
+  for (int i = 0; i < 100; ++i) {
+    const double x = rng.uniform(50.0, 60.0);
+    samples.push_back(x);
+    h.observe(x);
+  }
+  for (double q : {0.0, 0.5, 0.9, 1.0}) {
+    const double exact = sesame::mathx::quantile(samples, q);
+    // One bucket: [min, max]. The estimate interpolates inside it, so it can
+    // differ from exact by at most the observed spread — never by the old
+    // bug's answer of bounds.back() (2.0) regardless of the data.
+    EXPECT_NEAR(h.quantile(q), exact, h.max_observed() - h.min_observed() + 1e-9);
+    EXPECT_GE(h.quantile(q), 50.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HistogramQuantileProperties,
+                         ::testing::Values(11u, 22u, 33u, 44u));
+
+}  // namespace

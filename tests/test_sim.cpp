@@ -623,3 +623,35 @@ TEST(World, LossyLinksEnableTwiceThrows) {
   world.enable_lossy_links({});
   EXPECT_THROW(world.enable_lossy_links({}), std::logic_error);
 }
+
+// A world reused for a second scenario must not replay the first run's
+// fault-delayed traffic into freshly wired subscribers.
+TEST(World, ResetPendingCommsDiscardsDelayedTraffic) {
+  sim::World world(kOrigin, 5);
+  world.add_uav(test_uav("u1"), kOrigin);
+
+  sesame::mw::FaultPlan plan;
+  sesame::mw::FaultRule rule;
+  rule.topic_suffix = "/position_fix";
+  rule.delay_probability = 1.0;
+  rule.delay_steps = 4;
+  plan.rules.push_back(rule);
+  sesame::mw::FaultInjector injector(plan);
+  auto policy = world.bus().add_delivery_policy(&injector);
+
+  // Run 1 leaves a delayed position fix in flight.
+  world.bus().publish(sim::position_fix_topic("u1"), kOrigin, "cl", 0.0);
+  EXPECT_EQ(world.bus().delayed_pending(), 1u);
+
+  int run2_fixes = 0;
+  auto sub = world.bus().subscribe<geo::GeoPoint>(
+      sim::position_fix_topic("u1"),
+      [&](const sesame::mw::MessageHeader&, const geo::GeoPoint&) {
+        ++run2_fixes;
+      });
+  EXPECT_EQ(world.reset_pending_comms(), 1u);
+  EXPECT_EQ(world.bus().delayed_pending(), 0u);
+  EXPECT_TRUE(world.bus().journal().empty());
+  world.run(6, 1.0);  // would have matured the stale fix
+  EXPECT_EQ(run2_fixes, 0);
+}
