@@ -6,6 +6,8 @@
 // with the monocular-depth error, justifying the three-vehicle fleet.
 #include <benchmark/benchmark.h>
 
+#include "bench_json.hpp"
+
 #include <cstdio>
 
 #include "sesame/localization/collaborative.hpp"
@@ -125,7 +127,5 @@ BENCHMARK(BM_FixUpdate)->Arg(1)->Arg(2)->Arg(3)->Arg(6);
 
 int main(int argc, char** argv) {
   report();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return sesame::bench::run_main(argc, argv);
 }

@@ -10,6 +10,8 @@
 // paper's core multi-UAV claim that more vehicles cut response time.
 #include <benchmark/benchmark.h>
 
+#include "bench_json.hpp"
+
 #include <cstdio>
 
 #include "sesame/platform/mission_runner.hpp"
@@ -88,7 +90,5 @@ BENCHMARK(BM_MissionVsFleetSize)->Arg(1)->Arg(2)->Arg(3)
 
 int main(int argc, char** argv) {
   report();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return sesame::bench::run_main(argc, argv);
 }

@@ -9,6 +9,8 @@
 //   2. How much reliability does motor reconfiguration actually buy?
 #include <benchmark/benchmark.h>
 
+#include "bench_json.hpp"
+
 #include <cstdio>
 
 #include "sesame/markov/ctmc.hpp"
@@ -130,7 +132,5 @@ BENCHMARK(BM_MeanTimeToAbsorption)->Arg(8)->Arg(32)->Arg(64);
 
 int main(int argc, char** argv) {
   report();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return sesame::bench::run_main(argc, argv);
 }

@@ -9,6 +9,8 @@
 //     paper's "lightweight technologies" requirement refers to).
 #include <benchmark/benchmark.h>
 
+#include "bench_json.hpp"
+
 #include <algorithm>
 #include <cstdio>
 #include <vector>
@@ -105,7 +107,5 @@ BENCHMARK(BM_PermutationPValue)->Unit(benchmark::kMicrosecond);
 
 int main(int argc, char** argv) {
   report();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return sesame::bench::run_main(argc, argv);
 }

@@ -6,9 +6,14 @@
 // baseline arm keeps per-run cost dominated by simulation, not monitor
 // calibration) and reports runs/sec as a counter, so
 //   bench_campaign_throughput --benchmark_counters_tabular=true
-// prints a thread-scaling table directly.
+// prints a thread-scaling table directly, and
+//   bench_campaign_throughput --json out.json
+// writes the machine-readable report the committed
+// BENCH_campaign_throughput.json baseline is regenerated from (see
+// docs/PERFORMANCE.md).
 #include <benchmark/benchmark.h>
 
+#include "bench_json.hpp"
 #include "sesame/campaign/campaign.hpp"
 
 namespace {
@@ -59,4 +64,6 @@ BENCHMARK(BM_CampaignBaseline)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
 BENCHMARK(BM_CampaignSesame)->Arg(1)->Arg(2)->Arg(4)
     ->Unit(benchmark::kMillisecond);
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return sesame::bench::run_main(argc, argv);
+}

@@ -17,6 +17,8 @@
 // reliability evaluation path.
 #include <benchmark/benchmark.h>
 
+#include "bench_json.hpp"
+
 #include <cstdio>
 
 #include "sesame/platform/mission_runner.hpp"
@@ -129,7 +131,5 @@ BENCHMARK(BM_Fig5FullScenario)->Unit(benchmark::kMillisecond);
 
 int main(int argc, char** argv) {
   report();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return sesame::bench::run_main(argc, argv);
 }

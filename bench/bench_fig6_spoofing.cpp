@@ -12,6 +12,8 @@
 // traces the attack tree to its root goal.
 #include <benchmark/benchmark.h>
 
+#include "bench_json.hpp"
+
 #include <cmath>
 #include <cstdio>
 #include <vector>
@@ -160,7 +162,5 @@ BENCHMARK(BM_IdsInspectionPerMessage);
 
 int main(int argc, char** argv) {
   report();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return sesame::bench::run_main(argc, argv);
 }

@@ -8,6 +8,8 @@
 // compares against the un-assisted alternative (dead reckoning only).
 #include <benchmark/benchmark.h>
 
+#include "bench_json.hpp"
+
 #include <cstdio>
 
 #include "sesame/localization/collaborative.hpp"
@@ -151,7 +153,5 @@ BENCHMARK(BM_FullGuidedLanding)->Unit(benchmark::kMillisecond);
 
 int main(int argc, char** argv) {
   report();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return sesame::bench::run_main(argc, argv);
 }

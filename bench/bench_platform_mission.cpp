@@ -6,6 +6,7 @@
 
 #include <cstdio>
 
+#include "bench_json.hpp"
 #include "sesame/obs/observability.hpp"
 #include "sesame/platform/mission_runner.hpp"
 
@@ -135,7 +136,5 @@ BENCHMARK(BM_WorldStepOnly);
 
 int main(int argc, char** argv) {
   report();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return sesame::bench::run_main(argc, argv);
 }

@@ -11,6 +11,8 @@
 // then runs the full adaptive scenario with and without SESAME.
 #include <benchmark/benchmark.h>
 
+#include "bench_json.hpp"
+
 #include <cstdio>
 
 #include "sesame/platform/mission_runner.hpp"
@@ -158,7 +160,5 @@ BENCHMARK(BM_SinadraAssessment);
 
 int main(int argc, char** argv) {
   report();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return sesame::bench::run_main(argc, argv);
 }

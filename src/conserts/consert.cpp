@@ -251,6 +251,7 @@ void ConSertNetwork::add(ConSert consert) {
   if (!conserts_.emplace(name, std::move(consert)).second) {
     throw std::invalid_argument("ConSertNetwork::add: duplicate " + name);
   }
+  order_dirty_ = true;
 }
 
 bool ConSertNetwork::contains(const std::string& name) const {
@@ -309,10 +310,18 @@ std::vector<std::string> ConSertNetwork::topological_order() const {
   return order;
 }
 
+const std::vector<std::string>& ConSertNetwork::evaluation_order() const {
+  if (order_dirty_) {
+    order_cache_ = topological_order();
+    order_dirty_ = false;
+  }
+  return order_cache_;
+}
+
 NetworkEvaluation ConSertNetwork::evaluate(EvaluationContext& ctx) const {
   ctx.clear_grants();
   NetworkEvaluation result;
-  result.order = topological_order();
+  result.order = evaluation_order();
   for (const auto& name : result.order) {
     const ConSert& c = conserts_.at(name);
     for (const auto& g : c.satisfied(ctx)) {

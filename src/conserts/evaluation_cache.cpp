@@ -1,0 +1,66 @@
+#include "sesame/conserts/evaluation_cache.hpp"
+
+#include <set>
+
+namespace sesame::conserts {
+
+CachedNetworkEvaluator::CachedNetworkEvaluator(const ConSertNetwork& network)
+    : network_(&network) {
+  rebuild();
+}
+
+void CachedNetworkEvaluator::invalidate() { rebuild(); }
+
+void CachedNetworkEvaluator::rebuild() {
+  nodes_.clear();
+  for (const auto& name : network_->evaluation_order()) {
+    const ConSert& consert = network_->at(name);
+    Node node;
+    node.consert = &consert;
+    node.name = name;
+    std::set<std::string> evidence;
+    std::set<std::pair<std::string, std::string>> demands;
+    for (const auto& g : consert.guarantees()) {
+      g.condition->collect_evidence(evidence);
+      g.condition->collect_demands(demands);
+    }
+    node.evidence.assign(evidence.begin(), evidence.end());
+    node.demands.assign(demands.begin(), demands.end());
+    nodes_.push_back(std::move(node));
+  }
+}
+
+NetworkEvaluation CachedNetworkEvaluator::evaluate(EvaluationContext& ctx) {
+  ctx.clear_grants();
+  NetworkEvaluation result;
+  result.order.reserve(nodes_.size());
+  std::vector<unsigned char> inputs;
+  for (auto& node : nodes_) {
+    result.order.push_back(node.name);
+    inputs.clear();
+    inputs.reserve(node.evidence.size() + node.demands.size());
+    for (const auto& e : node.evidence) {
+      inputs.push_back(ctx.evidence(e) ? 1 : 0);
+    }
+    for (const auto& [consert, guarantee] : node.demands) {
+      inputs.push_back(ctx.granted(consert, guarantee) ? 1 : 0);
+    }
+    if (node.valid && inputs == node.last_inputs) {
+      ++hits_;
+    } else {
+      node.satisfied = node.consert->satisfied(ctx);
+      node.best = node.consert->best(ctx);
+      node.last_inputs = inputs;
+      node.valid = true;
+      ++misses_;
+    }
+    for (const auto& g : node.satisfied) {
+      ctx.grant(node.name, g);
+      result.grants.insert({node.name, g});
+    }
+    if (node.best.has_value()) result.best[node.name] = *node.best;
+  }
+  return result;
+}
+
+}  // namespace sesame::conserts

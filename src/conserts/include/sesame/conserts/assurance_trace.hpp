@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "sesame/conserts/consert.hpp"
+#include "sesame/conserts/evaluation_cache.hpp"
 
 namespace sesame::conserts {
 
@@ -26,7 +27,14 @@ struct GuaranteeTransition {
 
 class AssuranceTrace {
  public:
-  explicit AssuranceTrace(const ConSertNetwork& network);
+  /// The trace snapshots the network's membership (and, with
+  /// `cache_evaluations`, its per-ConSert input footprints): the network
+  /// must be fully built before construction and not mutated afterwards.
+  /// `cache_evaluations` routes evaluation through a CachedNetworkEvaluator
+  /// so unchanged evidence skips the condition-tree walks; results are
+  /// identical either way.
+  explicit AssuranceTrace(const ConSertNetwork& network,
+                          bool cache_evaluations = true);
 
   /// Evaluates the network at `time_s` and records any best-guarantee
   /// transitions. Returns the evaluation.
@@ -45,10 +53,16 @@ class AssuranceTrace {
 
   std::size_t evaluations() const noexcept { return evaluations_; }
 
+  /// Evaluation-cache counters (both 0 when caching is disabled).
+  std::size_t cache_hits() const noexcept;
+  std::size_t cache_misses() const noexcept;
+
   void clear();
 
  private:
   const ConSertNetwork* network_;
+  std::vector<std::string> names_;  ///< network membership, snapshotted once
+  std::optional<CachedNetworkEvaluator> cache_;
   std::map<std::string, std::string> current_;
   std::vector<GuaranteeTransition> transitions_;
   std::size_t evaluations_ = 0;

@@ -163,8 +163,17 @@ class ConSertNetwork {
   /// or demands on unknown ConSerts.
   NetworkEvaluation evaluate(EvaluationContext& ctx) const;
 
+  /// Topological (dependencies-first) evaluation order. Computed on first
+  /// use and cached until the next add(); evaluate() uses this, so the
+  /// Kahn's-algorithm pass runs once per network shape instead of once per
+  /// evaluation. Throws like evaluate() on cycles or unknown demands.
+  const std::vector<std::string>& evaluation_order() const;
+
  private:
   std::map<std::string, ConSert> conserts_;
+  // Cached evaluation_order(); mutable because caching is not observable.
+  mutable std::vector<std::string> order_cache_;
+  mutable bool order_dirty_ = true;
 
   std::vector<std::string> topological_order() const;
 };

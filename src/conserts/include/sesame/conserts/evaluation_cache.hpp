@@ -1,0 +1,81 @@
+// Dirty-flag evaluation cache for ConSert networks.
+//
+// Condition trees read the evaluation context exclusively through
+// EvaluationContext::evidence(name) and ::granted(consert, guarantee), and
+// collect_evidence()/collect_demands() enumerate exactly the names each
+// tree can touch. A ConSert's satisfied set and best guarantee are
+// therefore a pure function of its *input footprint*: the boolean values
+// of its referenced evidence plus the grants of the ConSerts it demands
+// (always evaluated earlier in topological order — self-demands and
+// forward demands are impossible, the network rejects cycles).
+//
+// The evaluator snapshots that footprint per ConSert on every evaluation
+// and replays the cached satisfied/best result when it is unchanged,
+// skipping the condition-tree walk. With a 5 s ConSert period over 1 Hz
+// telemetry, steady-state missions re-evaluate with identical footprints
+// almost every time, so the cache converts the per-evaluation cost from
+// "walk every condition tree" to "read |footprint| booleans".
+//
+// Invalidation contract: results are keyed on footprint values only. The
+// network must not be mutated (ConSertNetwork::add) while an evaluator is
+// attached; call invalidate() after any mutation to rebuild the footprint
+// tables and drop cached results. Evidence/grant changes need no explicit
+// invalidation — they are the footprint.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "sesame/conserts/consert.hpp"
+
+namespace sesame::conserts {
+
+/// Caching wrapper around ConSertNetwork::evaluate with identical results.
+class CachedNetworkEvaluator {
+ public:
+  /// Binds to a fully built network (the topological order is resolved
+  /// here, so this throws on cycles/unknown demands like evaluate()).
+  /// The network must outlive the evaluator.
+  explicit CachedNetworkEvaluator(const ConSertNetwork& network);
+
+  /// Drop-in replacement for network.evaluate(ctx): same grants, best map,
+  /// and order, with per-ConSert results reused when the input footprint
+  /// is unchanged since the previous call.
+  NetworkEvaluation evaluate(EvaluationContext& ctx);
+
+  /// Rebuilds footprints and drops all cached results. Call after the
+  /// bound network gained ConSerts.
+  void invalidate();
+
+  /// ConSert evaluations skipped because the footprint was unchanged.
+  std::size_t hits() const noexcept { return hits_; }
+  /// ConSert evaluations that had to walk the condition trees.
+  std::size_t misses() const noexcept { return misses_; }
+
+ private:
+  struct Node {
+    const ConSert* consert = nullptr;
+    std::string name;
+    /// Sorted evidence-name footprint (union over all guarantees).
+    std::vector<std::string> evidence;
+    /// Sorted (consert, guarantee) demand footprint.
+    std::vector<std::pair<std::string, std::string>> demands;
+    /// Footprint values at the last condition-tree walk.
+    std::vector<unsigned char> last_inputs;
+    bool valid = false;
+    std::vector<std::string> satisfied;
+    std::optional<std::string> best;
+  };
+
+  const ConSertNetwork* network_;
+  std::vector<Node> nodes_;  ///< in evaluation (topological) order
+  std::size_t hits_ = 0;
+  std::size_t misses_ = 0;
+
+  void rebuild();
+};
+
+}  // namespace sesame::conserts

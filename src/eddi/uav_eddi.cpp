@@ -73,8 +73,8 @@ const EddiAssessment& UavEddi::tick(const EddiInputs& inputs) {
   // curve rises monotonically after a thermal fault).
   battery_tracker_.observe_soc(inputs.telemetry.battery_soc);
   battery_tracker_.advance(inputs.dt_s, inputs.telemetry.battery_temp_c);
-  const auto prospective =
-      reliability_.evaluate(inputs.telemetry, config_.reliability_horizon_s);
+  const auto prospective = reliability_.evaluate_prospective(
+      inputs.telemetry, config_.reliability_horizon_s);
   assessment_.reliability = reliability_.compose(
       prospective.p_propulsion, battery_tracker_.failure_probability(),
       prospective.p_processor, prospective.p_comms);

@@ -184,6 +184,13 @@ double Ctmc::mean_time_to_absorption(std::size_t start) const {
   return sol[static_cast<std::size_t>(index_of[start])];
 }
 
+Ctmc Ctmc::scaled_rates(double factor) const {
+  if (!(factor > 0.0)) {
+    throw std::invalid_argument("Ctmc::scaled_rates: factor must be > 0");
+  }
+  return Ctmc(q_ * factor, names_);
+}
+
 Dtmc Ctmc::embedded_dtmc() const {
   const std::size_t n = num_states();
   mathx::Matrix p(n, n);

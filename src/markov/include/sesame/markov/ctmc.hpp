@@ -54,6 +54,14 @@ class Ctmc {
   /// Absorbing CTMC states become absorbing DTMC states (self-loop 1).
   Dtmc embedded_dtmc() const;
 
+  /// The chain with every rate multiplied by `factor` (> 0): Q' = factor*Q.
+  /// This is how temperature-accelerated models derive the adjusted chain
+  /// from a base chain built once — entry-wise scaling of an existing
+  /// generator instead of a full CtmcBuilder pass per evaluation. For
+  /// single-exit rows the result is bit-identical to rebuilding with
+  /// pre-scaled rates ((-r)*f == -(r*f) in IEEE arithmetic).
+  Ctmc scaled_rates(double factor) const;
+
   /// Expected time spent in each state over [0, horizon] starting from
   /// pi0: the integral of the transient distribution, computed by
   /// composite-Simpson quadrature over `steps` panels. Entries sum to the

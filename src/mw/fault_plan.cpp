@@ -9,16 +9,6 @@ namespace sesame::mw {
 
 namespace {
 
-bool starts_with(const std::string& s, const std::string& prefix) {
-  return s.size() >= prefix.size() &&
-         s.compare(0, prefix.size(), prefix) == 0;
-}
-
-bool ends_with(const std::string& s, const std::string& suffix) {
-  return s.size() >= suffix.size() &&
-         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
-}
-
 [[noreturn]] void bad_plan(std::size_t line_no, const std::string& what) {
   throw std::runtime_error("parse_fault_plan: line " +
                            std::to_string(line_no) + ": " + what);
@@ -45,10 +35,10 @@ bool FaultRule::matches(const MessageHeader& header) const {
   if (header.time_s < start_time_s || header.time_s >= stop_time_s) {
     return false;
   }
-  if (!topic_prefix.empty() && !starts_with(header.topic, topic_prefix)) {
+  if (!topic_prefix.empty() && !header.topic.starts_with(topic_prefix)) {
     return false;
   }
-  if (!topic_suffix.empty() && !ends_with(header.topic, topic_suffix)) {
+  if (!topic_suffix.empty() && !header.topic.ends_with(topic_suffix)) {
     return false;
   }
   if (!source.empty() && header.source != source) return false;

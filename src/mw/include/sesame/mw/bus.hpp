@@ -7,6 +7,22 @@
 // so a spoofing node can inject falsified telemetry/waypoints. The IDS taps
 // the bus through `add_tap` to inspect traffic.
 //
+// Topic interning (the hot-path design; see docs/PERFORMANCE.md):
+//  - Every topic and source name is interned once into a handle table; a
+//    `TopicId` / `SourceId` indexes flat per-topic state (subscribers, the
+//    publisher ACL, cached metric instruments), so the steady-state publish
+//    path does no string hashing, no map lookups and no allocation.
+//  - The string-keyed `publish(topic, payload, source, time)` overload is a
+//    compatibility shim that interns on first use; hot callers resolve
+//    their ids once (`intern_topic` / `intern_source`) and publish through
+//    the id overload.
+//  - `MessageHeader` carries the interned ids plus string views into the
+//    bus-owned name table (valid for the bus's lifetime) — no per-message
+//    string copies.
+//  - The journal is a capped ring buffer (default generous); once warm it
+//    overwrites its oldest slot instead of growing, and counts what it
+//    evicted (`journal_dropped`).
+//
 // Delivery contract (single-threaded by design — the simulator steps the
 // world deterministically, so fan-out is synchronous and in subscription
 // order):
@@ -16,12 +32,17 @@
 //    subscribers; subscriber payload types are validated *before* any
 //    handler runs; registered `DeliveryPolicy` objects may then drop,
 //    delay, duplicate or reorder the message (see fault_plan.hpp).
-//  - Re-entrancy: tap and subscriber lists are copied before each fan-out,
-//    so handlers may freely (un)subscribe, add taps, or release their own
-//    Subscription mid-delivery. A handler or tap removed during a fan-out
-//    still observes the in-flight message; one added during a fan-out
-//    first observes the next message. Delivery policies must not mutate
-//    the bus from inside decide().
+//  - Delivery order is subscription order, and unsubscribing never
+//    reorders the remaining subscribers. (Removal is ordered rather than
+//    swap-and-pop precisely to keep this guarantee — campaign reports are
+//    bit-identical across optimisations only because fan-out order never
+//    changes.)
+//  - Re-entrancy: registries are iterated under a generation count instead
+//    of being copied, so handlers may freely (un)subscribe, add taps, or
+//    release their own Subscription mid-delivery. A handler or tap removed
+//    during a fan-out still observes the in-flight message; one added
+//    during a fan-out first observes the next message. Delivery policies
+//    must not mutate the bus from inside decide().
 //  - Delayed messages sit in a queue drained by `drain_delayed()` (called
 //    once per `sim::World::step`); they are delivered to the subscribers
 //    registered *at drain time*, with their original header.
@@ -32,10 +53,11 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <limits>
 #include <map>
-#include <memory>
 #include <stdexcept>
 #include <string>
+#include <string_view>
 #include <typeindex>
 #include <vector>
 
@@ -43,18 +65,55 @@
 
 namespace sesame::mw {
 
-/// Metadata attached to every published message.
-struct MessageHeader {
-  std::uint64_t seq = 0;       ///< bus-wide sequence number
-  double time_s = 0.0;         ///< publisher's notion of mission time
-  std::string source;          ///< publishing node name (unauthenticated!)
-  std::string topic;
+class Bus;
+
+/// Opaque handle to an interned name (topic or source). Obtained from
+/// Bus::intern_topic / Bus::intern_source; valid for that bus's lifetime.
+/// A default-constructed id is invalid and belongs to no bus.
+template <typename Tag>
+class InternedId {
+ public:
+  constexpr InternedId() = default;
+
+  constexpr bool valid() const noexcept { return index_ != kInvalid; }
+  constexpr std::uint32_t index() const noexcept { return index_; }
+
+  friend constexpr bool operator==(InternedId a, InternedId b) noexcept {
+    return a.index_ == b.index_;
+  }
+  friend constexpr bool operator!=(InternedId a, InternedId b) noexcept {
+    return a.index_ != b.index_;
+  }
+
+ private:
+  friend class Bus;
+  constexpr explicit InternedId(std::uint32_t index) noexcept
+      : index_(index) {}
+  static constexpr std::uint32_t kInvalid = 0xFFFFFFFFu;
+
+  std::uint32_t index_ = kInvalid;
 };
 
-/// Journal entry kept for diagnostics and the IDS.
+using TopicId = InternedId<struct TopicIdTag>;
+using SourceId = InternedId<struct SourceIdTag>;
+
+/// Metadata attached to every published message. The string views point
+/// into the publishing bus's intern table: they stay valid for the bus's
+/// lifetime, and copying a header never allocates.
+struct MessageHeader {
+  std::uint64_t seq = 0;        ///< bus-wide sequence number
+  double time_s = 0.0;          ///< publisher's notion of mission time
+  std::string_view source;      ///< publishing node name (unauthenticated!)
+  std::string_view topic;
+  TopicId topic_id;             ///< interned handle of `topic`
+  SourceId source_id;           ///< interned handle of `source`
+};
+
+/// Journal entry kept for diagnostics and the IDS. `type_name` views the
+/// payload's typeid name (static storage — always valid).
 struct JournalEntry {
   MessageHeader header;
-  std::string type_name;  ///< mangled C++ type of the payload
+  std::string_view type_name;  ///< mangled C++ type of the payload
 };
 
 /// What a delivery policy decided for one accepted publication.
@@ -75,18 +134,24 @@ class DeliveryPolicy {
 };
 
 /// Token returned by subscribe/tap/policy registration; unsubscribes on
-/// release.
+/// release. Holds the owning bus and the interned registration identity —
+/// releasing one is a direct index into the bus's tables, no allocation
+/// and no string lookup.
 class Subscription {
  public:
   Subscription() = default;
-  explicit Subscription(std::function<void()> unsubscribe)
-      : unsubscribe_(std::move(unsubscribe)) {}
-  Subscription(Subscription&&) = default;
-  Subscription& operator=(Subscription&& o) {
+  Subscription(Subscription&& o) noexcept
+      : bus_(o.bus_), kind_(o.kind_), topic_(o.topic_), id_(o.id_) {
+    o.bus_ = nullptr;
+  }
+  Subscription& operator=(Subscription&& o) noexcept {
     if (this != &o) {  // self-move must not release the live registration
       reset();
-      unsubscribe_ = std::move(o.unsubscribe_);
-      o.unsubscribe_ = nullptr;
+      bus_ = o.bus_;
+      kind_ = o.kind_;
+      topic_ = o.topic_;
+      id_ = o.id_;
+      o.bus_ = nullptr;
     }
     return *this;
   }
@@ -94,22 +159,38 @@ class Subscription {
   Subscription& operator=(const Subscription&) = delete;
   ~Subscription() { reset(); }
 
-  void reset() {
-    if (unsubscribe_) {
-      unsubscribe_();
-      unsubscribe_ = nullptr;
-    }
-  }
-  bool active() const noexcept { return static_cast<bool>(unsubscribe_); }
+  inline void reset();  // defined after Bus
+  bool active() const noexcept { return bus_ != nullptr; }
 
  private:
-  std::function<void()> unsubscribe_;
+  friend class Bus;
+  enum class Kind : std::uint8_t { kSubscriber, kTap, kPolicy };
+  Subscription(Bus* bus, Kind kind, TopicId topic, std::uint64_t id) noexcept
+      : bus_(bus), kind_(kind), topic_(topic), id_(id) {}
+
+  Bus* bus_ = nullptr;
+  Kind kind_ = Kind::kSubscriber;
+  TopicId topic_;  ///< meaningful for kSubscriber only
+  std::uint64_t id_ = 0;
 };
 
 /// The message bus. Single-threaded by design; see the delivery contract
 /// in the file header.
 class Bus {
  public:
+  /// Interns `name`, returning its stable handle (idempotent). The handle
+  /// indexes this bus's flat topic table; resolve once, publish many.
+  TopicId intern_topic(std::string_view name);
+  SourceId intern_source(std::string_view name);
+
+  /// The interned spelling behind a handle (bus-lifetime storage).
+  const std::string& topic_name(TopicId topic) const {
+    return topic_names_.at(topic.index_);
+  }
+  const std::string& source_name(SourceId source) const {
+    return source_names_.at(source.index_);
+  }
+
   /// Publishes a payload on `topic`. The payload type must match
   /// subscribers' expected type exactly; a mismatch throws
   /// std::runtime_error *before any handler runs* (it is a programming
@@ -123,14 +204,21 @@ class Bus {
   /// Registered delivery policies (add_delivery_policy) may drop, delay,
   /// duplicate or reorder the accepted message; without policies delivery
   /// is immediate and lossless.
+  ///
+  /// This id overload is the hot path: with the journal off and no taps,
+  /// policies or metrics attached, it performs no allocation and no
+  /// string or map lookup of any kind.
   template <typename T>
-  void publish(const std::string& topic, const T& payload,
-               const std::string& source, double time_s) {
+  void publish(TopicId topic, const T& payload, SourceId source,
+               double time_s) {
+    TopicState& ts = topics_[topic.index_];
     MessageHeader h;
     h.seq = next_seq_++;
     h.time_s = time_s;
-    h.source = source;
-    h.topic = topic;
+    h.source = source_names_[source.index_];
+    h.topic = topic_names_[topic.index_];
+    h.topic_id = topic;
+    h.source_id = source;
     // Instrumentation rides the same point as the journal: both observe
     // every publication attempt, accepted or not.
     TopicInstruments* ti = nullptr;
@@ -138,22 +226,23 @@ class Bus {
       ti = &instruments(topic);
       ti->publish->inc();
     }
-    if (journal_enabled_) {
-      journal_.push_back({h, typeid(T).name()});
-    }
-    // Taps see everything, before subscribers. Iterate over a copy: a tap
-    // may re-entrantly add taps or release tap Subscriptions, which would
-    // invalidate the registry iterators.
+    if (journal_enabled_) journal_push(h, typeid(T).name());
+    // Taps see everything, before subscribers. Generation-counted
+    // iteration: a tap may re-entrantly add taps or release tap
+    // Subscriptions; entries born during this fan-out are skipped,
+    // entries that died during it still see the in-flight message.
     if (!taps_.empty()) {
-      std::vector<TapFn> taps;
-      taps.reserve(taps_.size());
-      for (const auto& [id, tap] : taps_) taps.push_back(tap);
-      for (const auto& tap : taps) {
-        tap(h, std::any(std::cref(payload)), std::type_index(typeid(T)));
+      FanoutGuard guard(*this);
+      const std::uint64_t snap = ++epoch_;
+      const std::any ref(std::cref(payload));  // fits std::any's SBO
+      for (std::size_t i = 0; i < taps_.size(); ++i) {
+        const TapEntry& t = taps_[i];
+        if (t.born >= snap || t.died < snap) continue;
+        t.tap(h, ref, std::type_index(typeid(T)));
       }
     }
-    if (const auto acl = acl_.find(topic);
-        acl != acl_.end() && acl->second != source) {
+    if (ts.allowed_source != kNoRestriction &&
+        ts.allowed_source != source.index_) {
       ++rejected_publications_;
       if (rejected_counter_ != nullptr) rejected_counter_->inc();
       return;  // authenticated transport: unauthorized publication dropped
@@ -161,18 +250,19 @@ class Bus {
     ++published_;
     // A type mismatch must surface deterministically, before any handler
     // runs and regardless of what the fault policies decide.
-    validate_subscriber_types(topic, std::type_index(typeid(T)),
-                              typeid(T).name());
+    validate_subscriber_types(ts, std::type_index(typeid(T)),
+                              typeid(T).name(), h.topic);
     FaultDecision fd;
     if (!policies_.empty()) {
       // Every policy is consulted for every accepted publication (even
       // when an earlier one already dropped it), so each policy's random
       // stream advances independently of the others' decisions.
-      std::vector<DeliveryPolicy*> policies;
-      policies.reserve(policies_.size());
-      for (const auto& [id, p] : policies_) policies.push_back(p);
-      for (DeliveryPolicy* p : policies) {
-        const FaultDecision d = p->decide(h);
+      FanoutGuard guard(*this);
+      const std::uint64_t snap = ++epoch_;
+      for (std::size_t i = 0; i < policies_.size(); ++i) {
+        PolicyEntry& p = policies_[i];
+        if (p.born >= snap || p.died < snap) continue;
+        const FaultDecision d = p.policy->decide(h);
         fd.drop = fd.drop || d.drop;
         fd.delay_steps = std::max(fd.delay_steps, d.delay_steps);
         fd.duplicates += d.duplicates;
@@ -209,30 +299,40 @@ class Bus {
     for (std::size_t i = 0; i < copies; ++i) deliver_now(topic, h, payload);
   }
 
+  /// String-keyed compatibility shim: interns on first use, then runs the
+  /// id-keyed hot path. Cold callers can stay on this overload; per-call
+  /// cost is two ordered-map lookups.
+  template <typename T>
+  void publish(std::string_view topic, const T& payload,
+               std::string_view source, double time_s) {
+    publish(intern_topic(topic), payload, intern_source(source), time_s);
+  }
+
   /// Subscribes a handler to `topic`. Returns a token whose destruction
-  /// unsubscribes.
+  /// unsubscribes. Delivery order is subscription order (see the file
+  /// header; unsubscribing never reorders the survivors).
   template <typename T>
   [[nodiscard]] Subscription subscribe(
-      const std::string& topic,
+      TopicId topic,
       std::function<void(const MessageHeader&, const T&)> handler) {
     const std::uint64_t id = next_sub_id_++;
     Entry e;
     e.id = id;
     e.type = std::type_index(typeid(T));
+    e.born = epoch_;
     e.handler = [handler = std::move(handler)](const MessageHeader& h,
                                                const void* payload) {
       handler(h, *static_cast<const T*>(payload));
     };
-    subscribers_[topic].push_back(std::move(e));
-    return Subscription([this, topic, id] {
-      auto& list = subscribers_[topic];
-      for (auto it = list.begin(); it != list.end(); ++it) {
-        if (it->id == id) {
-          list.erase(it);
-          break;
-        }
-      }
-    });
+    topics_[topic.index_].subscribers.push_back(std::move(e));
+    return Subscription(this, Subscription::Kind::kSubscriber, topic, id);
+  }
+
+  template <typename T>
+  [[nodiscard]] Subscription subscribe(
+      std::string_view topic,
+      std::function<void(const MessageHeader&, const T&)> handler) {
+    return subscribe<T>(intern_topic(topic), std::move(handler));
   }
 
   /// Tap invoked for every message on every topic (IDS / diagnostics).
@@ -268,13 +368,27 @@ class Bus {
     return n;
   }
 
-  /// Number of registered subscribers on a topic.
-  std::size_t subscriber_count(const std::string& topic) const;
+  /// Number of live subscribers on a topic.
+  std::size_t subscriber_count(std::string_view topic) const;
+  std::size_t subscriber_count(TopicId topic) const;
 
-  /// Message journal (headers only); enabled by default.
+  /// Message journal (headers only); enabled by default. Bounded: a capped
+  /// ring buffer that overwrites its oldest entry once `journal_capacity`
+  /// is reached, so long campaigns cannot exhaust memory.
   void enable_journal(bool on) { journal_enabled_ = on; }
-  const std::vector<JournalEntry>& journal() const noexcept { return journal_; }
-  void clear_journal() { journal_.clear(); }
+  /// Snapshot of the retained entries, oldest first.
+  std::vector<JournalEntry> journal() const;
+  void clear_journal() {
+    journal_.clear();
+    journal_head_ = 0;
+    journal_dropped_ = 0;
+  }
+  /// Resizes the ring (default 65536 entries). Shrinking evicts the oldest
+  /// entries (counted as dropped). Throws std::invalid_argument on 0.
+  void set_journal_capacity(std::size_t capacity);
+  std::size_t journal_capacity() const noexcept { return journal_capacity_; }
+  /// Entries evicted from the ring since the journal was last cleared.
+  std::uint64_t journal_dropped() const noexcept { return journal_dropped_; }
 
   /// Publications accepted by the transport (attempts minus ACL rejects).
   /// Messages later dropped or delayed by fault policies still count: the
@@ -285,8 +399,9 @@ class Bus {
   /// Enables authenticated publishing on `topic`: only `source` may
   /// publish there; other publications are dropped (and counted). This is
   /// the paper's mitigation for the ROS spoofing vulnerability — without
-  /// it the bus accepts traffic from any node.
-  void restrict_publisher(const std::string& topic, const std::string& source);
+  /// it the bus accepts traffic from any node. Resolved at restriction
+  /// time: the publish path compares interned source ids, not strings.
+  void restrict_publisher(std::string_view topic, std::string_view source);
 
   /// Publications dropped by publisher restrictions so far.
   std::uint64_t rejected_publications() const noexcept {
@@ -313,10 +428,35 @@ class Bus {
   void set_metrics(obs::MetricsRegistry* registry);
 
  private:
+  friend class Subscription;
+
+  static constexpr std::uint64_t kLive =
+      std::numeric_limits<std::uint64_t>::max();
+  static constexpr std::uint32_t kNoRestriction = 0xFFFFFFFFu;
+
+  /// A subscriber registration. `born`/`died` are bus-epoch stamps that
+  /// implement copy-free re-entrant iteration: a fan-out with snapshot S
+  /// invokes exactly the entries with born < S <= died-inclusive (i.e.
+  /// born < S && died >= S). Dead entries are compacted (order-preserving)
+  /// once no fan-out is on the stack.
   struct Entry {
     std::uint64_t id = 0;
     std::type_index type = std::type_index(typeid(void));
     std::function<void(const MessageHeader&, const void*)> handler;
+    std::uint64_t born = 0;
+    std::uint64_t died = kLive;
+  };
+  struct TapEntry {
+    std::uint64_t id = 0;
+    TapFn tap;
+    std::uint64_t born = 0;
+    std::uint64_t died = kLive;
+  };
+  struct PolicyEntry {
+    std::uint64_t id = 0;
+    DeliveryPolicy* policy = nullptr;
+    std::uint64_t born = 0;
+    std::uint64_t died = kLive;
   };
 
   /// A message held back by a fault policy; `deliver` re-runs the fan-out
@@ -326,7 +466,8 @@ class Bus {
     std::function<void(Bus&)> deliver;
   };
 
-  /// Per-topic instruments, looked up once per topic then cached.
+  /// Per-topic instruments, resolved once per topic then cached in the
+  /// topic's flat state.
   struct TopicInstruments {
     obs::Counter* publish = nullptr;
     obs::Counter* deliver = nullptr;
@@ -335,31 +476,73 @@ class Bus {
     obs::Counter* delayed = nullptr;
     obs::Counter* duplicated = nullptr;
   };
-  TopicInstruments& instruments(const std::string& topic);
 
-  /// Throws std::runtime_error if any subscriber on `topic` expects a
-  /// payload type other than `type`.
-  void validate_subscriber_types(const std::string& topic,
-                                 std::type_index type,
-                                 const char* type_name) const;
+  /// Everything the bus knows about one interned topic, index-addressed
+  /// by TopicId. Lives in a deque: references stay valid while handlers
+  /// intern new topics mid-delivery.
+  struct TopicState {
+    std::deque<Entry> subscribers;
+    std::uint32_t allowed_source = kNoRestriction;  ///< ACL (SourceId index)
+    TopicInstruments instruments;
+    bool instruments_ready = false;
+    bool has_tombstones = false;
+  };
+
+  /// Tracks fan-out nesting; when the outermost fan-out unwinds, dead
+  /// registrations are compacted (they cannot be erased mid-iteration).
+  struct FanoutGuard {
+    explicit FanoutGuard(Bus& b) noexcept : bus(b) { ++bus.fanout_depth_; }
+    ~FanoutGuard() {
+      if (--bus.fanout_depth_ == 0 && bus.tombstones_pending_) bus.compact();
+    }
+    Bus& bus;
+  };
+
+  TopicInstruments& instruments(TopicId topic);
+
+  /// Throws std::runtime_error if any live subscriber on the topic expects
+  /// a payload type other than `type`.
+  void validate_subscriber_types(const TopicState& ts, std::type_index type,
+                                 const char* type_name,
+                                 std::string_view topic) const;
+
+  /// Unregisters a subscriber/tap/policy (Subscription::reset). Outside a
+  /// fan-out the entry is erased immediately (ordered — delivery order of
+  /// the survivors is preserved); inside one it is tombstoned and swept
+  /// when the outermost fan-out unwinds.
+  void remove_registration(Subscription::Kind kind, TopicId topic,
+                           std::uint64_t id);
+
+  /// Order-preserving removal of tombstoned entries; only called with no
+  /// fan-out on the stack.
+  void compact();
+
+  void journal_push(const MessageHeader& h, const char* type_name) {
+    if (journal_.size() < journal_capacity_) {
+      journal_.push_back(JournalEntry{h, type_name});
+      return;
+    }
+    journal_[journal_head_] = JournalEntry{h, type_name};
+    if (++journal_head_ == journal_capacity_) journal_head_ = 0;
+    ++journal_dropped_;
+  }
 
   /// Synchronous fan-out of one message to the current subscribers.
   /// Re-validates types (the subscriber set may have changed since a
   /// delayed message was enqueued) and records delivery metrics for the
   /// handlers that completed, even when one of them throws.
   template <typename T>
-  void deliver_now(const std::string& topic, const MessageHeader& h,
-                   const T& payload) {
-    const auto it = subscribers_.find(topic);
-    if (it == subscribers_.end()) return;
-    // Copy the handler list: handlers may (un)subscribe re-entrantly.
-    auto handlers = it->second;
-    validate_subscriber_types(topic, std::type_index(typeid(T)),
-                              typeid(T).name());
+  void deliver_now(TopicId topic, const MessageHeader& h, const T& payload) {
+    TopicState& ts = topics_[topic.index_];
+    if (ts.subscribers.empty()) return;
+    validate_subscriber_types(ts, std::type_index(typeid(T)),
+                              typeid(T).name(), h.topic);
     TopicInstruments* ti =
         metrics_ != nullptr ? &instruments(topic) : nullptr;
     const auto t0 = ti != nullptr ? std::chrono::steady_clock::now()
                                   : std::chrono::steady_clock::time_point{};
+    FanoutGuard guard(*this);
+    const std::uint64_t snap = ++epoch_;
     std::size_t completed = 0;
     const auto record = [&] {
       if (ti == nullptr) return;
@@ -369,8 +552,12 @@ class Bus {
                                .count());
     };
     try {
-      for (const auto& s : handlers) {
-        s.handler(h, &payload);
+      // Index-based: handlers may subscribe re-entrantly, growing the
+      // deque (which keeps existing entries' addresses stable).
+      for (std::size_t i = 0; i < ts.subscribers.size(); ++i) {
+        const Entry& e = ts.subscribers[i];
+        if (e.born >= snap || e.died < snap) continue;
+        e.handler(h, &payload);
         ++completed;
       }
     } catch (...) {
@@ -380,23 +567,51 @@ class Bus {
     record();
   }
 
-  std::map<std::string, std::vector<Entry>> subscribers_;
-  std::map<std::string, std::string> acl_;  // topic -> sole allowed source
+  // --- interning ---------------------------------------------------------
+  // Names live in deques (stable addresses — MessageHeader views point
+  // here); the maps are the cold-path name → id resolvers.
+  std::deque<std::string> topic_names_;
+  std::deque<std::string> source_names_;
+  std::map<std::string, std::uint32_t, std::less<>> topic_index_;
+  std::map<std::string, std::uint32_t, std::less<>> source_index_;
+  /// Flat per-topic state, indexed by TopicId. Deque: handler re-entrancy
+  /// may intern new topics while a fan-out holds a TopicState reference.
+  std::deque<TopicState> topics_;
+
+  // --- registries ---------------------------------------------------------
+  std::deque<TapEntry> taps_;
+  std::deque<PolicyEntry> policies_;
+  std::deque<Delayed> delayed_;
+
+  // --- journal ring -------------------------------------------------------
+  std::vector<JournalEntry> journal_;
+  std::size_t journal_head_ = 0;      ///< oldest slot once the ring is full
+  std::size_t journal_capacity_ = 65536;
+  std::uint64_t journal_dropped_ = 0;
+  bool journal_enabled_ = true;
+
+  // --- bookkeeping --------------------------------------------------------
   obs::MetricsRegistry* metrics_ = nullptr;
   obs::Counter* rejected_counter_ = nullptr;
-  std::map<std::string, TopicInstruments> instruments_;
-  std::uint64_t rejected_publications_ = 0;
-  std::map<std::uint64_t, TapFn> taps_;
-  std::map<std::uint64_t, DeliveryPolicy*> policies_;
-  std::deque<Delayed> delayed_;
-  std::vector<JournalEntry> journal_;
-  bool journal_enabled_ = true;
+  std::uint64_t epoch_ = 0;
+  int fanout_depth_ = 0;
+  bool tombstones_pending_ = false;
+  bool taps_tombstoned_ = false;
+  bool policies_tombstoned_ = false;
   std::uint64_t next_seq_ = 0;
   std::uint64_t published_ = 0;
+  std::uint64_t rejected_publications_ = 0;
   std::uint64_t faults_dropped_ = 0;
   std::uint64_t faults_delayed_ = 0;
   std::uint64_t faults_duplicated_ = 0;
   std::uint64_t next_sub_id_ = 0;
 };
+
+inline void Subscription::reset() {
+  if (bus_ == nullptr) return;
+  Bus* bus = bus_;
+  bus_ = nullptr;
+  bus->remove_registration(kind_, topic_, id_);
+}
 
 }  // namespace sesame::mw

@@ -64,6 +64,11 @@ struct RunnerConfig {
   double max_time_s = 1500.0;
   /// ConSert evaluation period (paper: runtime evaluation, not per-frame).
   double consert_period_s = 5.0;
+  /// Route ConSert evaluation through the dirty-flag evaluation cache
+  /// (conserts::CachedNetworkEvaluator). Results are identical with the
+  /// cache on or off; the switch exists for A/B verification and as an
+  /// escape hatch.
+  bool consert_eval_cache = true;
   /// Baseline battery-swap turnaround on the ground.
   double battery_swap_time_s = 60.0;
   /// Baseline returns to base when state of charge falls below this.

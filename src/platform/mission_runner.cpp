@@ -184,6 +184,10 @@ void MissionRunner::setup_sesame() {
   // a deployment would calibrate against held-out validation flights.
   {
     const auto& detector = mission_->detector();
+    // The reference sample is fixed across trials: sort it once and use
+    // the sorted-input distance fast path per trial window.
+    std::vector<std::vector<double>> reference_sorted = reference;
+    for (auto& r : reference_sorted) std::sort(r.begin(), r.end());
     std::vector<double> self_distances;
     for (int trial = 0; trial < 60; ++trial) {
       const double alt = world_->rng().uniform(
@@ -195,8 +199,9 @@ void MissionRunner::setup_sesame() {
       }
       double total = 0.0;
       for (std::size_t k = 0; k < reference.size(); ++k) {
-        total += safeml::distance(config_.eddi.safeml.measure, reference[k],
-                                  window[k]);
+        std::sort(window[k].begin(), window[k].end());
+        total += safeml::distance_sorted(config_.eddi.safeml.measure,
+                                         reference_sorted[k], window[k]);
       }
       self_distances.push_back(total / static_cast<double>(reference.size()));
     }
@@ -263,7 +268,8 @@ void MissionRunner::setup_sesame() {
     eddis_.emplace(name, std::move(e));
     conserts::add_uav_conserts(consert_network_, name);
   }
-  assurance_trace_ = std::make_unique<conserts::AssuranceTrace>(consert_network_);
+  assurance_trace_ = std::make_unique<conserts::AssuranceTrace>(
+      consert_network_, config_.consert_eval_cache);
 }
 
 void MissionRunner::attach_observability(obs::Observability& o) {
@@ -495,18 +501,23 @@ RunnerResult MissionRunner::run() {
     const bool consert_due = world_->time_s() >= next_consert_eval;
     if (consert_due) next_consert_eval += config_.consert_period_s;
 
-    conserts::EvaluationContext ctx;
     if (config_.sesame_enabled) {
+      // EDDIs tick every step (their trackers and monitors integrate over
+      // time, and gather_inputs draws world randomness); the evidence
+      // context is only materialized on ConSert-evaluation ticks, since
+      // consert_evidence() is a pure read of the EDDI state.
       for (const auto& name : names_) {
-        auto& eddi = eddis_.at(name);
-        eddi->tick(gather_inputs(name));
-        auto evidence = eddi->consert_evidence();
-        // Per-UAV attribution: only vehicles whose own channels were
-        // attacked lose the no-attack evidence.
-        evidence.no_security_attack = !compromised_.count(name);
-        conserts::apply_evidence(ctx, name, evidence);
+        eddis_.at(name)->tick(gather_inputs(name));
       }
       if (consert_due) {
+        conserts::EvaluationContext ctx;
+        for (const auto& name : names_) {
+          auto evidence = eddis_.at(name)->consert_evidence();
+          // Per-UAV attribution: only vehicles whose own channels were
+          // attacked lose the no-attack evidence.
+          evidence.no_security_attack = !compromised_.count(name);
+          conserts::apply_evidence(ctx, name, evidence);
+        }
         obs::Span eval_span;
         if (obs_ != nullptr) {
           eval_span = obs_->tracer.start_span(

@@ -13,6 +13,7 @@
 #pragma once
 
 #include <cstddef>
+#include <optional>
 
 #include "sesame/markov/ctmc.hpp"
 
@@ -49,6 +50,9 @@ class PropulsionModel {
 
   /// Probability the propulsion system has failed by time t, starting with
   /// `initial_failed` motors already lost (clamped to the chain's states).
+  /// The last (t, initial_failed) result is memoised: runtime monitors call
+  /// this every tick with a fixed horizon and a rarely-changing motor
+  /// count, so steady state skips the transient solve entirely.
   double failure_probability(double t, std::size_t initial_failed = 0) const;
 
   /// Mean time to propulsion failure from the healthy state.
@@ -58,6 +62,15 @@ class PropulsionModel {
   PropulsionConfig config_;
   markov::Ctmc chain_;
   std::size_t failed_state_;
+  // Single-entry memo of the last transient solve. Mutable: a pure cache,
+  // safe because each monitor instance is confined to one thread.
+  struct Memo {
+    bool valid = false;
+    double t = 0.0;
+    std::size_t initial_failed = 0;
+    double probability = 0.0;
+  };
+  mutable Memo memo_;
 };
 
 /// Battery state-of-charge bands used by the degradation chain.
@@ -91,10 +104,13 @@ class BatteryModel {
                              double horizon_s) const;
 
   /// Builds the temperature-adjusted chain (exposed for analysis/tests).
+  /// Derived by rate-scaling a base chain built once at construction, so a
+  /// per-tick call costs a 4x4 scalar multiply instead of a builder pass.
   markov::Ctmc chain_at(double temperature_c) const;
 
  private:
   BatteryModelConfig config_;
+  markov::Ctmc base_chain_;  ///< rates at reference temperature (accel = 1)
 };
 
 /// Stateful runtime battery tracker: carries the degradation chain's state
@@ -131,6 +147,10 @@ class BatteryRuntimeTracker {
  private:
   BatteryModel model_;
   std::vector<double> distribution_{1.0, 0.0, 0.0, 0.0};
+  // Temperature-keyed chain cache: cell temperature is constant between
+  // thermal events, so successive advance() calls reuse one chain.
+  std::optional<markov::Ctmc> cached_chain_;
+  double cached_temp_c_ = 0.0;
 };
 
 struct ProcessorModelConfig {

@@ -65,6 +65,14 @@ class ReliabilityMonitor {
   ReliabilityEstimate evaluate(const TelemetrySnapshot& telemetry,
                                double horizon_s) const;
 
+  /// Like evaluate(), but with the battery term fixed at zero. Callers that
+  /// track the cumulative battery probability separately (the EDDI's
+  /// BatteryRuntimeTracker) discard evaluate()'s prospective battery term
+  /// and re-compose() anyway, so this variant skips the battery chain
+  /// build and transient solve on the per-tick hot path.
+  ReliabilityEstimate evaluate_prospective(const TelemetrySnapshot& telemetry,
+                                           double horizon_s) const;
+
   /// Composes externally computed subsystem probabilities (e.g. the
   /// cumulative battery probability of a BatteryRuntimeTracker) into a
   /// UAV-level estimate with this monitor's thresholds.

@@ -55,6 +55,22 @@ markov::Ctmc build_propulsion_chain(const PropulsionConfig& cfg,
   return b.build();
 }
 
+markov::Ctmc build_battery_chain(const BatteryModelConfig& cfg) {
+  if (cfg.rate_healthy_to_low <= 0.0 || cfg.rate_low_to_critical <= 0.0 ||
+      cfg.rate_critical_to_failed <= 0.0) {
+    throw std::invalid_argument("BatteryModel: non-positive rate");
+  }
+  markov::CtmcBuilder b;
+  const auto healthy = b.add_state("healthy");
+  const auto low = b.add_state("low");
+  const auto critical = b.add_state("critical");
+  const auto failed = b.add_state("failed");
+  b.add_transition(healthy, low, cfg.rate_healthy_to_low);
+  b.add_transition(low, critical, cfg.rate_low_to_critical);
+  b.add_transition(critical, failed, cfg.rate_critical_to_failed);
+  return b.build();
+}
+
 }  // namespace
 
 PropulsionModel::PropulsionModel(PropulsionConfig config)
@@ -64,9 +80,14 @@ double PropulsionModel::failure_probability(double t,
                                             std::size_t initial_failed) const {
   const std::size_t start =
       std::min(initial_failed, chain_.num_states() - 1);
+  if (memo_.valid && memo_.t == t && memo_.initial_failed == start) {
+    return memo_.probability;
+  }
   std::vector<double> pi0(chain_.num_states(), 0.0);
   pi0[start] = 1.0;
-  return chain_.probability_in(pi0, t, {failed_state_});
+  const double p = chain_.probability_in(pi0, t, {failed_state_});
+  memo_ = {true, t, start, p};
+  return p;
 }
 
 double PropulsionModel::mttf() const {
@@ -83,25 +104,13 @@ BatteryBand battery_band_from_soc(double soc) {
   return BatteryBand::kHealthy;
 }
 
-BatteryModel::BatteryModel(BatteryModelConfig config) : config_(config) {
-  if (config_.rate_healthy_to_low <= 0.0 || config_.rate_low_to_critical <= 0.0 ||
-      config_.rate_critical_to_failed <= 0.0) {
-    throw std::invalid_argument("BatteryModel: non-positive rate");
-  }
-}
+BatteryModel::BatteryModel(BatteryModelConfig config)
+    : config_(config), base_chain_(build_battery_chain(config_)) {}
 
 markov::Ctmc BatteryModel::chain_at(double temperature_c) const {
   const double accel = std::exp(config_.temp_accel_per_c *
                                 (temperature_c - config_.reference_temp_c));
-  markov::CtmcBuilder b;
-  const auto healthy = b.add_state("healthy");
-  const auto low = b.add_state("low");
-  const auto critical = b.add_state("critical");
-  const auto failed = b.add_state("failed");
-  b.add_transition(healthy, low, config_.rate_healthy_to_low * accel);
-  b.add_transition(low, critical, config_.rate_low_to_critical * accel);
-  b.add_transition(critical, failed, config_.rate_critical_to_failed * accel);
-  return b.build();
+  return base_chain_.scaled_rates(accel);
 }
 
 double BatteryModel::failure_probability(BatteryBand band, double temperature_c,
@@ -157,7 +166,11 @@ void BatteryRuntimeTracker::advance(double dt_s, double temperature_c) {
     throw std::invalid_argument("BatteryRuntimeTracker: negative dt");
   }
   if (dt_s == 0.0) return;
-  distribution_ = model_.chain_at(temperature_c).transient(distribution_, dt_s);
+  if (!cached_chain_ || cached_temp_c_ != temperature_c) {
+    cached_chain_ = model_.chain_at(temperature_c);
+    cached_temp_c_ = temperature_c;
+  }
+  distribution_ = cached_chain_->transient(distribution_, dt_s);
 }
 
 void BatteryRuntimeTracker::reset() { distribution_ = {1.0, 0.0, 0.0, 0.0}; }

@@ -44,6 +44,24 @@ ReliabilityEstimate ReliabilityMonitor::evaluate(
   return compose(e.p_propulsion, e.p_battery, e.p_processor, e.p_comms);
 }
 
+ReliabilityEstimate ReliabilityMonitor::evaluate_prospective(
+    const TelemetrySnapshot& telemetry, double horizon_s) const {
+  if (horizon_s < 0.0) {
+    throw std::invalid_argument(
+        "ReliabilityMonitor::evaluate_prospective: negative horizon");
+  }
+  if (telemetry.battery_soc < 0.0 || telemetry.battery_soc > 1.0) {
+    throw std::invalid_argument(
+        "ReliabilityMonitor::evaluate_prospective: soc out of [0,1]");
+  }
+  const double p_propulsion =
+      propulsion_.failure_probability(horizon_s, telemetry.motors_failed);
+  const double p_processor =
+      processor_.failure_probability(telemetry.processor_temp_c, horizon_s);
+  const double p_comms = comms_.failure_probability(horizon_s);
+  return compose(p_propulsion, 0.0, p_processor, p_comms);
+}
+
 ReliabilityEstimate ReliabilityMonitor::compose(double p_propulsion,
                                                 double p_battery,
                                                 double p_processor,

@@ -15,12 +15,12 @@ void require_samples(const std::vector<double>& a, const std::vector<double>& b,
   }
 }
 
-/// Walks the merged sorted samples, invoking cb(fa, fb, x, dx_to_next) at
-/// every step of the joint ECDF. `dx_to_next` is 0 at the final point.
+/// Walks the merged samples (both already ascending-sorted), invoking
+/// cb(fa, fb, x, dx_to_next) at every step of the joint ECDF. `dx_to_next`
+/// is 0 at the final point.
 template <typename Callback>
-void walk_ecdfs(std::vector<double> a, std::vector<double> b, Callback&& cb) {
-  std::sort(a.begin(), a.end());
-  std::sort(b.begin(), b.end());
+void walk_sorted_ecdfs(const std::vector<double>& a, const std::vector<double>& b,
+                       Callback&& cb) {
   const double na = static_cast<double>(a.size());
   const double nb = static_cast<double>(b.size());
   std::size_t ia = 0, ib = 0;
@@ -50,6 +50,87 @@ void walk_ecdfs(std::vector<double> a, std::vector<double> b, Callback&& cb) {
   }
 }
 
+std::vector<double> sorted_copy(const std::vector<double>& v) {
+  std::vector<double> out = v;
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+double ks_sorted(const std::vector<double>& a, const std::vector<double>& b) {
+  double best = 0.0;
+  walk_sorted_ecdfs(a, b, [&](double fa, double fb, double, double) {
+    best = std::max(best, std::abs(fa - fb));
+  });
+  return best;
+}
+
+double kuiper_sorted(const std::vector<double>& a, const std::vector<double>& b) {
+  double dplus = 0.0, dminus = 0.0;
+  walk_sorted_ecdfs(a, b, [&](double fa, double fb, double, double) {
+    dplus = std::max(dplus, fa - fb);
+    dminus = std::max(dminus, fb - fa);
+  });
+  return dplus + dminus;
+}
+
+double anderson_darling_sorted(const std::vector<double>& a,
+                               const std::vector<double>& b) {
+  const double na = static_cast<double>(a.size());
+  const double nb = static_cast<double>(b.size());
+  const double n = na + nb;
+  double acc = 0.0;
+  // Integrate (Fa-Fb)^2 / (H(1-H)) dH-steps over the pooled ECDF H.
+  walk_sorted_ecdfs(a, b, [&](double fa, double fb, double, double) {
+    const double h = (na * fa + nb * fb) / n;
+    const double w = h * (1.0 - h);
+    if (w > 1e-12) {
+      const double d = fa - fb;
+      acc += d * d / w;
+    }
+  });
+  // Normalize by the number of joint steps so the statistic is comparable
+  // across window sizes (runtime monitors use fixed windows anyway).
+  return acc * (na * nb) / (n * n);
+}
+
+double cramer_von_mises_sorted(const std::vector<double>& a,
+                               const std::vector<double>& b) {
+  const double na = static_cast<double>(a.size());
+  const double nb = static_cast<double>(b.size());
+  const double n = na + nb;
+  double acc = 0.0;
+  walk_sorted_ecdfs(a, b, [&](double fa, double fb, double, double) {
+    const double d = fa - fb;
+    acc += d * d;
+  });
+  return acc * (na * nb) / (n * n);
+}
+
+double wasserstein_sorted(const std::vector<double>& a,
+                          const std::vector<double>& b) {
+  double acc = 0.0;
+  walk_sorted_ecdfs(a, b, [&](double fa, double fb, double, double dx) {
+    acc += std::abs(fa - fb) * dx;
+  });
+  return acc;
+}
+
+double dts_sorted(const std::vector<double>& a, const std::vector<double>& b) {
+  const double na = static_cast<double>(a.size());
+  const double nb = static_cast<double>(b.size());
+  const double n = na + nb;
+  double acc = 0.0;
+  walk_sorted_ecdfs(a, b, [&](double fa, double fb, double, double dx) {
+    const double h = (na * fa + nb * fb) / n;
+    const double w = h * (1.0 - h);
+    if (w > 1e-12) {
+      const double d = fa - fb;
+      acc += (d * d / w) * dx;
+    }
+  });
+  return acc;
+}
+
 }  // namespace
 
 std::string measure_name(Measure m) {
@@ -74,83 +155,35 @@ const std::vector<Measure>& all_measures() {
 
 double ks_distance(const std::vector<double>& a, const std::vector<double>& b) {
   require_samples(a, b, "ks_distance");
-  double best = 0.0;
-  walk_ecdfs(a, b, [&](double fa, double fb, double, double) {
-    best = std::max(best, std::abs(fa - fb));
-  });
-  return best;
+  return ks_sorted(sorted_copy(a), sorted_copy(b));
 }
 
 double kuiper_distance(const std::vector<double>& a, const std::vector<double>& b) {
   require_samples(a, b, "kuiper_distance");
-  double dplus = 0.0, dminus = 0.0;
-  walk_ecdfs(a, b, [&](double fa, double fb, double, double) {
-    dplus = std::max(dplus, fa - fb);
-    dminus = std::max(dminus, fb - fa);
-  });
-  return dplus + dminus;
+  return kuiper_sorted(sorted_copy(a), sorted_copy(b));
 }
 
 double anderson_darling_distance(const std::vector<double>& a,
                                  const std::vector<double>& b) {
   require_samples(a, b, "anderson_darling_distance");
-  const double na = static_cast<double>(a.size());
-  const double nb = static_cast<double>(b.size());
-  const double n = na + nb;
-  double acc = 0.0;
-  // Integrate (Fa-Fb)^2 / (H(1-H)) dH-steps over the pooled ECDF H.
-  walk_ecdfs(a, b, [&](double fa, double fb, double, double) {
-    const double h = (na * fa + nb * fb) / n;
-    const double w = h * (1.0 - h);
-    if (w > 1e-12) {
-      const double d = fa - fb;
-      acc += d * d / w;
-    }
-  });
-  // Normalize by the number of joint steps so the statistic is comparable
-  // across window sizes (runtime monitors use fixed windows anyway).
-  return acc * (na * nb) / (n * n);
+  return anderson_darling_sorted(sorted_copy(a), sorted_copy(b));
 }
 
 double cramer_von_mises_distance(const std::vector<double>& a,
                                  const std::vector<double>& b) {
   require_samples(a, b, "cramer_von_mises_distance");
-  const double na = static_cast<double>(a.size());
-  const double nb = static_cast<double>(b.size());
-  const double n = na + nb;
-  double acc = 0.0;
-  walk_ecdfs(a, b, [&](double fa, double fb, double, double) {
-    const double d = fa - fb;
-    acc += d * d;
-  });
-  return acc * (na * nb) / (n * n);
+  return cramer_von_mises_sorted(sorted_copy(a), sorted_copy(b));
 }
 
 double wasserstein_distance(const std::vector<double>& a,
                             const std::vector<double>& b) {
   require_samples(a, b, "wasserstein_distance");
-  double acc = 0.0;
-  walk_ecdfs(a, b, [&](double fa, double fb, double, double dx) {
-    acc += std::abs(fa - fb) * dx;
-  });
-  return acc;
+  return wasserstein_sorted(sorted_copy(a), sorted_copy(b));
 }
 
 double dts_distance(const std::vector<double>& a, const std::vector<double>& b) {
   require_samples(a, b, "dts_distance");
-  const double na = static_cast<double>(a.size());
-  const double nb = static_cast<double>(b.size());
-  const double n = na + nb;
-  double acc = 0.0;
-  walk_ecdfs(a, b, [&](double fa, double fb, double, double dx) {
-    const double h = (na * fa + nb * fb) / n;
-    const double w = h * (1.0 - h);
-    if (w > 1e-12) {
-      const double d = fa - fb;
-      acc += (d * d / w) * dx;
-    }
-  });
-  return acc;
+  return dts_sorted(sorted_copy(a), sorted_copy(b));
 }
 
 double distance(Measure m, const std::vector<double>& a,
@@ -164,6 +197,22 @@ double distance(Measure m, const std::vector<double>& a,
     case Measure::kDts: return dts_distance(a, b);
   }
   throw std::invalid_argument("distance: unknown measure");
+}
+
+double distance_sorted(Measure m, const std::vector<double>& a_sorted,
+                       const std::vector<double>& b_sorted) {
+  require_samples(a_sorted, b_sorted, "distance_sorted");
+  switch (m) {
+    case Measure::kKolmogorovSmirnov: return ks_sorted(a_sorted, b_sorted);
+    case Measure::kKuiper: return kuiper_sorted(a_sorted, b_sorted);
+    case Measure::kAndersonDarling:
+      return anderson_darling_sorted(a_sorted, b_sorted);
+    case Measure::kCramerVonMises:
+      return cramer_von_mises_sorted(a_sorted, b_sorted);
+    case Measure::kWasserstein: return wasserstein_sorted(a_sorted, b_sorted);
+    case Measure::kDts: return dts_sorted(a_sorted, b_sorted);
+  }
+  throw std::invalid_argument("distance_sorted: unknown measure");
 }
 
 double permutation_p_value(Measure m, const std::vector<double>& a,

@@ -62,6 +62,13 @@ double dts_distance(const std::vector<double>& a, const std::vector<double>& b);
 double distance(Measure m, const std::vector<double>& a,
                 const std::vector<double>& b);
 
+/// Same as distance(), but requires both samples to already be sorted in
+/// ascending order and skips the per-call copy + sort. Callers with a
+/// fixed reference sample (runtime monitors) sort it once and amortize;
+/// the result is bit-identical to distance() on the unsorted samples.
+double distance_sorted(Measure m, const std::vector<double>& a_sorted,
+                       const std::vector<double>& b_sorted);
+
 /// Permutation-test p-value for the hypothesis that `a` and `b` come from
 /// the same distribution, under the given measure. Small p-values indicate
 /// distributional shift. `iterations` permutations are used.

@@ -74,6 +74,10 @@ class Monitor {
  private:
   MonitorConfig config_;
   std::vector<std::vector<double>> reference_;
+  /// Ascending-sorted copies of reference_, built once so every assessment
+  /// uses the distance_sorted() fast path instead of re-sorting the (large,
+  /// immutable) reference sample.
+  std::vector<std::vector<double>> reference_sorted_;
   std::vector<std::deque<double>> window_;
 
   ConfidenceLevel classify(double confidence) const;

@@ -31,6 +31,8 @@ Monitor::Monitor(MonitorConfig config, std::vector<std::vector<double>> referenc
     throw std::invalid_argument("Monitor: bad thresholds");
   }
   window_.resize(reference_.size());
+  reference_sorted_ = reference_;
+  for (auto& f : reference_sorted_) std::sort(f.begin(), f.end());
 }
 
 void Monitor::push(const std::vector<double>& features) {
@@ -54,8 +56,9 @@ std::vector<double> Monitor::per_feature_dissimilarity() const {
   std::vector<double> out;
   out.reserve(reference_.size());
   for (std::size_t i = 0; i < reference_.size(); ++i) {
-    const std::vector<double> runtime(window_[i].begin(), window_[i].end());
-    out.push_back(distance(config_.measure, reference_[i], runtime));
+    std::vector<double> runtime(window_[i].begin(), window_[i].end());
+    std::sort(runtime.begin(), runtime.end());
+    out.push_back(distance_sorted(config_.measure, reference_sorted_[i], runtime));
   }
   return out;
 }

@@ -16,7 +16,7 @@ CoverageTracker::CoverageTracker(const Area& area, double cell_m)
   }
   cells_east_ = static_cast<std::size_t>(std::ceil(area_.width() / cell_m_));
   cells_north_ = static_cast<std::size_t>(std::ceil(area_.height() / cell_m_));
-  covered_.assign(cells_east_ * cells_north_, false);
+  covered_.assign(cells_east_ * cells_north_, 0);
 }
 
 double CoverageTracker::fraction_covered() const {
@@ -47,15 +47,25 @@ void CoverageTracker::mark(const sim::Footprint& footprint) {
   const auto in_hi = static_cast<std::size_t>(std::ceil(clamp_north(north_hi)));
 
   for (std::size_t in = in_lo; in < in_hi && in < cells_north_; ++in) {
+    // Cell centres must lie inside the footprint; the north half of that
+    // test is row-invariant, so it runs once per row.
+    const double centre_north =
+        area_.north_min + (static_cast<double>(in) + 0.5) * cell_m_;
+    if (std::abs(centre_north - footprint.center_north_m) >
+        footprint.half_height_m) {
+      continue;
+    }
+    const std::size_t row = in * cells_east_;
     for (std::size_t ie = ie_lo; ie < ie_hi && ie < cells_east_; ++ie) {
-      // Cell centre must lie inside the footprint.
-      const geo::EnuPoint centre{
-          area_.east_min + (static_cast<double>(ie) + 0.5) * cell_m_,
-          area_.north_min + (static_cast<double>(in) + 0.5) * cell_m_, 0.0};
-      if (!footprint.contains(centre)) continue;
-      const std::size_t idx = index(ie, in);
+      const double centre_east =
+          area_.east_min + (static_cast<double>(ie) + 0.5) * cell_m_;
+      if (std::abs(centre_east - footprint.center_east_m) >
+          footprint.half_width_m) {
+        continue;
+      }
+      const std::size_t idx = row + ie;
       if (!covered_[idx]) {
-        covered_[idx] = true;
+        covered_[idx] = 1;
         ++covered_count_;
       }
     }
@@ -70,11 +80,11 @@ bool CoverageTracker::covered_at(const geo::EnuPoint& p) const {
   const auto in = std::min(
       cells_north_ - 1,
       static_cast<std::size_t>((p.north_m - area_.north_min) / cell_m_));
-  return covered_[index(ie, in)];
+  return covered_[index(ie, in)] != 0;
 }
 
 void CoverageTracker::reset() {
-  std::fill(covered_.begin(), covered_.end(), false);
+  std::fill(covered_.begin(), covered_.end(), std::uint8_t{0});
   covered_count_ = 0;
 }
 

@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "sesame/sar/coverage.hpp"
@@ -43,7 +44,9 @@ class CoverageTracker {
   double cell_m_;
   std::size_t cells_east_;
   std::size_t cells_north_;
-  std::vector<bool> covered_;
+  // One byte per cell: the mark() inner loop is the baseline arm's hottest
+  // path, and byte stores beat vector<bool>'s bit twiddling there.
+  std::vector<std::uint8_t> covered_;
   std::size_t covered_count_ = 0;
 
   std::size_t index(std::size_t ie, std::size_t in) const {

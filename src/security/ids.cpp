@@ -71,12 +71,18 @@ void IntrusionDetectionSystem::inspect(const mw::MessageHeader& h,
           raise(std::move(a));
         }
       }
+      it->second = {p, h.time_s};
+    } else {
+      last_position_.emplace(h.topic, std::pair{p, h.time_s});
     }
-    last_position_[h.topic] = {p, h.time_s};
   }
 
   // Rule 3: flooding per source.
-  auto& times = recent_times_[h.source];
+  auto times_it = recent_times_.find(h.source);
+  if (times_it == recent_times_.end()) {
+    times_it = recent_times_.emplace(h.source, std::deque<double>{}).first;
+  }
+  auto& times = times_it->second;
   times.push_back(h.time_s);
   while (!times.empty() && times.front() < h.time_s - config_.flood_window_s) {
     times.pop_front();

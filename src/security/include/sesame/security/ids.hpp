@@ -68,9 +68,12 @@ class IntrusionDetectionSystem {
   obs::Observability* obs_ = nullptr;
   IdsConfig config_;
   mw::Subscription tap_;
-  std::map<std::string, std::string> authorized_;  // topic -> source
-  std::map<std::string, std::pair<geo::GeoPoint, double>> last_position_;
-  std::map<std::string, std::deque<double>> recent_times_;  // per source
+  // less<> so string_view headers are looked up without a string allocation
+  std::map<std::string, std::string, std::less<>> authorized_;  // topic -> source
+  std::map<std::string, std::pair<geo::GeoPoint, double>, std::less<>>
+      last_position_;
+  std::map<std::string, std::deque<double>, std::less<>>
+      recent_times_;  // per source
   std::vector<std::string> position_topics_;
   std::size_t alerts_raised_ = 0;
   bool publishing_alert_ = false;

@@ -10,6 +10,7 @@
 // security scenario exploits.
 #pragma once
 
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
@@ -126,8 +127,14 @@ class World {
   struct Slot {
     std::unique_ptr<Uav> uav;
     mw::Subscription fix_subscription;
+    // Resolved once at add_uav so the per-step telemetry publish is a pure
+    // id-keyed bus call (no topic-string building, no interning lookups).
+    mw::TopicId telemetry_topic;
+    mw::SourceId source;
   };
   std::vector<Slot> uavs_;
+  /// name → index into uavs_ (uav_by_name is on the per-tick hot path).
+  std::map<std::string, std::size_t, std::less<>> uav_index_;
   std::vector<Person> persons_;
 
   class LinkGate;  // the lossy-link DeliveryPolicy (defined in world.cpp)

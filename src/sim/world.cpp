@@ -25,7 +25,7 @@ class World::LinkGate : public mw::DeliveryPolicy {
 
   mw::FaultDecision decide(const mw::MessageHeader& header) override {
     mw::FaultDecision d;
-    const Uav* uav = uav_for_topic(header.topic);
+    const Uav* uav = uav_for_topic(header);
     if (uav == nullptr) return d;  // not C2 traffic
     const double distance_m =
         geo::enu_ground_distance_m(uav->true_position(), gcs_);
@@ -36,24 +36,48 @@ class World::LinkGate : public mw::DeliveryPolicy {
 
  private:
   /// Resolves "uav/<name>/telemetry" and "uav/<name>/position_fix" to the
-  /// UAV whose link the message rides; nullptr for any other topic.
-  const Uav* uav_for_topic(const std::string& topic) const {
-    if (topic.rfind("uav/", 0) != 0) return nullptr;
+  /// UAV whose link the message rides; nullptr for any other topic. The
+  /// per-TopicId resolution is memoised: steady-state C2 traffic costs one
+  /// indexed load here, not a topic-string parse.
+  const Uav* uav_for_topic(const mw::MessageHeader& header) {
+    const std::uint32_t idx = header.topic_id.index();
+    if (idx < cache_.size() && cache_[idx].known) return cache_[idx].uav;
+    const std::string_view topic = header.topic;
+    bool cacheable = true;
+    const Uav* uav = parse_topic(topic, cacheable);
+    if (cacheable && header.topic_id.valid()) {
+      if (cache_.size() <= idx) cache_.resize(idx + 1);
+      cache_[idx] = {true, uav};
+    }
+    return uav;
+  }
+
+  /// `cacheable` is cleared for topics that *look like* C2 traffic but name
+  /// an unknown UAV — one added later must not inherit a stale nullptr.
+  const Uav* parse_topic(std::string_view topic, bool& cacheable) const {
+    if (!topic.starts_with("uav/")) return nullptr;
     const auto slash = topic.find('/', 4);
-    if (slash == std::string::npos) return nullptr;
-    const std::string suffix = topic.substr(slash);
+    if (slash == std::string_view::npos) return nullptr;
+    const std::string_view suffix = topic.substr(slash);
     if (suffix != "/telemetry" && suffix != "/position_fix") return nullptr;
-    const std::string name = topic.substr(4, slash - 4);
+    const std::string_view name = topic.substr(4, slash - 4);
     for (const auto& slot : world_.uavs_) {
       if (slot.uav->name() == name) return slot.uav.get();
     }
+    cacheable = false;
     return nullptr;
   }
+
+  struct CacheSlot {
+    bool known = false;
+    const Uav* uav = nullptr;
+  };
 
   World& world_;
   CommLink link_;
   geo::EnuPoint gcs_;
   mathx::Rng rng_;
+  std::vector<CacheSlot> cache_;  ///< indexed by TopicId
 };
 
 World::World(const geo::GeoPoint& origin, std::uint64_t seed)
@@ -82,10 +106,8 @@ void World::enable_lossy_links(const LossyLinkConfig& config) {
 }
 
 std::size_t World::add_uav(UavConfig config, const geo::GeoPoint& home) {
-  for (const auto& slot : uavs_) {
-    if (slot.uav->name() == config.name) {
-      throw std::invalid_argument("World::add_uav: duplicate name " + config.name);
-    }
+  if (uav_index_.contains(config.name)) {
+    throw std::invalid_argument("World::add_uav: duplicate name " + config.name);
   }
   Slot slot;
   slot.uav = std::make_unique<Uav>(std::move(config), frame_, home, rng_);
@@ -96,13 +118,16 @@ std::size_t World::add_uav(UavConfig config, const geo::GeoPoint& home) {
       [raw](const mw::MessageHeader&, const geo::GeoPoint& fix) {
         raw->correct_estimate(fix);
       });
+  slot.telemetry_topic = bus_.intern_topic(telemetry_topic(raw->name()));
+  slot.source = bus_.intern_source(raw->name());
+  uav_index_.emplace(raw->name(), uavs_.size());
   uavs_.push_back(std::move(slot));
   return uavs_.size() - 1;
 }
 
 Uav& World::uav_by_name(const std::string& name) {
-  for (auto& slot : uavs_) {
-    if (slot.uav->name() == name) return *slot.uav;
+  if (const auto it = uav_index_.find(name); it != uav_index_.end()) {
+    return *uavs_[it->second].uav;
   }
   throw std::out_of_range("World::uav_by_name: " + name);
 }
@@ -156,7 +181,7 @@ void World::step(double dt_s) {
     t.mode = u.mode();
     t.time_s = time_s_;
     t.gps_fix = !u.gps().signal_lost() && !u.gps().disabled();
-    bus_.publish(telemetry_topic(u.name()), t, u.name(), time_s_);
+    bus_.publish(slot.telemetry_topic, t, slot.source, time_s_);
   }
   if (step_duration_ != nullptr) {
     step_duration_->observe(

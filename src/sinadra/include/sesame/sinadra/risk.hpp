@@ -10,6 +10,7 @@
 // lets the mission proceed.
 #pragma once
 
+#include <cstdint>
 #include <map>
 #include <string>
 
@@ -67,7 +68,11 @@ class SarRiskModel {
  public:
   explicit SarRiskModel(RiskConfig config = {});
 
-  /// Evaluates the risk network under the given evidence.
+  /// Evaluates the risk network under the given evidence. The evidence
+  /// space is tiny (five small enums), and the network plus thresholds are
+  /// immutable after construction, so results are memoised per distinct
+  /// evidence combination — steady-state ticks with an unchanged situation
+  /// skip the Bayesian inference entirely.
   RiskAssessment assess(const SituationEvidence& evidence) const;
 
   /// Most probable full situation consistent with the evidence (MPE over
@@ -82,6 +87,10 @@ class SarRiskModel {
   bayes::Network net_;
   bayes::VarId altitude_, visibility_, density_, safeml_, deepknowledge_;
   bayes::VarId detection_quality_, missed_risk_;
+  /// Memo of assess() results keyed by the 2-bit-packed evidence enums.
+  /// Mutable: a pure cache over the immutable network, confined to the
+  /// owning thread like the rest of the model.
+  mutable std::map<std::uint16_t, RiskAssessment> assess_memo_;
 
   bayes::Network::Evidence to_evidence(const SituationEvidence& e) const;
 };

@@ -4,6 +4,20 @@
 
 namespace sesame::sinadra {
 
+namespace {
+
+/// Packs the five evidence enums (each <= 4 values) into 2 bits apiece.
+std::uint16_t pack_evidence_key(const SituationEvidence& e) {
+  return static_cast<std::uint16_t>(
+      static_cast<unsigned>(e.altitude) |
+      (static_cast<unsigned>(e.visibility) << 2) |
+      (static_cast<unsigned>(e.density) << 4) |
+      (static_cast<unsigned>(e.safeml) << 6) |
+      (static_cast<unsigned>(e.deepknowledge) << 8));
+}
+
+}  // namespace
+
 std::string adaptation_name(Adaptation a) {
   switch (a) {
     case Adaptation::kProceed: return "Proceed";
@@ -119,6 +133,10 @@ RiskExplanation SarRiskModel::explain(const SituationEvidence& evidence) const {
 }
 
 RiskAssessment SarRiskModel::assess(const SituationEvidence& evidence) const {
+  const std::uint16_t key = pack_evidence_key(evidence);
+  if (const auto it = assess_memo_.find(key); it != assess_memo_.end()) {
+    return it->second;
+  }
   const auto posterior = net_.query(missed_risk_, to_evidence(evidence));
   RiskAssessment r;
   r.p_missed_person = posterior[2];
@@ -131,6 +149,7 @@ RiskAssessment SarRiskModel::assess(const SituationEvidence& evidence) const {
   } else {
     r.recommendation = Adaptation::kProceed;
   }
+  assess_memo_.emplace(key, r);
   return r;
 }
 

@@ -361,3 +361,182 @@ TEST(AssuranceTrace, LossOfAllGuaranteesRecordedAsEmpty) {
   EXPECT_TRUE(trace.transitions().empty());
   EXPECT_EQ(trace.evaluations(), 0u);
 }
+
+#include "sesame/conserts/evaluation_cache.hpp"
+
+namespace {
+
+/// Helper: evaluation results must agree field-by-field.
+void expect_same_evaluation(const cs::NetworkEvaluation& a,
+                            const cs::NetworkEvaluation& b) {
+  EXPECT_EQ(a.grants, b.grants);
+  EXPECT_EQ(a.best, b.best);
+  EXPECT_EQ(a.order, b.order);
+}
+
+}  // namespace
+
+TEST(ConSertNetwork, EvaluationOrderIsCachedAndInvalidatedByAdd) {
+  cs::ConSertNetwork net;
+  cs::ConSert leafc("leaf");
+  leafc.add_guarantee("ok", 0, cs::Condition::evidence("sensor_ok"));
+  net.add(std::move(leafc));
+  const auto& order1 = net.evaluation_order();
+  ASSERT_EQ(order1.size(), 1u);
+  // Same object on repeated calls (cache, not a fresh vector).
+  EXPECT_EQ(&net.evaluation_order(), &order1);
+
+  cs::ConSert top("top");
+  top.add_guarantee("safe", 0, cs::Condition::demand("leaf", "ok"));
+  net.add(std::move(top));
+  const auto& order2 = net.evaluation_order();
+  ASSERT_EQ(order2.size(), 2u);
+  EXPECT_EQ(order2[0], "leaf");
+  EXPECT_EQ(order2[1], "top");
+}
+
+TEST(CachedNetworkEvaluator, MatchesUncachedAcrossEvidenceSweep) {
+  // The real Fig. 1 network: every evidence combination toggled one at a
+  // time must produce identical grants/best/order through the cache.
+  cs::ConSertNetwork net;
+  cs::add_uav_conserts(net, "u1");
+  cs::CachedNetworkEvaluator cached(net);
+
+  std::vector<cs::UavEvidence> cases;
+  cases.push_back(nominal_evidence());
+  cases.push_back(cs::UavEvidence{});
+  for (int bit = 0; bit < 6; ++bit) {
+    auto e = nominal_evidence();
+    switch (bit) {
+      case 0: e.gps_quality_good = false; break;
+      case 1: e.no_security_attack = false; break;
+      case 2: e.vision_sensor_healthy = false; break;
+      case 3: e.safeml_confidence_high = false; break;
+      case 4: e.comm_link_good = false; break;
+      case 5:
+        e.reliability_high = false;
+        e.reliability_low = true;
+        break;
+    }
+    cases.push_back(e);
+  }
+  // Revisit earlier cases so the cache sees both hits and evidence flips.
+  cases.push_back(nominal_evidence());
+  cases.push_back(cases[3]);
+
+  for (const auto& e : cases) {
+    cs::EvaluationContext ctx_cached, ctx_plain;
+    cs::apply_evidence(ctx_cached, "u1", e);
+    cs::apply_evidence(ctx_plain, "u1", e);
+    expect_same_evaluation(cached.evaluate(ctx_cached),
+                           net.evaluate(ctx_plain));
+  }
+  EXPECT_GT(cached.hits(), 0u);
+  EXPECT_GT(cached.misses(), 0u);
+}
+
+TEST(CachedNetworkEvaluator, UnchangedFootprintIsAllHits) {
+  cs::ConSertNetwork net;
+  cs::add_uav_conserts(net, "u1");
+  cs::CachedNetworkEvaluator cached(net);
+
+  cs::EvaluationContext ctx;
+  cs::apply_evidence(ctx, "u1", nominal_evidence());
+  (void)cached.evaluate(ctx);
+  EXPECT_EQ(cached.hits(), 0u);
+  EXPECT_EQ(cached.misses(), net.size());
+
+  // Same evidence again: every ConSert replays its cached result.
+  const auto again = cached.evaluate(ctx);
+  EXPECT_EQ(cached.hits(), net.size());
+  EXPECT_EQ(cached.misses(), net.size());
+  EXPECT_FALSE(again.best.empty());
+}
+
+TEST(CachedNetworkEvaluator, EvidenceFlipPropagatesThroughDemands) {
+  // leaf <- mid <- top demand chain: flipping the leaf's evidence must
+  // re-derive the whole chain (the demand grants are part of each node's
+  // input footprint).
+  cs::ConSertNetwork net;
+  cs::ConSert leafc("leaf");
+  leafc.add_guarantee("ok", 0, cs::Condition::evidence("sensor_ok"));
+  net.add(std::move(leafc));
+  cs::ConSert mid("mid");
+  mid.add_guarantee("ready", 0, cs::Condition::demand("leaf", "ok"));
+  net.add(std::move(mid));
+  cs::ConSert top("top");
+  top.add_guarantee("safe", 0, cs::Condition::demand("mid", "ready"));
+  net.add(std::move(top));
+
+  cs::CachedNetworkEvaluator cached(net);
+  cs::EvaluationContext ctx;
+  ctx.set_evidence("sensor_ok", true);
+  auto eval = cached.evaluate(ctx);
+  EXPECT_TRUE(eval.grants.count({"top", "safe"}));
+
+  ctx.set_evidence("sensor_ok", false);
+  eval = cached.evaluate(ctx);
+  EXPECT_FALSE(eval.grants.count({"leaf", "ok"}));
+  EXPECT_FALSE(eval.grants.count({"mid", "ready"}));
+  EXPECT_FALSE(eval.grants.count({"top", "safe"}));
+  EXPECT_TRUE(eval.best.empty());
+}
+
+TEST(CachedNetworkEvaluator, InvalidateRebuildsAfterNetworkGrowth) {
+  cs::ConSertNetwork net;
+  cs::ConSert leafc("leaf");
+  leafc.add_guarantee("ok", 0, cs::Condition::evidence("sensor_ok"));
+  net.add(std::move(leafc));
+  cs::CachedNetworkEvaluator cached(net);
+
+  cs::EvaluationContext ctx;
+  ctx.set_evidence("sensor_ok", true);
+  (void)cached.evaluate(ctx);
+
+  cs::ConSert top("top");
+  top.add_guarantee("safe", 0, cs::Condition::demand("leaf", "ok"));
+  net.add(std::move(top));
+  cached.invalidate();
+
+  const auto eval = cached.evaluate(ctx);
+  ASSERT_EQ(eval.order.size(), 2u);
+  EXPECT_TRUE(eval.grants.count({"top", "safe"}));
+}
+
+TEST(AssuranceTrace, CachedAndUncachedTracesAgree) {
+  cs::ConSertNetwork net;
+  cs::add_uav_conserts(net, "u1");
+  cs::AssuranceTrace cached_trace(net, /*cache_evaluations=*/true);
+  cs::AssuranceTrace plain_trace(net, /*cache_evaluations=*/false);
+
+  auto degraded = nominal_evidence();
+  degraded.reliability_high = false;
+  degraded.reliability_low = true;
+  const std::vector<cs::UavEvidence> timeline{
+      nominal_evidence(), nominal_evidence(), degraded, degraded,
+      nominal_evidence()};
+
+  double t = 0.0;
+  for (const auto& e : timeline) {
+    cs::EvaluationContext ctx_a, ctx_b;
+    cs::apply_evidence(ctx_a, "u1", e);
+    cs::apply_evidence(ctx_b, "u1", e);
+    expect_same_evaluation(cached_trace.evaluate(ctx_a, t),
+                           plain_trace.evaluate(ctx_b, t));
+    t += 5.0;
+  }
+
+  ASSERT_EQ(cached_trace.transitions().size(), plain_trace.transitions().size());
+  for (std::size_t i = 0; i < cached_trace.transitions().size(); ++i) {
+    const auto& a = cached_trace.transitions()[i];
+    const auto& b = plain_trace.transitions()[i];
+    EXPECT_EQ(a.time_s, b.time_s);
+    EXPECT_EQ(a.consert, b.consert);
+    EXPECT_EQ(a.from, b.from);
+    EXPECT_EQ(a.to, b.to);
+  }
+  // The repeated-evidence steps hit the cache; the uncached trace reports 0.
+  EXPECT_GT(cached_trace.cache_hits(), 0u);
+  EXPECT_EQ(plain_trace.cache_hits(), 0u);
+  EXPECT_EQ(plain_trace.cache_misses(), 0u);
+}

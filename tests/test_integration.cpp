@@ -393,6 +393,16 @@ TEST(MotorFailurePipeline, DegradedPropulsionRaisesRiskButMissionFinishes) {
 TEST(Determinism, FaultPlanRunIsBitReproducible) {
   // Same seed + same fault plan + lossy links => identical event journal
   // and identical recorded state series, run after run.
+  //
+  // JournalEntry holds views into bus-owned name tables, so the journal is
+  // copied into owning strings here *before* the runner (and its bus) dies.
+  struct JournalRow {
+    std::uint64_t seq;
+    double time_s;
+    std::string source;
+    std::string topic;
+    std::string type_name;
+  };
   auto run_once = [] {
     platform::RunnerConfig cfg;
     cfg.n_uavs = 2;
@@ -411,17 +421,23 @@ TEST(Determinism, FaultPlanRunIsBitReproducible) {
     cfg.spoofing = platform::SpoofingEvent{"uav1", 40.0, 2.0};
     platform::MissionRunner runner(cfg);
     auto result = runner.run();
-    return std::make_pair(std::move(result), runner.world().bus().journal());
+    std::vector<JournalRow> rows;
+    for (const auto& e : runner.world().bus().journal()) {
+      rows.push_back({e.header.seq, e.header.time_s,
+                      std::string(e.header.source), std::string(e.header.topic),
+                      std::string(e.type_name)});
+    }
+    return std::make_pair(std::move(result), std::move(rows));
   };
   const auto [a, journal_a] = run_once();
   const auto [b, journal_b] = run_once();
 
   ASSERT_EQ(journal_a.size(), journal_b.size());
   for (std::size_t i = 0; i < journal_a.size(); ++i) {
-    EXPECT_EQ(journal_a[i].header.seq, journal_b[i].header.seq);
-    EXPECT_EQ(journal_a[i].header.time_s, journal_b[i].header.time_s);
-    EXPECT_EQ(journal_a[i].header.source, journal_b[i].header.source);
-    EXPECT_EQ(journal_a[i].header.topic, journal_b[i].header.topic);
+    EXPECT_EQ(journal_a[i].seq, journal_b[i].seq);
+    EXPECT_EQ(journal_a[i].time_s, journal_b[i].time_s);
+    EXPECT_EQ(journal_a[i].source, journal_b[i].source);
+    EXPECT_EQ(journal_a[i].topic, journal_b[i].topic);
     EXPECT_EQ(journal_a[i].type_name, journal_b[i].type_name);
   }
   ASSERT_EQ(a.series.size(), b.series.size());

@@ -350,3 +350,47 @@ TEST(EmbeddedDtmc, AbsorptionProbabilityMatchesCtmc) {
   EXPECT_NEAR(ctmc_split[c], jump_split[c], 1e-9);
   EXPECT_NEAR(jump_split[a], 0.25, 1e-12);
 }
+
+TEST(Ctmc, ScaledRatesMatchesRebuiltChain) {
+  mk::CtmcBuilder b;
+  const auto h = b.add_state("healthy");
+  const auto l = b.add_state("low");
+  const auto f = b.add_state("failed");
+  b.add_transition(h, l, 1.0 / 7200.0);
+  b.add_transition(l, f, 1.0 / 1800.0);
+  const mk::Ctmc base = b.build();
+
+  const double factor = 3.7;
+  const mk::Ctmc scaled = base.scaled_rates(factor);
+
+  mk::CtmcBuilder b2;
+  const auto h2 = b2.add_state("healthy");
+  const auto l2 = b2.add_state("low");
+  const auto f2 = b2.add_state("failed");
+  b2.add_transition(h2, l2, (1.0 / 7200.0) * factor);
+  b2.add_transition(l2, f2, (1.0 / 1800.0) * factor);
+  const mk::Ctmc rebuilt = b2.build();
+
+  // Bit-identical generators: (-r)*f == -(r*f) in IEEE arithmetic for the
+  // single-exit rows these models use.
+  for (std::size_t i = 0; i < 3; ++i) {
+    for (std::size_t j = 0; j < 3; ++j) {
+      EXPECT_EQ(scaled.generator()(i, j), rebuilt.generator()(i, j))
+          << "entry (" << i << "," << j << ")";
+    }
+  }
+  EXPECT_EQ(scaled.state_name(0), "healthy");
+
+  // Transient results follow bit-for-bit.
+  const std::vector<double> pi0{1.0, 0.0, 0.0};
+  const auto a = scaled.transient(pi0, 600.0);
+  const auto c = rebuilt.transient(pi0, 600.0);
+  for (std::size_t i = 0; i < 3; ++i) EXPECT_EQ(a[i], c[i]);
+}
+
+TEST(Ctmc, ScaledRatesRejectsNonPositiveFactor) {
+  const mk::Ctmc chain = simple_failure_chain(1e-3);
+  EXPECT_THROW(chain.scaled_rates(0.0), std::invalid_argument);
+  EXPECT_THROW(chain.scaled_rates(-1.0), std::invalid_argument);
+  EXPECT_NO_THROW(chain.scaled_rates(1.0));
+}

@@ -138,7 +138,7 @@ TEST(Bus, TapSeesAllTopics) {
   mw::Bus bus;
   std::vector<std::string> seen;
   auto tap = bus.add_tap([&](const mw::MessageHeader& h, const std::any&,
-                             std::type_index) { seen.push_back(h.topic); });
+                             std::type_index) { seen.emplace_back(h.topic); });
   bus.publish("a", 1, "n", 0.0);
   bus.publish("b", 2.0, "n", 0.0);
   ASSERT_EQ(seen.size(), 2u);
@@ -189,7 +189,7 @@ TEST(Bus, UnauthenticatedInjectionIsPossible) {
   auto sub = bus.subscribe<Telemetry>(
       "uav_1/position",
       [&](const mw::MessageHeader& h, const Telemetry&) {
-        sources.push_back(h.source);
+        sources.emplace_back(h.source);
       });
   bus.publish("uav_1/position", Telemetry{1, 35.0, 33.0}, "uav_1", 0.0);
   bus.publish("uav_1/position", Telemetry{1, 0.0, 0.0}, "attacker", 0.1);
@@ -644,8 +644,10 @@ TEST(FaultInjection, UnmatchedTrafficConsumesNoRandomness) {
     std::vector<bool> drops;
     for (int i = 0; i < 100; ++i) {
       if (with_chatter) {
+        // The header holds a view; the owning string must outlive decide().
+        const std::string noise_topic = "unwatched/" + std::to_string(i);
         mw::MessageHeader noise;
-        noise.topic = "unwatched/" + std::to_string(i);
+        noise.topic = noise_topic;
         injector.decide(noise);
       }
       mw::MessageHeader h;
@@ -782,4 +784,75 @@ TEST(Bus, ReusedBusStartsSecondRunClean) {
   bus.drain_delayed();
   ASSERT_EQ(run2_received.size(), 1u);
   EXPECT_EQ(run2_received[0], 22);  // run 2 traffic only
+}
+
+TEST(BusJournal, RingBufferKeepsNewestAndCountsDrops) {
+  mw::Bus bus;
+  bus.set_journal_capacity(4);
+  for (int i = 0; i < 10; ++i) {
+    bus.publish("t" + std::to_string(i), i, "src", static_cast<double>(i));
+  }
+  const auto entries = bus.journal();
+  ASSERT_EQ(entries.size(), 4u);
+  // The ring keeps the newest entries in publication order.
+  EXPECT_EQ(entries[0].header.topic, "t6");
+  EXPECT_EQ(entries[1].header.topic, "t7");
+  EXPECT_EQ(entries[2].header.topic, "t8");
+  EXPECT_EQ(entries[3].header.topic, "t9");
+  EXPECT_EQ(bus.journal_dropped(), 6u);
+}
+
+TEST(BusJournal, ClearResetsRingAndDropCounter) {
+  mw::Bus bus;
+  bus.set_journal_capacity(2);
+  for (int i = 0; i < 5; ++i) bus.publish("t", i, "src", 0.0);
+  EXPECT_EQ(bus.journal_dropped(), 3u);
+  bus.clear_journal();
+  EXPECT_TRUE(bus.journal().empty());
+  EXPECT_EQ(bus.journal_dropped(), 0u);
+  bus.publish("t", 9, "src", 1.0);
+  ASSERT_EQ(bus.journal().size(), 1u);
+  EXPECT_EQ(bus.journal_dropped(), 0u);
+}
+
+TEST(BusJournal, ShrinkingCapacityKeepsNewestEntries) {
+  mw::Bus bus;
+  for (int i = 0; i < 6; ++i) {
+    bus.publish("t" + std::to_string(i), i, "src", 0.0);
+  }
+  bus.set_journal_capacity(3);
+  const auto entries = bus.journal();
+  ASSERT_EQ(entries.size(), 3u);
+  EXPECT_EQ(entries[0].header.topic, "t3");
+  EXPECT_EQ(entries[2].header.topic, "t5");
+}
+
+TEST(Bus, DeliveryOrderSurvivesUnsubscribe) {
+  // The documented guarantee: subscribers receive messages in subscription
+  // order, and unsubscribing one must not reorder the survivors (ordered
+  // compaction, not swap-and-pop).
+  mw::Bus bus;
+  std::vector<std::string> order;
+  auto s1 = bus.subscribe<int>(
+      "t", [&](const mw::MessageHeader&, const int&) { order.push_back("s1"); });
+  auto s2 = bus.subscribe<int>(
+      "t", [&](const mw::MessageHeader&, const int&) { order.push_back("s2"); });
+  auto s3 = bus.subscribe<int>(
+      "t", [&](const mw::MessageHeader&, const int&) { order.push_back("s3"); });
+  auto s4 = bus.subscribe<int>(
+      "t", [&](const mw::MessageHeader&, const int&) { order.push_back("s4"); });
+  bus.publish("t", 0, "n", 0.0);
+  ASSERT_EQ(order, (std::vector<std::string>{"s1", "s2", "s3", "s4"}));
+
+  order.clear();
+  s2.reset();  // drop a middle subscriber
+  bus.publish("t", 1, "n", 1.0);
+  EXPECT_EQ(order, (std::vector<std::string>{"s1", "s3", "s4"}));
+
+  order.clear();
+  auto s5 = bus.subscribe<int>(
+      "t", [&](const mw::MessageHeader&, const int&) { order.push_back("s5"); });
+  bus.publish("t", 2, "n", 2.0);
+  // New subscriptions append after the survivors, in their original order.
+  EXPECT_EQ(order, (std::vector<std::string>{"s1", "s3", "s4", "s5"}));
 }

@@ -268,3 +268,79 @@ TEST(FleetReliability, MonotoneDecliningInMissionTime) {
     prev = r;
   }
 }
+
+TEST(BatteryModel, ChainAtMatchesDirectlyBuiltRates) {
+  // chain_at is now derived by scaling a base chain; the generator must be
+  // bit-identical to building with pre-scaled rates (the pre-optimisation
+  // construction).
+  const sd::BatteryModelConfig cfg;
+  const sd::BatteryModel model(cfg);
+  for (const double temp_c : {25.0, 40.0, 70.0, 10.0}) {
+    const double accel =
+        std::exp(cfg.temp_accel_per_c * (temp_c - cfg.reference_temp_c));
+    const auto chain = model.chain_at(temp_c);
+    EXPECT_EQ(chain.generator()(0, 1), cfg.rate_healthy_to_low * accel);
+    EXPECT_EQ(chain.generator()(0, 0), -(cfg.rate_healthy_to_low * accel));
+    EXPECT_EQ(chain.generator()(1, 2), cfg.rate_low_to_critical * accel);
+    EXPECT_EQ(chain.generator()(2, 3), cfg.rate_critical_to_failed * accel);
+  }
+}
+
+TEST(PropulsionModel, MemoisedFailureProbabilityIsStable) {
+  sd::PropulsionConfig cfg;
+  const sd::PropulsionModel model(cfg);
+  const double first = model.failure_probability(600.0, 0);
+  // Memo hit: same arguments, same result.
+  EXPECT_EQ(model.failure_probability(600.0, 0), first);
+  // Different arguments still recompute correctly.
+  const double later = model.failure_probability(1200.0, 0);
+  EXPECT_GT(later, first);
+  const double degraded = model.failure_probability(600.0, 1);
+  EXPECT_GT(degraded, first);
+  // And the original pair evaluates identically after evictions.
+  EXPECT_EQ(model.failure_probability(600.0, 0), first);
+}
+
+TEST(BatteryRuntimeTracker, CachedChainMatchesFreshTracker) {
+  // Two trackers fed the same temperature trajectory must agree exactly;
+  // one sees a constant-temperature stretch (cache hits), the other is
+  // rebuilt fresh each segment.
+  sd::BatteryRuntimeTracker warm;
+  sd::BatteryRuntimeTracker reference;
+  for (int i = 0; i < 50; ++i) {
+    warm.advance(1.0, 25.0);
+    reference.advance(1.0, 25.0);
+  }
+  for (int i = 0; i < 50; ++i) {
+    warm.advance(1.0, 70.0);  // thermal fault: cache must invalidate
+    reference.advance(1.0, 70.0);
+  }
+  ASSERT_EQ(warm.distribution().size(), reference.distribution().size());
+  for (std::size_t i = 0; i < warm.distribution().size(); ++i) {
+    EXPECT_EQ(warm.distribution()[i], reference.distribution()[i]);
+  }
+  EXPECT_GT(warm.failure_probability(), 0.0);
+}
+
+TEST(ReliabilityMonitor, EvaluateProspectiveDropsOnlyBatteryTerm) {
+  const sd::ReliabilityMonitor monitor;
+  sd::TelemetrySnapshot telemetry;
+  telemetry.battery_soc = 0.9;
+  telemetry.battery_temp_c = 30.0;
+  telemetry.processor_temp_c = 45.0;
+
+  const auto full = monitor.evaluate(telemetry, 600.0);
+  const auto prospective = monitor.evaluate_prospective(telemetry, 600.0);
+  EXPECT_EQ(prospective.p_propulsion, full.p_propulsion);
+  EXPECT_EQ(prospective.p_processor, full.p_processor);
+  EXPECT_EQ(prospective.p_comms, full.p_comms);
+  EXPECT_EQ(prospective.p_battery, 0.0);
+
+  // Composing the battery term back reproduces evaluate() exactly — the
+  // identity UavEddi::tick relies on.
+  const auto recomposed =
+      monitor.compose(prospective.p_propulsion, full.p_battery,
+                      prospective.p_processor, prospective.p_comms);
+  EXPECT_EQ(recomposed.probability_of_failure, full.probability_of_failure);
+  EXPECT_EQ(recomposed.level, full.level);
+}

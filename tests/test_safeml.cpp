@@ -1,6 +1,7 @@
 // Tests for SafeML: distance measures against hand-computed values and
 // statistical properties, permutation testing, and the sliding-window
 // monitor's confidence mapping.
+#include <algorithm>
 #include <cmath>
 
 #include <gtest/gtest.h>
@@ -395,4 +396,31 @@ TEST(DriftDetector, TransientBlipDoesNotAlarm) {
   for (int i = 0; i < 50; ++i) detector.push(0.05);
   EXPECT_FALSE(detector.alarmed());
   EXPECT_LT(detector.statistic(), 0.2);
+}
+
+TEST(Distances, SortedVariantMatchesUnsortedForAllMeasures) {
+  mx::Rng rng(1234);
+  std::vector<double> a, b;
+  for (int i = 0; i < 200; ++i) a.push_back(rng.normal(0.0, 1.0));
+  for (int i = 0; i < 150; ++i) b.push_back(rng.normal(0.4, 1.3));
+
+  std::vector<double> a_sorted = a, b_sorted = b;
+  std::sort(a_sorted.begin(), a_sorted.end());
+  std::sort(b_sorted.begin(), b_sorted.end());
+
+  for (const auto m : sml::all_measures()) {
+    EXPECT_EQ(sml::distance(m, a, b),
+              sml::distance_sorted(m, a_sorted, b_sorted))
+        << sml::measure_name(m);
+  }
+}
+
+TEST(Distances, SortedVariantRejectsEmptySamples) {
+  const std::vector<double> some{1.0, 2.0};
+  EXPECT_THROW(
+      sml::distance_sorted(sml::Measure::kKolmogorovSmirnov, {}, some),
+      std::invalid_argument);
+  EXPECT_THROW(
+      sml::distance_sorted(sml::Measure::kKolmogorovSmirnov, some, {}),
+      std::invalid_argument);
 }

@@ -266,3 +266,32 @@ TEST(RiskFilter, SmoothsModelDrivenAltitudeTransition) {
   // Escalation happened in at most two steps (Proceed->Rescan->Descend).
   EXPECT_LE(filter.transitions() - flaps_before, 2u);
 }
+
+TEST(SarRiskModel, MemoisedAssessIsStableAndComplete) {
+  const sn::SarRiskModel model;
+  sn::SituationEvidence nominal;
+  nominal.altitude = sn::AltitudeBand::kLow;
+  nominal.visibility = sn::Visibility::kGood;
+  nominal.density = sn::PersonDensity::kSparse;
+  nominal.safeml = sn::PerceptionConfidence::kHigh;
+  nominal.deepknowledge = sn::PerceptionConfidence::kHigh;
+
+  const auto first = model.assess(nominal);
+  // Memo hit must replay the identical assessment.
+  const auto again = model.assess(nominal);
+  EXPECT_EQ(again.p_missed_person, first.p_missed_person);
+  EXPECT_EQ(again.criticality, first.criticality);
+  EXPECT_EQ(again.recommendation, first.recommendation);
+
+  // A different evidence combination is keyed separately.
+  sn::SituationEvidence worst = nominal;
+  worst.altitude = sn::AltitudeBand::kHigh;
+  worst.visibility = sn::Visibility::kPoor;
+  worst.density = sn::PersonDensity::kDense;
+  worst.safeml = sn::PerceptionConfidence::kLow;
+  worst.deepknowledge = sn::PerceptionConfidence::kLow;
+  const auto bad = model.assess(worst);
+  EXPECT_GT(bad.criticality, first.criticality);
+  // And the first key still replays unchanged afterwards.
+  EXPECT_EQ(model.assess(nominal).criticality, first.criticality);
+}

@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""Gate benchmark throughput against a committed baseline.
+
+Compares `items_per_second` for selected benchmarks between a fresh
+`--json` bench report and the committed baseline (BENCH_*.json). Fails
+(exit 1) when a gated benchmark's throughput drops by more than the
+allowed fraction; improvements and small wobble pass. Benchmarks present
+in only one of the two files are reported but never fatal, so adding or
+renaming a bench does not brick CI before the baseline is refreshed.
+
+Usage:
+  check_bench_regression.py --baseline BENCH_bus_publish.json \
+      --current bus.json --gate BM_BusPublishSteadyState \
+      [--gate NAME ...] [--max-regression 0.20]
+
+The committed baseline carries `before`/`after` sections (the optimisation
+record); a plain bench report is also accepted. The `after` section is
+what CI gates against.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_results(path):
+    """Returns {benchmark name: items_per_second} from a bench JSON file.
+
+    Accepts either a raw bench report ({"benchmarks": [...]}) or the
+    committed baseline shape ({"after": {"benchmarks": [...]}, ...}).
+    """
+    with open(path) as f:
+        doc = json.load(f)
+    if "after" in doc and "benchmarks" in doc.get("after", {}):
+        doc = doc["after"]
+    if "benchmarks" not in doc:
+        raise SystemExit(f"{path}: no 'benchmarks' array (not a bench report?)")
+    out = {}
+    for b in doc["benchmarks"]:
+        if "items_per_second" in b:
+            out[b["name"]] = float(b["items_per_second"])
+    return out
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--baseline", required=True)
+    ap.add_argument("--current", required=True)
+    ap.add_argument("--gate", action="append", default=[],
+                    help="benchmark name to gate (repeatable); default: all "
+                         "benchmarks present in both files")
+    ap.add_argument("--max-regression", type=float, default=0.20,
+                    help="fatal fractional throughput drop (default 0.20)")
+    args = ap.parse_args()
+
+    baseline = load_results(args.baseline)
+    current = load_results(args.current)
+    gates = args.gate or sorted(set(baseline) & set(current))
+
+    failed = False
+    for name in gates:
+        if name not in baseline:
+            print(f"  SKIP {name}: not in baseline (refresh {args.baseline})")
+            continue
+        if name not in current:
+            print(f"  SKIP {name}: not in current report")
+            continue
+        base, cur = baseline[name], current[name]
+        ratio = cur / base
+        verdict = "ok"
+        if ratio < 1.0 - args.max_regression:
+            verdict = "REGRESSION"
+            failed = True
+        print(f"  {verdict:>10}  {name}: {cur:,.0f} vs baseline {base:,.0f} "
+              f"items/s ({ratio:.2f}x)")
+
+    if failed:
+        print(f"FAIL: throughput dropped more than "
+              f"{args.max_regression:.0%} vs {args.baseline}")
+        return 1
+    print("bench regression gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
