@@ -9,19 +9,26 @@
 //                [--max-time S] [--baseline]
 //                [--battery-fault UAV:T] [--spoof UAV:T]
 //                [--fault-plan FILE] [--link-loss]
+//                [--chaos] [--fail-on-violation]
 //                [--json FILE] [--csv PREFIX] [--no-metrics]
 //
 // --preset picks a paper scenario (nominal | battery_fault | spoofing |
-//   spoofing_lossy | baseline); later flags override it. --config loads a
-//   scenario_cli JSON file instead (mutually composable: preset, then
-//   config, then flags).
+//   spoofing_lossy | baseline | chaos); later flags override it. --config
+//   loads a scenario_cli JSON file instead (mutually composable: preset,
+//   then config, then flags).
 // --jobs 0 uses one worker per hardware thread. Campaign results are
 //   bit-identical for any --jobs value (docs/CAMPAIGN.md: determinism).
+// --chaos gives every run a seed-derived random vehicle-failure schedule
+//   (motor loss, sensor dropout, battery fault, comms blackout, hard
+//   crash) with the recovery subsystem active (docs/ROBUSTNESS.md).
+// --fail-on-violation exits 3 when any run reports a safety-invariant
+//   violation (the chaos-stress CI gate).
 // --json / --csv write the campaign report (schema in docs/CAMPAIGN.md).
 //
 // Examples:
 //   campaign_cli --preset spoofing --runs 200 --jobs 0 --json camp.json
 //   campaign_cli --preset battery_fault --runs 100 --link-loss --csv out
+//   campaign_cli --chaos --runs 32 --jobs 0 --fail-on-violation
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -56,12 +63,16 @@ int main(int argc, char** argv) {
   campaign_config.seed = 1;
   std::string json_path;
   std::string csv_prefix;
+  bool chaos = false;
+  bool fail_on_violation = false;
 
   // First pass: --preset / --config shape the scenario before overrides.
   for (int i = 1; i + 1 < argc; ++i) {
     if (std::strcmp(argv[i], "--preset") == 0) {
       try {
-        scenario = campaign::ScenarioFactory::preset(argv[i + 1]).base();
+        const auto preset = campaign::ScenarioFactory::preset(argv[i + 1]);
+        scenario = preset.base();
+        if (preset.chaos_enabled()) chaos = true;
       } catch (const std::exception& e) {
         std::fprintf(stderr, "--preset: %s\n", e.what());
         return 2;
@@ -120,6 +131,10 @@ int main(int argc, char** argv) {
       }
     } else if (std::strcmp(argv[i], "--link-loss") == 0) {
       scenario.lossy_links = true;
+    } else if (std::strcmp(argv[i], "--chaos") == 0) {
+      chaos = true;
+    } else if (std::strcmp(argv[i], "--fail-on-violation") == 0) {
+      fail_on_violation = true;
     } else if (std::strcmp(argv[i], "--json") == 0) {
       json_path = need_value("--json");
     } else if (std::strcmp(argv[i], "--csv") == 0) {
@@ -136,7 +151,8 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  const campaign::ScenarioFactory factory(scenario);
+  campaign::ScenarioFactory factory(scenario);
+  if (chaos) factory.enable_chaos();
   campaign::CampaignResult result;
   try {
     result = campaign::run_campaign(factory, campaign_config);
@@ -173,6 +189,14 @@ int main(int argc, char** argv) {
   if (!csv_prefix.empty()) {
     std::printf("wrote %s_runs.csv and %s_summary.csv\n", csv_prefix.c_str(),
                 csv_prefix.c_str());
+  }
+
+  std::size_t violations = 0;
+  for (const auto& o : result.outcomes) violations += o.invariant_violations;
+  if (violations > 0) {
+    std::fprintf(stderr, "safety-invariant violations: %zu across %zu runs\n",
+                 violations, result.runs);
+    if (fail_on_violation) return 3;
   }
   return 0;
 }

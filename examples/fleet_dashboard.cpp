@@ -9,6 +9,7 @@
 
 #include "sesame/eddi/consert_ode.hpp"
 #include "sesame/obs/observability.hpp"
+#include "sesame/obs/sinks.hpp"
 #include "sesame/platform/database.hpp"
 #include "sesame/platform/gcs.hpp"
 #include "sesame/platform/mission_runner.hpp"
@@ -22,12 +23,25 @@ int main() {
   config.n_persons = 5;
   config.max_time_s = 900.0;
   config.battery_fault = platform::BatteryFaultEvent{"uav3", 120.0, 0.40, 70.0};
+  // Fleet robustness demo (docs/ROBUSTNESS.md): uav2 is destroyed
+  // mid-mission; the recovery subsystem writes it off and re-plans its
+  // coverage onto the survivors.
+  sim::FailureSchedule schedule;
+  sim::FailureEvent crash;
+  crash.uav = "uav2";
+  crash.mode = sim::FailureMode::kHardCrash;
+  crash.time_s = 60.0;
+  schedule.events.push_back(crash);
+  config.failure_schedule = schedule;
+  config.recovery_enabled = true;
 
   platform::MissionRunner runner(config);
 
   // Runtime telemetry about the platform itself: per-topic bus counters,
   // step-duration histogram, ConSert evaluation count (docs/OBSERVABILITY.md).
   obs::Observability o;
+  obs::MemorySink trace;
+  o.tracer.set_sink(&trace);
   runner.attach_observability(o);
 
   // The dashboard's data source: a GCS-side database fed over the bus,
@@ -90,6 +104,39 @@ int main() {
   }
   std::printf("\n area coverage: %.1f %% of the mission area imaged\n",
               100.0 * result.area_coverage);
+
+  // Fleet recovery: the escalation trail for the crashed vehicle and the
+  // safety-invariant verdict (docs/ROBUSTNESS.md).
+  std::printf("\n fleet recovery:\n");
+  std::printf("   lost vehicles: ");
+  if (result.uavs_lost.empty()) {
+    std::printf("none");
+  } else {
+    for (const auto& name : result.uavs_lost) std::printf("%s ", name.c_str());
+  }
+  std::printf("\n   time to detect loss : %.1f s after the crash\n",
+              result.time_to_detect_loss_s);
+  std::printf("   time to re-plan     : %.1f s after the crash\n",
+              result.time_to_replan_s);
+  std::printf("   pings %zu | demotions %zu | RTH %zu | re-plans %zu | "
+              "waypoints moved %zu\n",
+              result.recovery_pings, result.recovery_demotions,
+              result.recovery_rth_commands, result.recovery_replans,
+              result.waypoints_redistributed);
+  for (const char* name : {"sesame.recovery.ping", "sesame.recovery.demote",
+                           "sesame.recovery.rth_commanded",
+                           "sesame.recovery.replan",
+                           "sesame.recovery.uav_lost"}) {
+    for (const auto& ev : trace.named(name)) {
+      std::string attrs;
+      for (const auto& [key, value] : ev.attributes) {
+        attrs += " " + key + "=" + value;
+      }
+      std::printf("   event %-28s%s\n", name + 7, attrs.c_str());
+    }
+  }
+  std::printf("   safety invariants   : %zu violation(s)\n",
+              result.invariant_violations.size());
 
   // Observability: what a Prometheus scrape of this run would show.
   double publishes = 0.0;

@@ -78,6 +78,25 @@ const MetricSpec kMetricSpecs[] = {
        return static_cast<double>(o.rejected_publications);
      },
      always},
+    {"uavs_lost",
+     [](const RunOutcome& o) { return static_cast<double>(o.uavs_lost); },
+     always},
+    {"invariant_violations",
+     [](const RunOutcome& o) {
+       return static_cast<double>(o.invariant_violations);
+     },
+     always},
+    {"recovery_replans",
+     [](const RunOutcome& o) {
+       return static_cast<double>(o.recovery_replans);
+     },
+     always},
+    {"time_to_detect_loss_s",
+     [](const RunOutcome& o) { return o.time_to_detect_loss_s; },
+     [](const RunOutcome& o) { return o.time_to_detect_loss_s >= 0.0; }},
+    {"time_to_replan_s",
+     [](const RunOutcome& o) { return o.time_to_replan_s; },
+     [](const RunOutcome& o) { return o.time_to_replan_s >= 0.0; }},
 };
 
 }  // namespace
@@ -117,6 +136,14 @@ RunOutcome extract_outcome(std::uint64_t run_index, std::uint64_t seed,
   }
   o.waypoints_redistributed = result.waypoints_redistributed;
   o.descended = result.descended;
+  o.uavs_lost = result.uavs_lost.size();
+  o.invariant_violations = result.invariant_violations.size();
+  o.recovery_pings = result.recovery_pings;
+  o.recovery_demotions = result.recovery_demotions;
+  o.recovery_rth_commands = result.recovery_rth_commands;
+  o.recovery_replans = result.recovery_replans;
+  o.time_to_detect_loss_s = result.time_to_detect_loss_s;
+  o.time_to_replan_s = result.time_to_replan_s;
   o.final_decision = conserts::mission_decision_name(result.final_decision);
   o.faults_dropped = bus.faults_dropped();
   o.faults_delayed = bus.faults_delayed();

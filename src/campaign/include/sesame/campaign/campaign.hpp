@@ -70,6 +70,18 @@ struct RunOutcome {
   bool descended = false;
   std::string final_decision;
 
+  // Recovery-subsystem outcomes (all zero / -1 when recovery is off).
+  std::size_t uavs_lost = 0;
+  std::size_t invariant_violations = 0;  ///< must be 0 in a healthy build
+  std::size_t recovery_pings = 0;
+  std::size_t recovery_demotions = 0;
+  std::size_t recovery_rth_commands = 0;
+  std::size_t recovery_replans = 0;
+  /// Silence onset -> recovery escalation start; -1 when no loss happened.
+  double time_to_detect_loss_s = -1.0;
+  /// Silence onset -> first coverage re-plan; -1 when none happened.
+  double time_to_replan_s = -1.0;
+
   // Bus / fault counters for the alert-and-fault roll-up.
   std::uint64_t faults_dropped = 0;
   std::uint64_t faults_delayed = 0;

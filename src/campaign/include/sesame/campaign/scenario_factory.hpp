@@ -46,6 +46,8 @@ class ScenarioFactory {
   ///  - "spoofing":       Fig. 6/7 GPS spoofing of uav1 from t=60 s
   ///  - "spoofing_lossy": spoofing under the distance-dependent C2 radio
   ///  - "baseline":       nominal with SESAME disabled (naive firmware)
+  ///  - "chaos":          nominal + per-run randomized vehicle failures
+  ///                      with the recovery subsystem active
   /// Throws std::invalid_argument for an unknown name.
   static ScenarioFactory preset(const std::string& name);
   static const std::vector<std::string>& preset_names();
@@ -53,7 +55,19 @@ class ScenarioFactory {
   const platform::RunnerConfig& base() const noexcept { return base_; }
   platform::RunnerConfig& base() noexcept { return base_; }
 
-  /// The base configuration with the run's derived seed applied.
+  /// Chaos mode: every run gets its own seed-derived sim::FailureSchedule
+  /// (drawn from `profile`) and runs with recovery enabled. The schedule
+  /// seed is a pure function of (campaign seed, run index) — independent
+  /// of the world seed stream — so chaos campaigns keep the byte-identical
+  /// any-`--jobs` determinism contract.
+  void enable_chaos(const sim::ChaosProfile& profile = {});
+  bool chaos_enabled() const noexcept { return chaos_; }
+  const sim::ChaosProfile& chaos_profile() const noexcept {
+    return chaos_profile_;
+  }
+
+  /// The base configuration with the run's derived seed applied (and, in
+  /// chaos mode, the run's generated failure schedule).
   platform::RunnerConfig config_for_run(std::uint64_t campaign_seed,
                                         std::uint64_t run_index) const;
 
@@ -66,6 +80,8 @@ class ScenarioFactory {
 
  private:
   platform::RunnerConfig base_;
+  bool chaos_ = false;
+  sim::ChaosProfile chaos_profile_;
 };
 
 }  // namespace sesame::campaign

@@ -55,6 +55,14 @@ Value outcome_to_json(const RunOutcome& o) {
   run["faults_duplicated"] = static_cast<std::size_t>(o.faults_duplicated);
   run["rejected_publications"] =
       static_cast<std::size_t>(o.rejected_publications);
+  run["uavs_lost"] = o.uavs_lost;
+  run["invariant_violations"] = o.invariant_violations;
+  run["recovery_pings"] = o.recovery_pings;
+  run["recovery_demotions"] = o.recovery_demotions;
+  run["recovery_rth_commands"] = o.recovery_rth_commands;
+  run["recovery_replans"] = o.recovery_replans;
+  run["time_to_detect_loss_s"] = o.time_to_detect_loss_s;
+  run["time_to_replan_s"] = o.time_to_replan_s;
   return Value(std::move(run));
 }
 
@@ -117,7 +125,10 @@ void write_campaign_json(const CampaignResult& result, std::ostream& out) {
   Value::Object doc;
   {
     Value::Object campaign;
-    campaign["schema"] = "sesame.campaign.report/1";
+    // /2 adds the recovery and invariant columns (uavs_lost,
+    // invariant_violations, recovery_*, time_to_detect_loss_s,
+    // time_to_replan_s); /1 readers ignore unknown keys.
+    campaign["schema"] = "sesame.campaign.report/2";
     campaign["seed"] = std::to_string(result.seed);
     campaign["runs"] = result.runs;
     doc["campaign"] = Value(std::move(campaign));
@@ -154,7 +165,10 @@ void write_runs_csv(const CampaignResult& result, std::ostream& out) {
          "availability,area_coverage,persons_found,persons_total,min_soc,"
          "soc_at_rth,attack_detected,attack_detection_latency_s,"
          "waypoints_redistributed,descended,final_decision,faults_dropped,"
-         "faults_delayed,faults_duplicated,rejected_publications\n";
+         "faults_delayed,faults_duplicated,rejected_publications,"
+         "uavs_lost,invariant_violations,recovery_pings,recovery_demotions,"
+         "recovery_rth_commands,recovery_replans,time_to_detect_loss_s,"
+         "time_to_replan_s\n";
   for (const auto& o : result.outcomes) {
     out << o.run_index << ',' << o.seed << ',' << (o.mission_complete ? 1 : 0)
         << ',' << fmt_double(o.mission_complete_time_s) << ','
@@ -166,7 +180,11 @@ void write_runs_csv(const CampaignResult& result, std::ostream& out) {
         << o.waypoints_redistributed << ',' << (o.descended ? 1 : 0) << ','
         << o.final_decision << ',' << o.faults_dropped << ','
         << o.faults_delayed << ',' << o.faults_duplicated << ','
-        << o.rejected_publications << '\n';
+        << o.rejected_publications << ',' << o.uavs_lost << ','
+        << o.invariant_violations << ',' << o.recovery_pings << ','
+        << o.recovery_demotions << ',' << o.recovery_rth_commands << ','
+        << o.recovery_replans << ',' << fmt_double(o.time_to_detect_loss_s)
+        << ',' << fmt_double(o.time_to_replan_s) << '\n';
   }
 }
 

@@ -42,6 +42,10 @@ ScenarioFactory ScenarioFactory::preset(const std::string& name) {
     config.lossy_links = true;
   } else if (name == "baseline") {
     config.sesame_enabled = false;
+  } else if (name == "chaos") {
+    ScenarioFactory factory(std::move(config));
+    factory.enable_chaos();
+    return factory;
   } else {
     throw std::invalid_argument("ScenarioFactory: unknown preset '" + name +
                                 "'");
@@ -50,15 +54,40 @@ ScenarioFactory ScenarioFactory::preset(const std::string& name) {
 }
 
 const std::vector<std::string>& ScenarioFactory::preset_names() {
-  static const std::vector<std::string> names{
-      "nominal", "battery_fault", "spoofing", "spoofing_lossy", "baseline"};
+  static const std::vector<std::string> names{"nominal",        "battery_fault",
+                                              "spoofing",       "spoofing_lossy",
+                                              "baseline",       "chaos"};
   return names;
 }
+
+void ScenarioFactory::enable_chaos(const sim::ChaosProfile& profile) {
+  chaos_ = true;
+  chaos_profile_ = profile;
+  base_.recovery_enabled = true;
+}
+
+namespace {
+// Decouples the chaos-schedule stream from the world-seed stream: without
+// the salt, run i's schedule would be drawn from the same seed that drives
+// the world RNG, correlating the fault draw with the flight noise.
+constexpr std::uint64_t kChaosSalt = 0xC4A05C4A05C4A05CULL;
+}  // namespace
 
 platform::RunnerConfig ScenarioFactory::config_for_run(
     std::uint64_t campaign_seed, std::uint64_t run_index) const {
   platform::RunnerConfig config = base_;
   config.seed = derive_run_seed(campaign_seed, run_index);
+  if (chaos_) {
+    std::vector<std::string> names;
+    names.reserve(config.n_uavs);
+    for (std::size_t i = 0; i < config.n_uavs; ++i) {
+      names.push_back("uav" + std::to_string(i + 1));  // MissionRunner naming
+    }
+    config.failure_schedule = sim::FailureSchedule::chaos(
+        derive_run_seed(campaign_seed ^ kChaosSalt, run_index), names,
+        chaos_profile_);
+    config.recovery_enabled = true;
+  }
   return config;
 }
 

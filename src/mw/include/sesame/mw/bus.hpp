@@ -284,6 +284,7 @@ class Bus {
       if (ti != nullptr) ti->delayed->inc();
       Delayed d;
       d.steps_left = fd.delay_steps;
+      d.source = source;
       d.deliver = [topic, h, payload, copies](Bus& bus) {
         for (std::size_t i = 0; i < copies; ++i) {
           bus.deliver_now(topic, h, payload);
@@ -366,6 +367,23 @@ class Bus {
     const std::size_t n = delayed_.size();
     delayed_.clear();
     return n;
+  }
+
+  /// Discards only the pending delayed deliveries published by `source`
+  /// (mid-run vehicle removal: a crashed UAV's queued messages must not
+  /// deliver after it is declared lost). Other publishers' in-flight
+  /// messages keep their relative order. Returns how many were dropped.
+  std::size_t clear_delayed(SourceId source) noexcept {
+    std::size_t dropped = 0;
+    for (std::size_t i = 0; i < delayed_.size();) {
+      if (delayed_[i].source == source) {
+        delayed_.erase(delayed_.begin() + static_cast<std::ptrdiff_t>(i));
+        ++dropped;
+      } else {
+        ++i;
+      }
+    }
+    return dropped;
   }
 
   /// Number of live subscribers on a topic.
@@ -460,9 +478,12 @@ class Bus {
   };
 
   /// A message held back by a fault policy; `deliver` re-runs the fan-out
-  /// against the subscribers present at drain time.
+  /// against the subscribers present at drain time. `source` identifies the
+  /// publisher so a removed vehicle's in-flight traffic can be drained
+  /// without touching anyone else's (clear_delayed(SourceId)).
   struct Delayed {
     std::size_t steps_left = 0;
+    SourceId source;
     std::function<void(Bus&)> deliver;
   };
 

@@ -24,7 +24,41 @@ eddi::ode::Value config_to_json(const RunnerConfig& config) {
   doc["descend_patience"] = config.descend_patience;
   doc["lossy_links"] = config.lossy_links;
   doc["telemetry_staleness_window_s"] = config.telemetry_staleness_window_s;
+  doc["recovery_enabled"] = config.recovery_enabled;
+  doc["health_heartbeat_period_s"] = config.health_heartbeat_period_s;
   doc["seed"] = static_cast<double>(config.seed);
+
+  ode::Value recovery;
+  recovery["staleness_window_s"] = config.recovery.staleness_window_s;
+  recovery["ping_timeout_s"] = config.recovery.ping_timeout_s;
+  recovery["max_pings"] = static_cast<double>(config.recovery.max_pings);
+  recovery["ping_backoff"] = config.recovery.ping_backoff;
+  recovery["demote_grace_s"] = config.recovery.demote_grace_s;
+  recovery["rth_timeout_s"] = config.recovery.rth_timeout_s;
+  recovery["min_soc_rtb"] = config.recovery.min_soc_rtb;
+  doc["recovery"] = recovery;
+
+  ode::Value invariants;
+  invariants["min_soc_floor"] = config.invariants.min_soc_floor;
+  invariants["max_evidence_age_s"] = config.invariants.max_evidence_age_s;
+  doc["invariants"] = invariants;
+
+  if (config.failure_schedule) {
+    ode::Value events{ode::Value::Array{}};
+    for (const auto& e : config.failure_schedule->events) {
+      ode::Value ev;
+      ev["uav"] = e.uav;
+      ev["mode"] = std::string(sim::failure_mode_name(e.mode));
+      ev["time_s"] = e.time_s;
+      ev["duration_s"] = e.duration_s;
+      ev["soc_after"] = e.soc_after;
+      ev["temp_c"] = e.temp_c;
+      events.push_back(ev);
+    }
+    ode::Value schedule;
+    schedule["events"] = events;
+    doc["failure_schedule"] = schedule;
+  }
 
   ode::Value comm_link;
   comm_link["nominal_range_m"] = config.comm_link.nominal_range_m;
@@ -147,6 +181,55 @@ RunnerConfig config_from_json(const eddi::ode::Value& doc) {
     } else if (key == "telemetry_staleness_window_s") {
       config.telemetry_staleness_window_s =
           number(value, "telemetry_staleness_window_s");
+    } else if (key == "recovery_enabled") {
+      if (!value.is_bool()) {
+        throw std::invalid_argument("config_from_json: recovery_enabled bool");
+      }
+      config.recovery_enabled = value.as_bool();
+    } else if (key == "health_heartbeat_period_s") {
+      config.health_heartbeat_period_s =
+          number(value, "health_heartbeat_period_s");
+    } else if (key == "recovery") {
+      for (const auto& [rkey, rvalue] : value.as_object()) {
+        if (rkey == "staleness_window_s") config.recovery.staleness_window_s = number(rvalue, rkey.c_str());
+        else if (rkey == "ping_timeout_s") config.recovery.ping_timeout_s = number(rvalue, rkey.c_str());
+        else if (rkey == "max_pings") config.recovery.max_pings = static_cast<std::size_t>(number(rvalue, rkey.c_str()));
+        else if (rkey == "ping_backoff") config.recovery.ping_backoff = number(rvalue, rkey.c_str());
+        else if (rkey == "demote_grace_s") config.recovery.demote_grace_s = number(rvalue, rkey.c_str());
+        else if (rkey == "rth_timeout_s") config.recovery.rth_timeout_s = number(rvalue, rkey.c_str());
+        else if (rkey == "min_soc_rtb") config.recovery.min_soc_rtb = number(rvalue, rkey.c_str());
+        else unknown_key("recovery", rkey);
+      }
+    } else if (key == "invariants") {
+      for (const auto& [ikey, ivalue] : value.as_object()) {
+        if (ikey == "min_soc_floor") config.invariants.min_soc_floor = number(ivalue, ikey.c_str());
+        else if (ikey == "max_evidence_age_s") config.invariants.max_evidence_age_s = number(ivalue, ikey.c_str());
+        else unknown_key("invariants", ikey);
+      }
+    } else if (key == "failure_schedule") {
+      sim::FailureSchedule schedule;
+      for (const auto& [skey, svalue] : value.as_object()) {
+        if (skey == "events") {
+          if (!svalue.is_array()) {
+            throw std::invalid_argument(
+                "config_from_json: failure_schedule.events array");
+          }
+          for (const auto& evalue : svalue.as_array()) {
+            sim::FailureEvent ev;
+            for (const auto& [ekey, evv] : evalue.as_object()) {
+              if (ekey == "uav") ev.uav = evv.as_string();
+              else if (ekey == "mode") ev.mode = sim::failure_mode_from_name(evv.as_string());
+              else if (ekey == "time_s") ev.time_s = number(evv, ekey.c_str());
+              else if (ekey == "duration_s") ev.duration_s = number(evv, ekey.c_str());
+              else if (ekey == "soc_after") ev.soc_after = number(evv, ekey.c_str());
+              else if (ekey == "temp_c") ev.temp_c = number(evv, ekey.c_str());
+              else unknown_key("failure_schedule event", ekey);
+            }
+            schedule.events.push_back(std::move(ev));
+          }
+        } else unknown_key("failure_schedule", skey);
+      }
+      config.failure_schedule = std::move(schedule);
     } else if (key == "seed") {
       config.seed = static_cast<std::uint64_t>(number(value, "seed"));
     } else if (key == "comm_link") {

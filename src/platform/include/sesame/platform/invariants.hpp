@@ -1,0 +1,91 @@
+// Per-step safety invariants (docs/ROBUSTNESS.md).
+//
+// A small tripwire library: MissionRunner calls one check per invariant
+// per tick, each check receives exactly the facts it judges, and any
+// violated invariant is recorded (and exported as a structured obs event
+// plus a labelled counter). The checks assert properties the platform is
+// *supposed* to uphold by construction — a violation means a regression in
+// the recovery/re-planning logic, not a simulated failure:
+//
+//   lost_uav_serving  — no waypoint is served by a declared-lost vehicle
+//   min_soc_floor     — no vehicle serves the mission below the SoC floor
+//   blind_detection   — no detection comes from an unhealthy/crashed sensor
+//   stale_evidence    — no ConSert demand is satisfied by stale comm evidence
+//
+// The checker draws no randomness and publishes nothing, so enabling it
+// never perturbs a run.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "sesame/obs/observability.hpp"
+#include "sesame/sim/uav.hpp"
+
+namespace sesame::platform {
+
+struct InvariantConfig {
+  /// Minimum state of charge a vehicle may serve the mission at. Below it
+  /// the vehicle must be heading home or landing (which are the *response*
+  /// and therefore exempt).
+  double min_soc_floor = 0.05;
+  /// ConSert comm evidence older than this must not satisfy a demand.
+  double max_evidence_age_s = 10.0;
+};
+
+struct InvariantViolation {
+  std::string invariant;  ///< one of the four names above
+  std::string uav;
+  double time_s = 0.0;
+  std::string detail;
+};
+
+class InvariantChecker {
+ public:
+  explicit InvariantChecker(InvariantConfig config = {});
+
+  /// Attaches (nullptr: detaches) observability: violations increment
+  /// `sesame.platform.invariant_violations_total{invariant}` and emit a
+  /// `sesame.invariant.violation` trace event.
+  void attach_observability(obs::Observability* o);
+
+  /// A declared-lost vehicle must not carry mission tasks: it may not be
+  /// listed as mission-active and may not be flying the mission.
+  void check_lost_uav_inactive(double now_s, const std::string& uav,
+                               bool declared_lost, sim::FlightMode mode,
+                               bool mission_active);
+
+  /// A vehicle serving the mission (Takeoff/Mission/Hold) must be above
+  /// the SoC floor; heading home or landing is exempt.
+  void check_min_soc(double now_s, const std::string& uav, double soc,
+                     sim::FlightMode mode);
+
+  /// A vehicle credited with this tick's detections must have a healthy
+  /// vision sensor and must not be a wreck.
+  void check_detection_source(double now_s, const std::string& uav,
+                              bool vision_healthy, sim::FlightMode mode);
+
+  /// Comm-link evidence handed to the ConSert network must be fresh: it
+  /// must not claim a good link when no telemetry has arrived for longer
+  /// than max_evidence_age_s.
+  void check_evidence_fresh(double now_s, const std::string& uav,
+                            bool comm_evidence_good, double staleness_s);
+
+  const std::vector<InvariantViolation>& violations() const noexcept {
+    return violations_;
+  }
+  std::size_t total() const noexcept { return violations_.size(); }
+
+  const InvariantConfig& config() const noexcept { return config_; }
+
+ private:
+  void record(const char* invariant, const std::string& uav, double now_s,
+              std::string detail);
+
+  InvariantConfig config_;
+  std::vector<InvariantViolation> violations_;
+  obs::Observability* obs_ = nullptr;
+};
+
+}  // namespace sesame::platform

@@ -29,11 +29,14 @@
 #include "sesame/obs/observability.hpp"
 #include "sesame/localization/collaborative.hpp"
 #include "sesame/platform/database.hpp"
+#include "sesame/platform/invariants.hpp"
 #include "sesame/platform/managers.hpp"
+#include "sesame/platform/recovery.hpp"
 #include "sesame/sar/mission.hpp"
 #include "sesame/security/ids.hpp"
 #include "sesame/sim/comm_link.hpp"
 #include "sesame/security/security_eddi.hpp"
+#include "sesame/sim/failure_schedule.hpp"
 #include "sesame/sim/world.hpp"
 
 namespace sesame::platform {
@@ -98,8 +101,25 @@ struct RunnerConfig {
   bool lossy_links = false;
   /// Telemetry-staleness watchdog: a UAV whose last received telemetry is
   /// older than this loses its comm_link_good evidence, demoting the
-  /// comm_localization ConSert guarantee until telemetry resumes.
+  /// comm_localization ConSert guarantee until telemetry resumes. The
+  /// demotion is edge-triggered: one demotion event per outage, one re-arm
+  /// when telemetry resumes.
   double telemetry_staleness_window_s = 5.0;
+  /// Vehicle-level fault timetable (docs/ROBUSTNESS.md): timed motor /
+  /// sensor / battery / comms-blackout / hard-crash events applied as
+  /// mission time passes. Composes with fault_plan (message-level faults).
+  std::optional<sim::FailureSchedule> failure_schedule;
+  /// Fleet failure-detection & recovery: health heartbeats, the staleness
+  /// escalation state machine (re-ping → demote → RTH → declare lost) and
+  /// coverage re-planning for lost vehicles. Opt-in: the heartbeat and
+  /// ping traffic changes bus counters, so nominal scenarios keep it off.
+  bool recovery_enabled = false;
+  RecoveryConfig recovery;
+  /// Health-heartbeat period while recovery is enabled.
+  double health_heartbeat_period_s = 1.0;
+  /// Safety-invariant checker bounds. The checker always runs; it draws no
+  /// randomness and publishes nothing, so it never perturbs a run.
+  InvariantConfig invariants;
   std::uint64_t seed = 7;
 };
 
@@ -149,6 +169,22 @@ struct RunnerResult {
   /// Best-guarantee transitions recorded by the assurance trace (SESAME
   /// runs only): the runtime certification evidence trail.
   std::vector<conserts::GuaranteeTransition> assurance_trace;
+  /// Safety-invariant violations recorded this run (docs/ROBUSTNESS.md).
+  /// Empty in a correct build — any entry is a platform regression.
+  std::vector<InvariantViolation> invariant_violations;
+  /// Vehicles the recovery escalation declared lost (vehicle order).
+  std::vector<std::string> uavs_lost;
+  /// Recovery latencies for the earliest-lost vehicle, relative to its
+  /// failure onset (mission seconds; -1 when nothing was lost or the onset
+  /// is unknown): onset → escalation start, and onset → first coverage
+  /// re-plan.
+  double time_to_detect_loss_s = -1.0;
+  double time_to_replan_s = -1.0;
+  /// Escalation activity (0 while recovery is off or never triggered).
+  std::size_t recovery_pings = 0;
+  std::size_t recovery_demotions = 0;
+  std::size_t recovery_rth_commands = 0;
+  std::size_t recovery_replans = 0;
 };
 
 class MissionRunner {
@@ -187,6 +223,12 @@ class MissionRunner {
   /// Age of the named UAV's last *received* telemetry (mission clock
   /// seconds). 0 while telemetry flows every tick; grows under link loss.
   double telemetry_staleness_s(const std::string& name) const;
+
+  /// The recovery state machine, or nullptr while recovery is disabled.
+  const RecoveryManager* recovery() const noexcept { return recovery_.get(); }
+
+  /// The safety-invariant checker (always present after construction).
+  const InvariantChecker& invariants() const noexcept { return *invariants_; }
 
  private:
   RunnerConfig config_;
@@ -233,11 +275,32 @@ class MissionRunner {
   std::vector<mw::Subscription> telemetry_subscriptions_;
   std::map<std::string, obs::Gauge*> staleness_gauges_;
 
+  // Failure & recovery wiring (docs/ROBUSTNESS.md). vehicle_failures_
+  // holds a bus policy registration, so it too is declared after world_.
+  std::unique_ptr<sim::FailureInjector> vehicle_failures_;
+  std::unique_ptr<RecoveryManager> recovery_;
+  std::unique_ptr<InvariantChecker> invariants_;
+  /// Edge-triggered comm demotion state: one demotion per outage, one
+  /// re-arm on recovery (gather_inputs reads this, not raw staleness).
+  std::map<std::string, bool> watchdog_demoted_;
+  std::map<std::string, double> last_health_rx_s_;
+  std::vector<mw::Subscription> health_subscriptions_;
+  std::map<std::string, obs::Counter*> comm_demotion_counters_;
+  std::size_t recovery_replans_ = 0;
+  std::size_t recovery_redistributed_ = 0;
+  double first_replan_time_s_ = -1.0;
+
   void inject_spoofed_fix(RunnerResult& result);
   void start_spoof_response(const std::string& victim, RunnerResult& result);
 
   void setup_world();
   void setup_sesame();
+  void setup_recovery();
+  void update_watchdog();
+  void set_comm_demoted(const std::string& name, bool demoted);
+  double recovery_staleness_s(const std::string& name) const;
+  double failure_onset_s(const std::string& name) const;
+  void declare_lost(const std::string& name);
   std::vector<std::vector<double>> collect_safeml_reference();
   eddi::EddiInputs gather_inputs(const std::string& name);
   void baseline_policy(const std::string& name, RunnerResult& result);

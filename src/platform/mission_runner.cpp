@@ -29,7 +29,8 @@ MissionRunner::MissionRunner(RunnerConfig config) : config_(std::move(config)) {
   if (config_.n_uavs == 0) throw std::invalid_argument("MissionRunner: no UAVs");
   if (config_.dt_s <= 0.0 || config_.max_time_s <= 0.0 ||
       config_.consert_period_s <= 0.0 ||
-      config_.telemetry_staleness_window_s <= 0.0) {
+      config_.telemetry_staleness_window_s <= 0.0 ||
+      config_.health_heartbeat_period_s <= 0.0) {
     throw std::invalid_argument("MissionRunner: non-positive timing");
   }
   if (!config_.fault_plan) {
@@ -107,6 +108,7 @@ void MissionRunner::setup_world() {
   // UAV. max() keeps reordered or delayed arrivals from rolling time back.
   for (const auto& name : names_) {
     last_telemetry_rx_s_[name] = 0.0;
+    watchdog_demoted_[name] = false;
     telemetry_subscriptions_.push_back(world_->bus().subscribe<sim::Telemetry>(
         sim::telemetry_topic(name),
         [this, name](const mw::MessageHeader&, const sim::Telemetry& t) {
@@ -115,8 +117,162 @@ void MissionRunner::setup_world() {
         }));
   }
 
+  // Vehicle-level fault timetable; composes with the message-level
+  // fault_plan above (both can be active in one run).
+  if (config_.failure_schedule) {
+    vehicle_failures_ = std::make_unique<sim::FailureInjector>(
+        *world_, *config_.failure_schedule);
+  }
+  invariants_ = std::make_unique<InvariantChecker>(config_.invariants);
+  if (config_.recovery_enabled) setup_recovery();
+
   for (const auto& name : names_) {
     world_->uav_by_name(name).command_takeoff();
+  }
+}
+
+void MissionRunner::setup_recovery() {
+  world_->enable_health_heartbeats(config_.health_heartbeat_period_s);
+  for (const auto& name : names_) {
+    last_health_rx_s_[name] = 0.0;
+    health_subscriptions_.push_back(
+        world_->bus().subscribe<sim::HealthHeartbeat>(
+            sim::health_topic(name),
+            [this, name](const mw::MessageHeader&,
+                         const sim::HealthHeartbeat& hb) {
+              auto& last = last_health_rx_s_[name];
+              last = std::max(last, hb.time_s);
+            }));
+  }
+
+  RecoveryHooks hooks;
+  hooks.ping = [this](const std::string& name) {
+    // The ping rides the bus so a blacked-out vehicle genuinely misses it;
+    // a reachable one answers with an immediate telemetry publication.
+    world_->bus().publish(sim::ping_topic(name), world_->time_s(), "gcs",
+                          world_->time_s());
+  };
+  hooks.demote = [this](const std::string& name) {
+    set_comm_demoted(name, true);
+  };
+  hooks.command_rth = [this](const std::string& name) {
+    uav_manager_->apply_action(name, conserts::UavAction::kReturnToBase);
+  };
+  hooks.declare_lost = [this](const std::string& name) { declare_lost(name); };
+  RecoveryConfig rc = config_.recovery;
+  // The escalation window tracks the watchdog window unless overridden.
+  rc.staleness_window_s =
+      std::max(rc.staleness_window_s, config_.telemetry_staleness_window_s);
+  recovery_ =
+      std::make_unique<RecoveryManager>(names_, rc, std::move(hooks));
+}
+
+void MissionRunner::set_comm_demoted(const std::string& name, bool demoted) {
+  bool& flag = watchdog_demoted_[name];
+  if (flag == demoted) return;  // edge-triggered: no repeat events
+  flag = demoted;
+  if (obs_ != nullptr) {
+    if (demoted) {
+      if (const auto it = comm_demotion_counters_.find(name);
+          it != comm_demotion_counters_.end()) {
+        it->second->inc();
+      }
+      obs_->tracer.event("sesame.platform.comm_demoted",
+                         {{"uav", name},
+                          {"t_s", obs::attr_value(world_->time_s())}});
+    } else {
+      obs_->tracer.event("sesame.platform.comm_rearmed",
+                         {{"uav", name},
+                          {"t_s", obs::attr_value(world_->time_s())}});
+    }
+  }
+}
+
+void MissionRunner::update_watchdog() {
+  for (const auto& name : names_) {
+    set_comm_demoted(name, telemetry_staleness_s(name) >
+                               config_.telemetry_staleness_window_s);
+  }
+}
+
+double MissionRunner::recovery_staleness_s(const std::string& name) const {
+  // Last contact of any kind: telemetry or health heartbeat. Heartbeats
+  // dodge the lossy-link model (they are small and heavily coded), so a
+  // vehicle only looks silent when its radio is genuinely gone.
+  double last = 0.0;
+  if (const auto it = last_telemetry_rx_s_.find(name);
+      it != last_telemetry_rx_s_.end()) {
+    last = std::max(last, it->second);
+  }
+  if (const auto it = last_health_rx_s_.find(name);
+      it != last_health_rx_s_.end()) {
+    last = std::max(last, it->second);
+  }
+  return std::max(0.0, world_->time_s() - last);
+}
+
+double MissionRunner::failure_onset_s(const std::string& name) const {
+  if (!config_.failure_schedule) return -1.0;
+  double onset = -1.0;
+  for (const auto& e : config_.failure_schedule->events) {
+    if (e.uav != name) continue;
+    if (e.mode != sim::FailureMode::kHardCrash &&
+        e.mode != sim::FailureMode::kCommsBlackout) {
+      continue;
+    }
+    if (onset < 0.0 || e.time_s < onset) onset = e.time_s;
+  }
+  return onset;
+}
+
+void MissionRunner::declare_lost(const std::string& name) {
+  // The wreck's in-flight traffic must not arrive after the write-off.
+  world_->drop_pending_from(name);
+
+  const auto& active = mission_->active_uavs();
+  if (std::find(active.begin(), active.end(), name) == active.end()) return;
+
+  // In SESAME runs the ConSert dropped-out path may already have moved the
+  // wreck's waypoints to a survivor (it reacts within one evaluation
+  // period). Nothing left to absorb: just strike the vehicle off the
+  // mission roster so the lost_uav_serving invariant sees it inert.
+  if (world_->uav_by_name(name).waypoints_remaining() == 0) {
+    mission_->retire(name);
+    return;
+  }
+
+  // Re-plan coverage: hand the lost vehicle's remaining waypoints to the
+  // least-loaded surviving mission vehicle.
+  std::string takeover;
+  std::size_t best_load = ~std::size_t{0};
+  for (const auto& candidate : active) {
+    if (candidate == name) continue;
+    if (recovery_ && recovery_->lost(candidate)) continue;
+    const sim::Uav& c = world_->uav_by_name(candidate);
+    if (!c.airborne() || c.mode() == sim::FlightMode::kEmergencyLand ||
+        c.mode() == sim::FlightMode::kReturnToBase) {
+      continue;
+    }
+    if (c.waypoints_remaining() < best_load) {
+      best_load = c.waypoints_remaining();
+      takeover = candidate;
+    }
+  }
+  if (!takeover.empty()) {
+    recovery_redistributed_ += mission_->redistribute(name, takeover);
+    world_->uav_by_name(takeover).command_resume_mission();
+    ++recovery_replans_;
+    if (first_replan_time_s_ < 0.0) first_replan_time_s_ = world_->time_s();
+    if (obs_ != nullptr) {
+      obs_->tracer.event("sesame.recovery.replan",
+                         {{"from", name},
+                          {"to", takeover},
+                          {"t_s", obs::attr_value(world_->time_s())}});
+    }
+  } else {
+    // No survivor can absorb the tasks: retire the vehicle so the mission
+    // stops counting it (its remaining coverage is abandoned).
+    mission_->retire(name);
   }
 }
 
@@ -279,10 +435,15 @@ void MissionRunner::attach_observability(obs::Observability& o) {
   ticks_counter_ = &o.metrics.counter("sesame.mission.ticks_total");
   consert_evals_counter_ = &o.metrics.counter("sesame.mission.consert_evals_total");
   staleness_gauges_.clear();
+  comm_demotion_counters_.clear();
   for (const auto& name : names_) {
     staleness_gauges_[name] = &o.metrics.gauge(
         "sesame.platform.telemetry_staleness_s", {{"uav", name}});
+    comm_demotion_counters_[name] = &o.metrics.counter(
+        "sesame.platform.comm_demotions_total", {{"uav", name}});
   }
+  if (recovery_) recovery_->attach_observability(&o);
+  if (invariants_) invariants_->attach_observability(&o);
 }
 
 eddi::EddiInputs MissionRunner::gather_inputs(const std::string& name) {
@@ -315,10 +476,13 @@ eddi::EddiInputs MissionRunner::gather_inputs(const std::string& name) {
   // C2 link quality at the range from the ground station (home pad),
   // gated by the staleness watchdog: a link budget that looks fine on
   // paper is still not good evidence when no telemetry actually arrives.
+  // The watchdog flag is edge-triggered (one demotion per outage, single
+  // re-arm on recovery) and updated at the top of every tick, so the
+  // evidence stream is identical to comparing raw staleness here.
   in.comm_link_good =
       comm_link_.usable(
           geo::enu_ground_distance_m(uav.true_position(), home_enu_.at(name))) &&
-      telemetry_staleness_s(name) <= config_.telemetry_staleness_window_s;
+      !watchdog_demoted_.at(name);
   // A nearby fleet member within 250 m can assist (CL availability).
   for (const auto& other : names_) {
     if (other == name) continue;
@@ -466,6 +630,25 @@ RunnerResult MissionRunner::run() {
     }
 
     world_->step(config_.dt_s);
+    if (vehicle_failures_) vehicle_failures_->step(world_->time_s());
+    update_watchdog();
+    if (recovery_) {
+      recovery_->step(world_->time_s(), [this](const std::string& n) {
+        return recovery_staleness_s(n);
+      });
+      // Hard energy floor: a serving vehicle that sinks below the reserve
+      // needed to make it home is recalled regardless of what the
+      // assurance lattice currently permits.
+      for (const auto& name : names_) {
+        sim::Uav& uav = world_->uav_by_name(name);
+        const bool serving = uav.mode() == sim::FlightMode::kTakeoff ||
+                             uav.mode() == sim::FlightMode::kMission ||
+                             uav.mode() == sim::FlightMode::kHold;
+        if (serving && uav.battery().soc() < config_.recovery.min_soc_rtb) {
+          uav.command_return_to_base();
+        }
+      }
+    }
     if (ticks_counter_ != nullptr) ticks_counter_->inc();
     if (phase_name == "launch" &&
         std::all_of(names_.begin(), names_.end(), [&](const std::string& n) {
@@ -495,6 +678,14 @@ RunnerResult MissionRunner::run() {
     }
 
     mission_->tick();
+    // Safety invariant: every detection credited this tick must come from
+    // a live vehicle with a healthy camera.
+    for (const auto& name : mission_->last_tick_detectors()) {
+      const sim::Uav& uav = world_->uav_by_name(name);
+      invariants_->check_detection_source(world_->time_s(), name,
+                                          uav.vision_sensor_healthy(),
+                                          uav.mode());
+    }
 
     // Per-UAV assessment and control.
     std::vector<conserts::UavAction> actions;
@@ -516,6 +707,12 @@ RunnerResult MissionRunner::run() {
           // Per-UAV attribution: only vehicles whose own channels were
           // attacked lose the no-attack evidence.
           evidence.no_security_attack = !compromised_.count(name);
+          // Safety invariant: ConSert demands must never be satisfied by
+          // stale evidence — comm_link_good asserted while the telemetry
+          // feeding it has gone silent is a checker violation.
+          invariants_->check_evidence_fresh(world_->time_s(), name,
+                                            evidence.comm_link_good,
+                                            telemetry_staleness_s(name));
           conserts::apply_evidence(ctx, name, evidence);
         }
         obs::Span eval_span;
@@ -545,7 +742,8 @@ RunnerResult MissionRunner::run() {
           const sim::Uav& uav = world_->uav_by_name(name);
           const bool dropped_out = uav.mode() == sim::FlightMode::kEmergencyLand ||
                                    uav.mode() == sim::FlightMode::kReturnToBase ||
-                                   uav.mode() == sim::FlightMode::kLanded;
+                                   uav.mode() == sim::FlightMode::kLanded ||
+                                   uav.mode() == sim::FlightMode::kCrashed;
           if (!dropped_out || uav.waypoints_remaining() == 0) continue;
           // Pick the continuing UAV with the fewest remaining tasks.
           std::string takeover;
@@ -563,9 +761,25 @@ RunnerResult MissionRunner::run() {
             }
           }
           if (!takeover.empty()) {
-            result.waypoints_redistributed +=
-                mission_->redistribute(name, takeover);
+            const std::size_t moved = mission_->redistribute(name, takeover);
+            result.waypoints_redistributed += moved;
             world_->uav_by_name(takeover).command_resume_mission();
+            // A crashed vehicle's absorption is a fleet-recovery re-plan:
+            // the chaos campaign's time_to_replan metric measures the
+            // fastest responder, whichever path that is.
+            if (moved > 0 && uav.mode() == sim::FlightMode::kCrashed) {
+              ++recovery_replans_;
+              if (first_replan_time_s_ < 0.0) {
+                first_replan_time_s_ = world_->time_s();
+              }
+              if (obs_ != nullptr) {
+                obs_->tracer.event(
+                    "sesame.recovery.replan",
+                    {{"from", name},
+                     {"to", takeover},
+                     {"t_s", obs::attr_value(world_->time_s())}});
+              }
+            }
           }
         }
 
@@ -628,6 +842,17 @@ RunnerResult MissionRunner::run() {
         it->second->set(telemetry_staleness_s(name));
       }
 
+      // Safety invariants checked once per tick per vehicle.
+      invariants_->check_min_soc(world_->time_s(), name, rec.soc, rec.mode);
+      if (recovery_ && recovery_->lost(name)) {
+        const auto& active = mission_->active_uavs();
+        const bool mission_active =
+            std::find(active.begin(), active.end(), name) != active.end();
+        invariants_->check_lost_uav_inactive(world_->time_s(), name,
+                                             /*declared_lost=*/true, rec.mode,
+                                             mission_active);
+      }
+
       // Available = airborne and able to serve (Fig. 5 availability).
       const bool available = uav.mode() == sim::FlightMode::kTakeoff ||
                              uav.mode() == sim::FlightMode::kMission ||
@@ -652,7 +877,8 @@ RunnerResult MissionRunner::run() {
           const auto mode = world_->uav_by_name(n).mode();
           return mode == sim::FlightMode::kLanded ||
                  mode == sim::FlightMode::kIdle ||
-                 mode == sim::FlightMode::kHold;
+                 mode == sim::FlightMode::kHold ||
+                 mode == sim::FlightMode::kCrashed;
         });
     if (result.mission_complete_time_s && all_grounded) break;
 
@@ -662,6 +888,37 @@ RunnerResult MissionRunner::run() {
   result.total_time_s = world_->time_s();
   result.detection = mission_->stats();
   result.descended = descended_;
+  result.invariant_violations = invariants_->violations();
+  result.recovery_replans = recovery_replans_;
+  result.waypoints_redistributed += recovery_redistributed_;
+  if (recovery_) {
+    result.uavs_lost = recovery_->lost_uavs();
+    result.recovery_pings = recovery_->pings_sent();
+    result.recovery_demotions = recovery_->demotions();
+    result.recovery_rth_commands = recovery_->rth_commands();
+    // Time-to-detect / time-to-replan are measured from the scheduled
+    // onset of the first silencing fault (hard crash or comms blackout)
+    // of the earliest-lost vehicle; -1 when unknown.
+    double earliest_lost = -1.0;
+    std::string first_lost;
+    for (const auto& name : result.uavs_lost) {
+      const double t = recovery_->times(name).lost_s;
+      if (earliest_lost < 0.0 || (t >= 0.0 && t < earliest_lost)) {
+        earliest_lost = t;
+        first_lost = name;
+      }
+    }
+    if (!first_lost.empty()) {
+      const double onset = failure_onset_s(first_lost);
+      const double detect = recovery_->times(first_lost).detect_s;
+      if (onset >= 0.0 && detect >= onset) {
+        result.time_to_detect_loss_s = detect - onset;
+      }
+      if (onset >= 0.0 && first_replan_time_s_ >= onset) {
+        result.time_to_replan_s = first_replan_time_s_ - onset;
+      }
+    }
+  }
   if (const auto* tracker = mission_->coverage()) {
     result.area_coverage = tracker->fraction_covered();
   }

@@ -1,0 +1,170 @@
+#include "sesame/platform/recovery.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace sesame::platform {
+
+std::string recovery_state_name(RecoveryState s) {
+  switch (s) {
+    case RecoveryState::kHealthy: return "healthy";
+    case RecoveryState::kPinging: return "pinging";
+    case RecoveryState::kDemoted: return "demoted";
+    case RecoveryState::kRthCommanded: return "rth_commanded";
+    case RecoveryState::kLost: return "lost";
+  }
+  return "unknown";
+}
+
+RecoveryManager::RecoveryManager(std::vector<std::string> uavs,
+                                 RecoveryConfig config, RecoveryHooks hooks)
+    : uavs_(std::move(uavs)), config_(config), hooks_(std::move(hooks)) {
+  if (uavs_.empty()) {
+    throw std::invalid_argument("RecoveryManager: no vehicles");
+  }
+  if (config_.staleness_window_s <= 0.0 || config_.ping_timeout_s <= 0.0 ||
+      config_.demote_grace_s <= 0.0 || config_.rth_timeout_s <= 0.0 ||
+      config_.ping_backoff < 1.0) {
+    throw std::invalid_argument("RecoveryManager: non-positive bound");
+  }
+  for (const auto& name : uavs_) tracks_[name];
+}
+
+void RecoveryManager::attach_observability(obs::Observability* o) {
+  obs_ = o;
+  ping_counters_.clear();
+  demote_counters_.clear();
+  rth_counters_.clear();
+  lost_counter_ = nullptr;
+  recovered_counter_ = nullptr;
+  if (o == nullptr) return;
+  lost_counter_ = &o->metrics.counter("sesame.platform.uav_lost_total");
+  recovered_counter_ =
+      &o->metrics.counter("sesame.platform.recovery_recovered_total");
+  for (const auto& name : uavs_) {
+    ping_counters_[name] = &o->metrics.counter(
+        "sesame.platform.recovery_pings_total", {{"uav", name}});
+    demote_counters_[name] = &o->metrics.counter(
+        "sesame.platform.recovery_demotions_total", {{"uav", name}});
+    rth_counters_[name] = &o->metrics.counter(
+        "sesame.platform.rth_commanded_total", {{"uav", name}});
+  }
+}
+
+void RecoveryManager::emit(const char* event, const std::string& uav,
+                           double now_s) {
+  if (obs_ == nullptr) return;
+  obs_->tracer.event(std::string("sesame.recovery.") + event,
+                     {{"uav", uav}, {"t_s", obs::attr_value(now_s)}});
+}
+
+RecoveryState RecoveryManager::state(const std::string& uav) const {
+  return tracks_.at(uav).state;
+}
+
+const RecoveryTimes& RecoveryManager::times(const std::string& uav) const {
+  return tracks_.at(uav).times;
+}
+
+std::vector<std::string> RecoveryManager::lost_uavs() const {
+  std::vector<std::string> lost;
+  for (const auto& name : uavs_) {
+    if (tracks_.at(name).state == RecoveryState::kLost) lost.push_back(name);
+  }
+  return lost;
+}
+
+void RecoveryManager::step(double now_s, const StalenessFn& staleness) {
+  for (const auto& name : uavs_) {
+    Track& track = tracks_.at(name);
+    if (track.state == RecoveryState::kLost) continue;  // terminal
+
+    if (staleness(name) <= config_.staleness_window_s) {
+      if (track.state != RecoveryState::kHealthy) {
+        // Single re-arm on recovery: one hook call per outage, however many
+        // escalation steps it climbed.
+        track.state = RecoveryState::kHealthy;
+        track.pings = 0;
+        ++recoveries_;
+        if (recovered_counter_ != nullptr) recovered_counter_->inc();
+        emit("recovered", name, now_s);
+        if (hooks_.recovered) hooks_.recovered(name);
+      }
+      continue;
+    }
+    escalate(name, track, now_s);
+  }
+}
+
+void RecoveryManager::escalate(const std::string& name, Track& track,
+                               double now_s) {
+  switch (track.state) {
+    case RecoveryState::kHealthy:
+      track.state = RecoveryState::kPinging;
+      track.times.detect_s = now_s;
+      track.pings = 1;
+      track.deadline_s = now_s + config_.ping_timeout_s;
+      ++pings_sent_;
+      if (const auto it = ping_counters_.find(name);
+          it != ping_counters_.end()) {
+        it->second->inc();
+      }
+      emit("ping", name, now_s);
+      if (hooks_.ping) hooks_.ping(name);
+      break;
+
+    case RecoveryState::kPinging:
+      if (now_s < track.deadline_s) break;
+      if (track.pings < config_.max_pings) {
+        track.deadline_s =
+            now_s + config_.ping_timeout_s *
+                        std::pow(config_.ping_backoff,
+                                 static_cast<double>(track.pings));
+        ++track.pings;
+        ++pings_sent_;
+        if (const auto it = ping_counters_.find(name);
+            it != ping_counters_.end()) {
+          it->second->inc();
+        }
+        emit("ping", name, now_s);
+        if (hooks_.ping) hooks_.ping(name);
+      } else {
+        track.state = RecoveryState::kDemoted;
+        track.deadline_s = now_s + config_.demote_grace_s;
+        ++demotions_;
+        if (const auto it = demote_counters_.find(name);
+            it != demote_counters_.end()) {
+          it->second->inc();
+        }
+        emit("demote", name, now_s);
+        if (hooks_.demote) hooks_.demote(name);
+      }
+      break;
+
+    case RecoveryState::kDemoted:
+      if (now_s < track.deadline_s) break;
+      track.state = RecoveryState::kRthCommanded;
+      track.deadline_s = now_s + config_.rth_timeout_s;
+      ++rth_commands_;
+      if (const auto it = rth_counters_.find(name); it != rth_counters_.end()) {
+        it->second->inc();
+      }
+      emit("rth_commanded", name, now_s);
+      if (hooks_.command_rth) hooks_.command_rth(name);
+      break;
+
+    case RecoveryState::kRthCommanded:
+      if (now_s < track.deadline_s) break;
+      track.state = RecoveryState::kLost;
+      track.times.lost_s = now_s;
+      if (lost_counter_ != nullptr) lost_counter_->inc();
+      emit("uav_lost", name, now_s);
+      if (hooks_.declare_lost) hooks_.declare_lost(name);
+      break;
+
+    case RecoveryState::kLost:
+      break;  // unreachable: filtered by step()
+  }
+}
+
+}  // namespace sesame::platform

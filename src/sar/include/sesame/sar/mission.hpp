@@ -70,9 +70,22 @@ class SarMission {
   std::size_t redistribute(const std::string& failed_uav,
                            const std::string& takeover_uav);
 
+  /// Removes a vehicle from the mission *without* reassigning its tasks
+  /// (no surviving vehicle could absorb them); its remaining waypoints are
+  /// abandoned. Returns the number of waypoints stranded. Throws
+  /// std::invalid_argument on a vehicle that is not mission-active.
+  std::size_t retire(const std::string& uav);
+
   /// UAVs currently carrying mission tasks.
   const std::vector<std::string>& active_uavs() const noexcept {
     return active_uavs_;
+  }
+
+  /// UAVs whose camera produced at least one detection on the most recent
+  /// tick() (the safety-invariant checker cross-references these against
+  /// sensor health: a detection must never come from a blind sensor).
+  const std::vector<std::string>& last_tick_detectors() const noexcept {
+    return last_tick_detectors_;
   }
 
   const perception::PersonDetector& detector() const noexcept {
@@ -98,6 +111,7 @@ class SarMission {
  private:
   sim::World* world_;
   std::vector<std::string> active_uavs_;
+  std::vector<std::string> last_tick_detectors_;
   perception::PersonDetector detector_;
   perception::PersonTracker person_tracker_;
   DetectionStats stats_;

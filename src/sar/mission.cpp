@@ -66,6 +66,7 @@ void SarMission::enable_coverage_tracking(const Area& area, double cell_m) {
 
 void SarMission::tick() {
   ++stats_.frames;
+  last_tick_detectors_.clear();
   auto& persons = world_->persons();
   for (const auto& name : active_uavs_) {
     const sim::Uav& uav = world_->uav_by_name(name);
@@ -76,6 +77,7 @@ void SarMission::tick() {
     }
     const auto detections =
         detector_.detect(uav.true_position(), persons, world_->rng());
+    if (!detections.empty()) last_tick_detectors_.push_back(name);
     person_tracker_.update(detections);
     for (const auto& d : detections) {
       if (d.person_index.has_value()) {
@@ -126,6 +128,18 @@ std::size_t SarMission::redistribute(const std::string& failed_uav,
   const std::size_t moved = failed.transfer_waypoints_to(takeover);
   active_uavs_.erase(it);
   return moved;
+}
+
+std::size_t SarMission::retire(const std::string& uav) {
+  const auto it = std::find(active_uavs_.begin(), active_uavs_.end(), uav);
+  if (it == active_uavs_.end()) {
+    throw std::invalid_argument("retire: unknown mission UAV " + uav);
+  }
+  sim::Uav& vehicle = world_->uav_by_name(uav);
+  const std::size_t stranded = vehicle.waypoints_remaining();
+  vehicle.clear_waypoints();
+  active_uavs_.erase(it);
+  return stranded;
 }
 
 }  // namespace sesame::sar

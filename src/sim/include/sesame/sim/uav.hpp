@@ -28,6 +28,9 @@ enum class FlightMode {
   kReturnToBase,
   kEmergencyLand,
   kLanded,
+  /// Total vehicle loss (airframe down, radio dead). Terminal: the vehicle
+  /// ignores every command and never publishes again.
+  kCrashed,
 };
 
 std::string flight_mode_name(FlightMode m);
@@ -103,6 +106,11 @@ class Uav {
   /// tolerance forces an immediate emergency landing.
   void fail_motor();
   std::size_t motors_failed() const noexcept { return motors_failed_; }
+
+  /// Total loss: drops the airframe where it is and enters the terminal
+  /// kCrashed mode. Remaining waypoints stay queued so the fleet layer can
+  /// transfer them to survivors.
+  void force_crash();
 
   /// Vision-sensor health (camera/IMU fault injection). A failed sensor
   /// removes the vision-based localization guarantee and blinds the

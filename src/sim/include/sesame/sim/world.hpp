@@ -42,9 +42,28 @@ struct Person {
   bool detected = false;
 };
 
+/// Health heartbeat published by each UAV on `uav/<name>/health` when
+/// heartbeats are enabled. Leaner and lower-rate than telemetry: the
+/// RecoveryManager's liveness signal. A vehicle that stops heartbeating is
+/// blacked out or down.
+struct HealthHeartbeat {
+  std::string uav;
+  double time_s = 0.0;
+  FlightMode mode = FlightMode::kIdle;
+  std::size_t motors_failed = 0;
+  bool vision_sensor_healthy = true;
+  double battery_soc = 1.0;
+  bool battery_fault = false;
+};
+
 /// Topic helpers shared by the platform, EDDIs and attackers.
 std::string telemetry_topic(const std::string& uav_name);
 std::string position_fix_topic(const std::string& uav_name);
+/// Recovery channels: the GCS pings `uav/<name>/ping` (payload: double,
+/// the ping time); a live vehicle answers with an immediate telemetry
+/// publication. Heartbeats ride `uav/<name>/health` (HealthHeartbeat).
+std::string ping_topic(const std::string& uav_name);
+std::string health_topic(const std::string& uav_name);
 
 /// Radio model for the UAV↔GCS C2 links: every `uav/<name>/telemetry` and
 /// `uav/<name>/position_fix` publication rides the named UAV's link, and is
@@ -94,6 +113,30 @@ class World {
   void enable_lossy_links(const LossyLinkConfig& config);
   bool lossy_links_enabled() const noexcept { return link_gate_ != nullptr; }
 
+  /// Enables periodic HealthHeartbeat publication (every `period_s` of
+  /// mission time, on `uav/<name>/health`) for every vehicle that is not
+  /// crashed. Throws std::invalid_argument on a non-positive period.
+  void enable_health_heartbeats(double period_s);
+  bool health_heartbeats_enabled() const noexcept {
+    return heartbeat_period_s_ > 0.0;
+  }
+
+  /// Total loss of the named vehicle: forces it into FlightMode::kCrashed,
+  /// tears down its bus wiring (position-fix and ping subscriptions — a
+  /// wreck answers nothing) and drains its queued delayed messages (a dead
+  /// radio cannot deliver what it never finished sending). The slot stays
+  /// in the fleet so surviving code can still inspect the wreck's state and
+  /// transfer its waypoints. Idempotent. Throws std::out_of_range on an
+  /// unknown name.
+  void crash_uav(const std::string& name);
+
+  /// Drops the pending fault-delayed deliveries published by the named
+  /// vehicle, leaving everyone else's in-flight traffic untouched. Returns
+  /// the number dropped. (crash_uav calls this; exposed for the recovery
+  /// layer, which must also drain when *declaring* a vehicle lost — e.g.
+  /// after a blackout timeout — without a crash event.)
+  std::size_t drop_pending_from(const std::string& name);
+
   /// Discards bus state left over from a completed run — pending
   /// fault-delayed deliveries and the message journal — so a world (and
   /// its bus) reused for a fresh scenario starts clean instead of
@@ -127,11 +170,15 @@ class World {
   struct Slot {
     std::unique_ptr<Uav> uav;
     mw::Subscription fix_subscription;
+    mw::Subscription ping_subscription;
     // Resolved once at add_uav so the per-step telemetry publish is a pure
     // id-keyed bus call (no topic-string building, no interning lookups).
     mw::TopicId telemetry_topic;
+    mw::TopicId health_topic;
     mw::SourceId source;
   };
+
+  void publish_telemetry(const Slot& slot);
   std::vector<Slot> uavs_;
   /// name → index into uavs_ (uav_by_name is on the per-tick hot path).
   std::map<std::string, std::size_t, std::less<>> uav_index_;
@@ -140,6 +187,9 @@ class World {
   class LinkGate;  // the lossy-link DeliveryPolicy (defined in world.cpp)
   std::unique_ptr<LinkGate> link_gate_;
   mw::Subscription link_gate_sub_;  // after bus_: released before bus_ dies
+
+  double heartbeat_period_s_ = 0.0;  ///< <= 0: heartbeats off
+  double next_heartbeat_s_ = 0.0;
 
   obs::Histogram* step_duration_ = nullptr;
   obs::Counter* steps_total_ = nullptr;

@@ -15,6 +15,7 @@ std::string flight_mode_name(FlightMode m) {
     case FlightMode::kReturnToBase: return "ReturnToBase";
     case FlightMode::kEmergencyLand: return "EmergencyLand";
     case FlightMode::kLanded: return "Landed";
+    case FlightMode::kCrashed: return "Crashed";
   }
   return "unknown";
 }
@@ -105,6 +106,13 @@ bool Uav::airborne() const noexcept {
          mode_ == FlightMode::kEmergencyLand;
 }
 
+void Uav::force_crash() {
+  mode_ = FlightMode::kCrashed;
+  true_pos_.up_m = 0.0;
+  est_pos_.up_m = 0.0;
+  cmd_east_mps_ = cmd_north_mps_ = cmd_up_mps_ = 0.0;
+}
+
 void Uav::fail_motor() {
   ++motors_failed_;
   if (motors_failed_ > config_.tolerable_motor_failures && airborne()) {
@@ -177,6 +185,7 @@ void Uav::apply_motion(double dt_s, const Wind& wind) {
 
 void Uav::step(double dt_s, const Wind& wind) {
   if (dt_s <= 0.0) throw std::invalid_argument("Uav::step: non-positive dt");
+  if (mode_ == FlightMode::kCrashed) return;  // wreckage does not fly
 
   cmd_east_mps_ = cmd_north_mps_ = cmd_up_mps_ = 0.0;
   BatteryLoad load = BatteryLoad::kIdle;
@@ -184,6 +193,7 @@ void Uav::step(double dt_s, const Wind& wind) {
   switch (mode_) {
     case FlightMode::kIdle:
     case FlightMode::kLanded:
+    case FlightMode::kCrashed:
       break;
 
     case FlightMode::kTakeoff: {

@@ -13,6 +13,14 @@ std::string position_fix_topic(const std::string& uav_name) {
   return "uav/" + uav_name + "/position_fix";
 }
 
+std::string ping_topic(const std::string& uav_name) {
+  return "uav/" + uav_name + "/ping";
+}
+
+std::string health_topic(const std::string& uav_name) {
+  return "uav/" + uav_name + "/health";
+}
+
 // Drops C2 traffic with probability 1 − link quality at the publishing
 // UAV's current ground distance from the GCS. Quality is sampled (fading
 // included) from a private RNG so the world's own random stream — and with
@@ -119,10 +127,47 @@ std::size_t World::add_uav(UavConfig config, const geo::GeoPoint& home) {
         raw->correct_estimate(fix);
       });
   slot.telemetry_topic = bus_.intern_topic(telemetry_topic(raw->name()));
+  slot.health_topic = bus_.intern_topic(health_topic(raw->name()));
   slot.source = bus_.intern_source(raw->name());
+  // Liveness ping: a reachable vehicle answers with an immediate telemetry
+  // publication (the pong rides the same lossy C2 link as everything else).
+  // The ping itself is droppable too — a blacked-out vehicle never hears it.
+  const std::size_t index = uavs_.size();
+  slot.ping_subscription = bus_.subscribe<double>(
+      ping_topic(raw->name()),
+      [this, index](const mw::MessageHeader&, const double&) {
+        const Slot& s = uavs_[index];
+        if (s.uav->mode() != FlightMode::kCrashed) publish_telemetry(s);
+      });
   uav_index_.emplace(raw->name(), uavs_.size());
   uavs_.push_back(std::move(slot));
   return uavs_.size() - 1;
+}
+
+void World::enable_health_heartbeats(double period_s) {
+  if (period_s <= 0.0) {
+    throw std::invalid_argument(
+        "World::enable_health_heartbeats: non-positive period");
+  }
+  heartbeat_period_s_ = period_s;
+  next_heartbeat_s_ = time_s_ + period_s;
+}
+
+void World::crash_uav(const std::string& name) {
+  const auto it = uav_index_.find(name);
+  if (it == uav_index_.end()) {
+    throw std::out_of_range("World::crash_uav: " + name);
+  }
+  Slot& slot = uavs_[it->second];
+  if (slot.uav->mode() == FlightMode::kCrashed) return;
+  slot.uav->force_crash();
+  slot.fix_subscription.reset();
+  slot.ping_subscription.reset();
+  drop_pending_from(name);
+}
+
+std::size_t World::drop_pending_from(const std::string& name) {
+  return bus_.clear_delayed(bus_.intern_source(name));
 }
 
 Uav& World::uav_by_name(const std::string& name) {
@@ -171,17 +216,25 @@ void World::step(double dt_s) {
   }
   time_s_ += dt_s;
   for (auto& slot : uavs_) {
-    const Uav& u = *slot.uav;
-    Telemetry t;
-    t.uav = u.name();
-    t.reported_position = u.estimated_geo();
-    t.altitude_m = u.true_position().up_m;
-    t.battery_soc = u.battery().soc();
-    t.battery_temp_c = u.battery().temperature_c();
-    t.mode = u.mode();
-    t.time_s = time_s_;
-    t.gps_fix = !u.gps().signal_lost() && !u.gps().disabled();
-    bus_.publish(slot.telemetry_topic, t, slot.source, time_s_);
+    // A wreck's radio is dead: no telemetry, no heartbeats.
+    if (slot.uav->mode() == FlightMode::kCrashed) continue;
+    publish_telemetry(slot);
+  }
+  if (heartbeat_period_s_ > 0.0 && time_s_ >= next_heartbeat_s_) {
+    for (auto& slot : uavs_) {
+      const Uav& u = *slot.uav;
+      if (u.mode() == FlightMode::kCrashed) continue;
+      HealthHeartbeat hb;
+      hb.uav = u.name();
+      hb.time_s = time_s_;
+      hb.mode = u.mode();
+      hb.motors_failed = u.motors_failed();
+      hb.vision_sensor_healthy = u.vision_sensor_healthy();
+      hb.battery_soc = u.battery().soc();
+      hb.battery_fault = u.battery().fault_active();
+      bus_.publish(slot.health_topic, hb, slot.source, time_s_);
+    }
+    while (next_heartbeat_s_ <= time_s_) next_heartbeat_s_ += heartbeat_period_s_;
   }
   if (step_duration_ != nullptr) {
     step_duration_->observe(
@@ -190,6 +243,20 @@ void World::step(double dt_s) {
     steps_total_->inc();
     clock_gauge_->set(time_s_);
   }
+}
+
+void World::publish_telemetry(const Slot& slot) {
+  const Uav& u = *slot.uav;
+  Telemetry t;
+  t.uav = u.name();
+  t.reported_position = u.estimated_geo();
+  t.altitude_m = u.true_position().up_m;
+  t.battery_soc = u.battery().soc();
+  t.battery_temp_c = u.battery().temperature_c();
+  t.mode = u.mode();
+  t.time_s = time_s_;
+  t.gps_fix = !u.gps().signal_lost() && !u.gps().disabled();
+  bus_.publish(slot.telemetry_topic, t, slot.source, time_s_);
 }
 
 void World::run(std::size_t n, double dt_s) {

@@ -484,3 +484,56 @@ TEST(SpoofingPipeline, DetectionSurvivesTelemetryLoss) {
   EXPECT_LT(result.spoofed_uav_landing_error_m, 15.0);
   EXPECT_GT(runner.world().bus().faults_dropped(), 0u);
 }
+
+// ---------------------------------------------------------------------------
+// Scenario: fleet robustness (docs/ROBUSTNESS.md) — one vehicle is lost
+// mid-mission to a hard crash, the recovery subsystem detects and writes it
+// off, and the survivors absorb its coverage. The acceptance bar: at least
+// 90% of the nominal run's area coverage, with zero safety-invariant
+// violations.
+TEST(RecoveryPipeline, HardCrashSurvivorsAbsorbCoverage) {
+  const auto scenario = [] {
+    platform::RunnerConfig cfg;
+    cfg.n_uavs = 3;
+    cfg.area = {0.0, 180.0, 0.0, 180.0};
+    cfg.coverage.altitude_m = 20.0;
+    cfg.coverage.lane_spacing_m = 30.0;
+    cfg.n_persons = 4;
+    cfg.max_time_s = 900.0;
+    cfg.sesame_enabled = true;
+    cfg.seed = 21;
+    return cfg;
+  };
+
+  platform::RunnerConfig nominal = scenario();
+  platform::MissionRunner nominal_runner(nominal);
+  const auto nominal_result = nominal_runner.run();
+  ASSERT_TRUE(nominal_result.mission_complete_time_s.has_value());
+  ASSERT_GT(nominal_result.area_coverage, 0.5);
+
+  platform::RunnerConfig crashed = scenario();
+  crashed.recovery_enabled = true;
+  sim::FailureSchedule schedule;
+  sim::FailureEvent crash;
+  crash.uav = "uav2";
+  crash.mode = sim::FailureMode::kHardCrash;
+  crash.time_s = 0.4 * nominal_result.mission_complete_time_s.value();
+  schedule.events.push_back(crash);
+  crashed.failure_schedule = schedule;
+
+  platform::MissionRunner crashed_runner(crashed);
+  const auto crashed_result = crashed_runner.run();
+
+  // The loss was detected and the coverage re-planned to the survivors.
+  EXPECT_EQ(crashed_result.uavs_lost, std::vector<std::string>{"uav2"});
+  EXPECT_GT(crashed_result.waypoints_redistributed, 0u);
+  EXPECT_GE(crashed_result.recovery_replans, 1u);
+  EXPECT_TRUE(crashed_result.mission_complete_time_s.has_value());
+
+  // Coverage holds: losing a third of the fleet costs < 10% of the area.
+  EXPECT_GE(crashed_result.area_coverage,
+            0.9 * nominal_result.area_coverage);
+  // Absorbing the strip costs time, never safety.
+  EXPECT_TRUE(crashed_result.invariant_violations.empty());
+  EXPECT_GE(crashed_result.total_time_s, nominal_result.total_time_s);
+}

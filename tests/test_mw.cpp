@@ -741,6 +741,38 @@ TEST(Bus, ClearDelayedDiscardsPendingDeliveries) {
   EXPECT_EQ(bus.faults_dropped(), 0u);
 }
 
+TEST(Bus, ClearDelayedBySourceDropsOnlyThatSender) {
+  // Mid-run vehicle removal: the removed vehicle's in-flight (delayed)
+  // messages must be drained without touching other senders' deliveries.
+  mw::Bus bus;
+  mw::FaultPlan plan;
+  mw::FaultRule rule;
+  rule.delay_probability = 1.0;
+  rule.delay_steps = 1;
+  plan.rules.push_back(rule);
+  mw::FaultInjector injector(plan);
+  auto policy = bus.add_delivery_policy(&injector);
+
+  std::vector<std::string> delivered;
+  auto sub = bus.subscribe<int>(
+      "t", [&](const mw::MessageHeader& h, const int&) {
+        delivered.emplace_back(h.source);
+      });
+  bus.publish("t", 1, "uav1", 0.0);
+  bus.publish("t", 2, "uav2", 0.0);
+  bus.publish("t", 3, "uav1", 0.0);
+  EXPECT_EQ(bus.delayed_pending(), 3u);
+
+  EXPECT_EQ(bus.clear_delayed(bus.intern_source("uav1")), 2u);
+  EXPECT_EQ(bus.delayed_pending(), 1u);
+  // A source with nothing pending clears nothing.
+  EXPECT_EQ(bus.clear_delayed(bus.intern_source("uav3")), 0u);
+
+  bus.drain_delayed();
+  ASSERT_EQ(delivered.size(), 1u);
+  EXPECT_EQ(delivered[0], "uav2");
+}
+
 // Regression for the cross-run replay bug: without clear_delayed() between
 // runs, a reused bus delivered run 1's delayed messages into run 2's
 // freshly subscribed handlers.

@@ -737,3 +737,184 @@ TEST(ConfigIo, RoundTripsFaultInjectionFields) {
           R"({"fault_plan": {"rules": [{"drop_probability": 2.0}]}})")),
       std::invalid_argument);
 }
+
+// ---------------------------------------------------------------------------
+// Fleet failure & recovery (docs/ROBUSTNESS.md): edge-triggered watchdog
+// demotion, hard-crash detection with coverage re-planning, and config
+// round-tripping of the recovery / invariant / failure-schedule fields.
+
+#include "sesame/obs/sinks.hpp"
+
+namespace obs = sesame::obs;
+
+namespace {
+
+/// Count of `events` carrying an attribute uav=`uav`.
+int events_for(const std::vector<obs::TraceEvent>& events,
+               const std::string& uav) {
+  int n = 0;
+  for (const auto& e : events) {
+    for (const auto& [key, value] : e.attributes) {
+      if (key == "uav" && value == uav) ++n;
+    }
+  }
+  return n;
+}
+
+}  // namespace
+
+TEST(MissionRunner, WatchdogDemotionIsEdgeTriggered) {
+  pf::RunnerConfig cfg = small_scenario();
+  cfg.sesame_enabled = true;
+  // One bounded uav1 telemetry outage, t=60..75. Edge-triggering means
+  // exactly one demotion event and one re-arm for the whole outage — not
+  // one per tick of staleness.
+  mw::FaultPlan plan;
+  mw::FaultRule rule;
+  rule.topic_prefix = "uav/uav1/";
+  rule.topic_suffix = "/telemetry";
+  rule.drop_probability = 1.0;
+  rule.start_time_s = 60.0;
+  rule.stop_time_s = 75.0;
+  plan.rules.push_back(rule);
+  cfg.fault_plan = plan;
+  cfg.telemetry_staleness_window_s = 5.0;
+
+  pf::MissionRunner runner(cfg);
+  obs::Observability o;
+  obs::MemorySink sink;
+  o.tracer.set_sink(&sink);
+  runner.attach_observability(o);
+  const auto result = runner.run();
+  ASSERT_GT(result.total_time_s, 75.0);  // outage fully inside the run
+
+  const auto demoted = sink.named("sesame.platform.comm_demoted");
+  const auto rearmed = sink.named("sesame.platform.comm_rearmed");
+  EXPECT_EQ(events_for(demoted, "uav1"), 1);
+  EXPECT_EQ(events_for(rearmed, "uav1"), 1);
+  EXPECT_EQ(events_for(demoted, "uav2"), 0);
+  EXPECT_DOUBLE_EQ(
+      o.metrics.counter("sesame.platform.comm_demotions_total",
+                        {{"uav", "uav1"}})
+          .value(),
+      1.0);
+  EXPECT_DOUBLE_EQ(
+      o.metrics.counter("sesame.platform.comm_demotions_total",
+                        {{"uav", "uav2"}})
+          .value(),
+      0.0);
+}
+
+TEST(MissionRunner, HardCrashEscalatesToLostAndReplansCoverage) {
+  pf::RunnerConfig cfg = small_scenario();
+  cfg.sesame_enabled = true;
+  cfg.recovery_enabled = true;
+  sim::FailureSchedule schedule;
+  sim::FailureEvent crash;
+  crash.uav = "uav1";
+  crash.mode = sim::FailureMode::kHardCrash;
+  crash.time_s = 60.0;
+  schedule.events.push_back(crash);
+  cfg.failure_schedule = schedule;
+
+  pf::MissionRunner runner(cfg);
+  obs::Observability o;
+  obs::MemorySink sink;
+  o.tracer.set_sink(&sink);
+  runner.attach_observability(o);
+  const auto result = runner.run();
+
+  // The wreck was detected, escalated re-ping -> demote -> RTH -> lost.
+  EXPECT_EQ(result.uavs_lost, std::vector<std::string>{"uav1"});
+  EXPECT_GE(result.recovery_pings, 2u);
+  EXPECT_EQ(result.recovery_demotions, 1u);
+  EXPECT_EQ(result.recovery_rth_commands, 1u);
+  EXPECT_EQ(result.recovery_replans, 1u);
+  EXPECT_GT(result.waypoints_redistributed, 0u);
+
+  // Latencies are measured from the crash time. Detection must land within
+  // the staleness window plus one escalation tick. In a SESAME run the
+  // ConSert dropped-out path can re-plan within one evaluation period —
+  // before the heartbeat escalation even completes — so the re-plan bound
+  // is the looser of the two responders.
+  const double window = std::max(cfg.recovery.staleness_window_s,
+                                 cfg.telemetry_staleness_window_s);
+  EXPECT_GT(result.time_to_detect_loss_s, 0.0);
+  EXPECT_LE(result.time_to_detect_loss_s, window + 2.0 * cfg.dt_s);
+  EXPECT_GE(result.time_to_replan_s, 0.0);
+  EXPECT_LE(result.time_to_replan_s,
+            window + cfg.consert_period_s + 2.0 * cfg.dt_s);
+
+  // The survivor absorbed the coverage; no safety invariant broke.
+  EXPECT_TRUE(result.mission_complete_time_s.has_value());
+  EXPECT_TRUE(result.invariant_violations.empty());
+  EXPECT_EQ(events_for(sink.named("sesame.recovery.uav_lost"), "uav1"), 1);
+  EXPECT_EQ(events_for(sink.named("sesame.recovery.rth_commanded"), "uav1"),
+            1);
+  ASSERT_EQ(sink.named("sesame.recovery.replan").size(), 1u);
+}
+
+TEST(ConfigIo, RoundTripsRecoveryAndFailureScheduleFields) {
+  pf::RunnerConfig cfg;
+  cfg.recovery_enabled = true;
+  cfg.health_heartbeat_period_s = 2.5;
+  cfg.recovery.staleness_window_s = 6.0;
+  cfg.recovery.ping_timeout_s = 3.0;
+  cfg.recovery.max_pings = 4;
+  cfg.recovery.ping_backoff = 1.5;
+  cfg.recovery.demote_grace_s = 7.0;
+  cfg.recovery.rth_timeout_s = 25.0;
+  cfg.recovery.min_soc_rtb = 0.2;
+  cfg.invariants.min_soc_floor = 0.04;
+  cfg.invariants.max_evidence_age_s = 12.0;
+  sim::FailureSchedule schedule;
+  sim::FailureEvent crash;
+  crash.uav = "uav2";
+  crash.mode = sim::FailureMode::kHardCrash;
+  crash.time_s = 120.0;
+  sim::FailureEvent blackout;
+  blackout.uav = "uav1";
+  blackout.mode = sim::FailureMode::kCommsBlackout;
+  blackout.time_s = 90.0;
+  blackout.duration_s = 30.0;
+  sim::FailureEvent cell;
+  cell.uav = "uav3";
+  cell.mode = sim::FailureMode::kBatteryCellFault;
+  cell.time_s = 60.0;
+  cell.soc_after = 0.25;
+  cell.temp_c = 80.0;
+  schedule.events = {crash, blackout, cell};
+  cfg.failure_schedule = schedule;
+
+  const auto back = pf::config_from_json(
+      sesame::eddi::ode::parse_json(pf::config_to_json(cfg).to_json()));
+  EXPECT_TRUE(back.recovery_enabled);
+  EXPECT_DOUBLE_EQ(back.health_heartbeat_period_s, 2.5);
+  EXPECT_DOUBLE_EQ(back.recovery.staleness_window_s, 6.0);
+  EXPECT_DOUBLE_EQ(back.recovery.ping_timeout_s, 3.0);
+  EXPECT_EQ(back.recovery.max_pings, 4u);
+  EXPECT_DOUBLE_EQ(back.recovery.ping_backoff, 1.5);
+  EXPECT_DOUBLE_EQ(back.recovery.demote_grace_s, 7.0);
+  EXPECT_DOUBLE_EQ(back.recovery.rth_timeout_s, 25.0);
+  EXPECT_DOUBLE_EQ(back.recovery.min_soc_rtb, 0.2);
+  EXPECT_DOUBLE_EQ(back.invariants.min_soc_floor, 0.04);
+  EXPECT_DOUBLE_EQ(back.invariants.max_evidence_age_s, 12.0);
+  ASSERT_TRUE(back.failure_schedule.has_value());
+  ASSERT_EQ(back.failure_schedule->events.size(), 3u);
+  const auto& e0 = back.failure_schedule->events[0];
+  EXPECT_EQ(e0.uav, "uav2");
+  EXPECT_EQ(e0.mode, sim::FailureMode::kHardCrash);
+  EXPECT_DOUBLE_EQ(e0.time_s, 120.0);
+  const auto& e1 = back.failure_schedule->events[1];
+  EXPECT_EQ(e1.mode, sim::FailureMode::kCommsBlackout);
+  EXPECT_DOUBLE_EQ(e1.duration_s, 30.0);
+  const auto& e2 = back.failure_schedule->events[2];
+  EXPECT_DOUBLE_EQ(e2.soc_after, 0.25);
+  EXPECT_DOUBLE_EQ(e2.temp_c, 80.0);
+  // Bad mode names are rejected, not silently defaulted.
+  EXPECT_THROW(
+      pf::config_from_json(sesame::eddi::ode::parse_json(
+          R"({"failure_schedule": {"events": [{"uav": "u1",
+              "mode": "gremlins", "time_s": 1.0}]}})")),
+      std::invalid_argument);
+}

@@ -9,6 +9,7 @@
 #include "sesame/mathx/stats.hpp"
 #include "sesame/sim/camera.hpp"
 #include "sesame/sim/comm_link.hpp"
+#include "sesame/sim/failure_schedule.hpp"
 #include "sesame/sim/world.hpp"
 
 namespace sim = sesame::sim;
@@ -654,4 +655,245 @@ TEST(World, ResetPendingCommsDiscardsDelayedTraffic) {
   EXPECT_TRUE(world.bus().journal().empty());
   world.run(6, 1.0);  // would have matured the stale fix
   EXPECT_EQ(run2_fixes, 0);
+}
+
+// ---------------------------------------------------------------------------
+// Vehicle-level failure schedules (docs/ROBUSTNESS.md)
+
+TEST(FailureSchedule, ChaosIsSeedDeterministic) {
+  const std::vector<std::string> fleet{"u1", "u2", "u3"};
+  const auto a = sim::FailureSchedule::chaos(42, fleet);
+  const auto b = sim::FailureSchedule::chaos(42, fleet);
+  ASSERT_EQ(a.events.size(), b.events.size());
+  for (std::size_t i = 0; i < a.events.size(); ++i) {
+    EXPECT_EQ(a.events[i].uav, b.events[i].uav);
+    EXPECT_EQ(a.events[i].mode, b.events[i].mode);
+    EXPECT_DOUBLE_EQ(a.events[i].time_s, b.events[i].time_s);
+    EXPECT_DOUBLE_EQ(a.events[i].duration_s, b.events[i].duration_s);
+  }
+}
+
+TEST(FailureSchedule, ChaosRespectsProfileBounds) {
+  sim::ChaosProfile profile;
+  profile.max_events_per_uav = 3;
+  profile.max_hard_crashes = 1;
+  const std::vector<std::string> fleet{"u1", "u2", "u3", "u4"};
+  // Many seeds: the bounds must hold for every draw, not just a lucky one.
+  for (std::uint64_t seed = 1; seed <= 40; ++seed) {
+    const auto s = sim::FailureSchedule::chaos(seed, fleet, profile);
+    std::size_t crashes = 0;
+    std::map<std::string, std::size_t> per_uav;
+    double prev_time = -1.0;
+    for (const auto& e : s.events) {
+      EXPECT_GE(e.time_s, profile.earliest_time_s);
+      EXPECT_LE(e.time_s, profile.latest_time_s);
+      EXPECT_GE(e.duration_s, profile.min_duration_s);
+      EXPECT_LE(e.duration_s, profile.max_duration_s);
+      EXPECT_GE(e.time_s, prev_time);  // sorted by time
+      prev_time = e.time_s;
+      ++per_uav[e.uav];
+      crashes += (e.mode == sim::FailureMode::kHardCrash);
+    }
+    EXPECT_LE(crashes, profile.max_hard_crashes);
+    for (const auto& [uav, n] : per_uav) {
+      EXPECT_LE(n, profile.max_events_per_uav) << uav;
+    }
+  }
+}
+
+TEST(FailureSchedule, ModeNamesRoundTrip) {
+  for (const auto m :
+       {sim::FailureMode::kMotorDegradation, sim::FailureMode::kSensorDropout,
+        sim::FailureMode::kBatteryCellFault, sim::FailureMode::kCommsBlackout,
+        sim::FailureMode::kHardCrash}) {
+    EXPECT_EQ(sim::failure_mode_from_name(sim::failure_mode_name(m)), m);
+  }
+  EXPECT_THROW(sim::failure_mode_from_name("gremlins"), std::invalid_argument);
+}
+
+TEST(FailureInjector, MotorDegradationFailsOneMotor) {
+  sim::World world(kOrigin, 7);
+  world.add_uav(test_uav("u1"), kOrigin);
+  sim::FailureSchedule schedule;
+  schedule.events.push_back({"u1", sim::FailureMode::kMotorDegradation, 2.0,
+                             0.0, 0.35, 70.0});
+  sim::FailureInjector injector(world, schedule);
+  world.uav_by_name("u1").command_takeoff();
+  world.step(1.0);
+  injector.step(world.time_s());
+  EXPECT_EQ(world.uav_by_name("u1").motors_failed(), 0u);
+  world.step(1.0);
+  injector.step(world.time_s());
+  EXPECT_EQ(world.uav_by_name("u1").motors_failed(), 1u);
+  EXPECT_EQ(injector.events_applied(), 1u);
+}
+
+TEST(FailureInjector, SensorDropoutBlindsThenRestores) {
+  sim::World world(kOrigin, 7);
+  world.add_uav(test_uav("u1"), kOrigin);
+  sim::FailureSchedule schedule;
+  schedule.events.push_back(
+      {"u1", sim::FailureMode::kSensorDropout, 1.0, 3.0, 0.35, 70.0});
+  sim::FailureInjector injector(world, schedule);
+  for (int i = 0; i < 2; ++i) {
+    world.step(1.0);
+    injector.step(world.time_s());
+  }
+  EXPECT_FALSE(world.uav_by_name("u1").vision_sensor_healthy());
+  for (int i = 0; i < 4; ++i) {
+    world.step(1.0);
+    injector.step(world.time_s());
+  }
+  EXPECT_TRUE(world.uav_by_name("u1").vision_sensor_healthy());
+}
+
+TEST(FailureInjector, BatteryCellFaultOnlyCollapsesDownward) {
+  sim::World world(kOrigin, 7);
+  world.add_uav(test_uav("u1"), kOrigin);
+  sim::FailureSchedule schedule;
+  schedule.events.push_back(
+      {"u1", sim::FailureMode::kBatteryCellFault, 0.5, 0.0, 0.30, 72.0});
+  sim::FailureInjector injector(world, schedule);
+  world.step(1.0);
+  injector.step(world.time_s());
+  auto& battery = world.uav_by_name("u1").battery();
+  EXPECT_NEAR(battery.soc(), 0.30, 1e-9);
+  EXPECT_TRUE(battery.fault_active());
+}
+
+TEST(FailureInjector, CommsBlackoutSilencesAndRestoresTheVehicle) {
+  sim::World world(kOrigin, 7);
+  world.add_uav(test_uav("u1"), kOrigin);
+  world.add_uav(test_uav("u2"), kOrigin);
+  sim::FailureSchedule schedule;
+  schedule.events.push_back(
+      {"u1", sim::FailureMode::kCommsBlackout, 2.0, 3.0, 0.35, 70.0});
+  sim::FailureInjector injector(world, schedule);
+
+  std::map<std::string, int> telemetry;
+  auto s1 = world.bus().subscribe<sim::Telemetry>(
+      sim::telemetry_topic("u1"),
+      [&](const sesame::mw::MessageHeader&, const sim::Telemetry&) {
+        ++telemetry["u1"];
+      });
+  auto s2 = world.bus().subscribe<sim::Telemetry>(
+      sim::telemetry_topic("u2"),
+      [&](const sesame::mw::MessageHeader&, const sim::Telemetry&) {
+        ++telemetry["u2"];
+      });
+
+  // 10 steps; the blackout covers the window (2, 5].
+  for (int i = 0; i < 10; ++i) {
+    world.step(1.0);
+    injector.step(world.time_s());
+  }
+  EXPECT_EQ(telemetry["u2"], 10);          // bystander unaffected
+  EXPECT_EQ(telemetry["u1"], 10 - 3);      // silent while blacked out
+  EXPECT_FALSE(injector.comms_blacked_out("u1"));
+}
+
+TEST(FailureInjector, HardCrashIsTerminal) {
+  sim::World world(kOrigin, 7);
+  world.add_uav(test_uav("u1"), kOrigin);
+  sim::FailureSchedule schedule;
+  schedule.events.push_back(
+      {"u1", sim::FailureMode::kHardCrash, 3.0, 0.0, 0.35, 70.0});
+  sim::FailureInjector injector(world, schedule);
+
+  int telemetry = 0;
+  auto sub = world.bus().subscribe<sim::Telemetry>(
+      sim::telemetry_topic("u1"),
+      [&](const sesame::mw::MessageHeader&, const sim::Telemetry&) {
+        ++telemetry;
+      });
+  world.uav_by_name("u1").command_takeoff();
+  for (int i = 0; i < 10; ++i) {
+    world.step(1.0);
+    injector.step(world.time_s());
+  }
+  auto& uav = world.uav_by_name("u1");
+  EXPECT_EQ(uav.mode(), sim::FlightMode::kCrashed);
+  EXPECT_FALSE(uav.airborne());
+  EXPECT_DOUBLE_EQ(uav.true_position().up_m, 0.0);
+  EXPECT_EQ(telemetry, 3);  // radio died with the airframe
+
+  // A wreck ignores every command and never flies again.
+  uav.command_takeoff();
+  uav.command_resume_mission();
+  uav.command_return_to_base();
+  world.step(1.0);
+  EXPECT_EQ(uav.mode(), sim::FlightMode::kCrashed);
+}
+
+TEST(FailureInjector, RejectsUnknownVehiclesAndNegativeTimes) {
+  sim::World world(kOrigin, 7);
+  world.add_uav(test_uav("u1"), kOrigin);
+  sim::FailureSchedule unknown;
+  unknown.events.push_back(
+      {"ghost", sim::FailureMode::kHardCrash, 1.0, 0.0, 0.35, 70.0});
+  EXPECT_THROW(sim::FailureInjector(world, unknown), std::out_of_range);
+  sim::FailureSchedule negative;
+  negative.events.push_back(
+      {"u1", sim::FailureMode::kHardCrash, -1.0, 0.0, 0.35, 70.0});
+  EXPECT_THROW(sim::FailureInjector(world, negative), std::invalid_argument);
+}
+
+TEST(World, HealthHeartbeatsPublishAtPeriod) {
+  sim::World world(kOrigin, 7);
+  world.add_uav(test_uav("u1"), kOrigin);
+  world.enable_health_heartbeats(2.0);
+  EXPECT_TRUE(world.health_heartbeats_enabled());
+  EXPECT_THROW(world.enable_health_heartbeats(0.0), std::invalid_argument);
+
+  std::vector<sim::HealthHeartbeat> beats;
+  auto sub = world.bus().subscribe<sim::HealthHeartbeat>(
+      sim::health_topic("u1"),
+      [&](const sesame::mw::MessageHeader&, const sim::HealthHeartbeat& hb) {
+        beats.push_back(hb);
+      });
+  world.run(10, 1.0);
+  ASSERT_EQ(beats.size(), 5u);  // t = 2, 4, 6, 8, 10
+  EXPECT_EQ(beats.front().uav, "u1");
+  EXPECT_DOUBLE_EQ(beats.front().time_s, 2.0);
+  EXPECT_TRUE(beats.front().vision_sensor_healthy);
+}
+
+TEST(World, PingAnswersWithImmediateTelemetry) {
+  sim::World world(kOrigin, 7);
+  world.add_uav(test_uav("u1"), kOrigin);
+  int telemetry = 0;
+  auto sub = world.bus().subscribe<sim::Telemetry>(
+      sim::telemetry_topic("u1"),
+      [&](const sesame::mw::MessageHeader&, const sim::Telemetry&) {
+        ++telemetry;
+      });
+  world.bus().publish(sim::ping_topic("u1"), 0.0, "gcs", 0.0);
+  EXPECT_EQ(telemetry, 1);  // pong, without waiting for the next step
+
+  // A crashed vehicle never answers.
+  world.crash_uav("u1");
+  world.bus().publish(sim::ping_topic("u1"), 1.0, "gcs", 1.0);
+  EXPECT_EQ(telemetry, 1);
+  EXPECT_THROW(world.crash_uav("ghost"), std::out_of_range);
+}
+
+TEST(World, CrashDropsPendingDelayedTraffic) {
+  sim::World world(kOrigin, 7);
+  world.add_uav(test_uav("u1"), kOrigin);
+  world.add_uav(test_uav("u2"), kOrigin);
+
+  sesame::mw::FaultPlan plan;
+  sesame::mw::FaultRule rule;
+  rule.topic_suffix = "/telemetry";
+  rule.delay_probability = 1.0;
+  rule.delay_steps = 5;
+  plan.rules.push_back(rule);
+  sesame::mw::FaultInjector injector(plan);
+  auto policy = world.bus().add_delivery_policy(&injector);
+
+  world.step(1.0);  // both vehicles' telemetry now held in the delay queue
+  EXPECT_EQ(world.bus().delayed_pending(), 2u);
+  world.crash_uav("u1");
+  // The wreck's in-flight message is gone; the survivor's still matures.
+  EXPECT_EQ(world.bus().delayed_pending(), 1u);
 }
