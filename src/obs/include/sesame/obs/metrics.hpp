@@ -33,6 +33,13 @@ using Labels = std::vector<std::pair<std::string, std::string>>;
 class Counter {
  public:
   void inc(double n = 1.0) noexcept { value_ += n; }
+  /// Monotone raise to an externally maintained cumulative count (no-op
+  /// when `v` is not ahead). Components that keep their own tallies — the
+  /// wire bridge's `mw::LinkCounters` — mirror them into the registry
+  /// with this instead of tracking per-sample deltas.
+  void raise_to(double v) noexcept {
+    if (v > value_) value_ = v;
+  }
   double value() const noexcept { return value_; }
 
  private:

@@ -1,0 +1,22 @@
+// Wire schemas for the security-layer payloads (docs/PROTOCOL.md §5):
+// IDS alerts and attack-tree security events, so a ground-side analysis
+// process can watch `ids/alerts` and `security/events` from across the
+// bridge — the paper's MQTT-broker topology, reproduced over the wire
+// transport.
+#pragma once
+
+#include <cstdint>
+
+#include "sesame/mw/codec.hpp"
+
+namespace sesame::security {
+
+/// security::IdsAlert — `ids/alerts`.
+inline constexpr std::uint32_t kIdsAlertTag = 0x20;
+/// security::SecurityEvent — `security/events`.
+inline constexpr std::uint32_t kSecurityEventTag = 0x21;
+
+/// Registers IdsAlert and SecurityEvent on `codec`.
+void register_wire_types(mw::Codec& codec);
+
+}  // namespace sesame::security

@@ -1,0 +1,84 @@
+#include "sesame/security/wire_types.hpp"
+
+#include <string>
+#include <vector>
+
+#include "sesame/security/attack_tree.hpp"
+#include "sesame/security/ids.hpp"
+#include "sesame/security/security_eddi.hpp"
+
+namespace sesame::security {
+
+namespace {
+
+/// String lists travel as u16 count + str16 entries (bounded fan-out:
+/// attack paths and mitigation lists are short by construction).
+void encode_strings(mw::WireWriter& w, const std::vector<std::string>& v) {
+  if (v.size() > 0xFFFF) throw std::length_error("wire string list > 65535");
+  w.u16(static_cast<std::uint16_t>(v.size()));
+  for (const std::string& s : v) w.str16(s);
+}
+
+std::vector<std::string> decode_strings(mw::WireReader& r) {
+  const std::uint16_t n = r.u16();
+  std::vector<std::string> v;
+  // Each entry consumes ≥ 2 bytes, so a count the buffer cannot hold is
+  // rejected before any allocation is sized from attacker input.
+  if (static_cast<std::size_t>(n) * 2 > r.remaining()) {
+    r.fail();
+    return v;
+  }
+  v.reserve(n);
+  for (std::uint16_t i = 0; i < n && r.ok(); ++i)
+    v.emplace_back(r.str16());
+  return v;
+}
+
+}  // namespace
+
+void register_wire_types(mw::Codec& codec) {
+  codec.register_type<IdsAlert>(
+      kIdsAlertTag, "security.IdsAlert",
+      [](mw::WireWriter& w, const IdsAlert& a) {
+        w.str16(a.rule);
+        w.str16(a.capec_id);
+        w.str16(a.topic);
+        w.str16(a.source);
+        w.f64(a.time_s);
+        w.str16(a.detail);
+      },
+      [](mw::WireReader& r) {
+        IdsAlert a;
+        a.rule = std::string(r.str16());
+        a.capec_id = std::string(r.str16());
+        a.topic = std::string(r.str16());
+        a.source = std::string(r.str16());
+        a.time_s = r.f64();
+        a.detail = std::string(r.str16());
+        return a;
+      });
+  codec.register_type<SecurityEvent>(
+      kSecurityEventTag, "security.SecurityEvent",
+      [](mw::WireWriter& w, const SecurityEvent& e) {
+        w.str16(e.tree);
+        w.f64(e.time_s);
+        w.u8(static_cast<std::uint8_t>(e.severity));
+        encode_strings(w, e.attack_path);
+        encode_strings(w, e.mitigations);
+        encode_strings(w, e.suspicious_sources);
+      },
+      [](mw::WireReader& r) {
+        SecurityEvent e;
+        e.tree = std::string(r.str16());
+        e.time_s = r.f64();
+        const std::uint8_t sev = r.u8();
+        if (sev > static_cast<std::uint8_t>(Severity::kCritical)) r.fail();
+        e.severity = static_cast<Severity>(sev);
+        e.attack_path = decode_strings(r);
+        e.mitigations = decode_strings(r);
+        e.suspicious_sources = decode_strings(r);
+        return e;
+      });
+}
+
+}  // namespace sesame::security

@@ -1,0 +1,26 @@
+// Wire schemas for the simulation-layer payloads (docs/PROTOCOL.md §5).
+//
+// The mw codec ships only the primitive payloads; every domain type that
+// crosses a bus bridge registers its encoding here. Tags are protocol
+// constants shared by every federation endpoint — never renumber a
+// released tag, allocate the next free one.
+#pragma once
+
+#include <cstdint>
+
+#include "sesame/mw/codec.hpp"
+
+namespace sesame::sim {
+
+/// geo::GeoPoint — position fixes on `uav/<name>/position_fix`.
+inline constexpr std::uint32_t kGeoPointTag = 0x10;
+/// sim::Telemetry — `uav/<name>/telemetry`.
+inline constexpr std::uint32_t kTelemetryTag = 0x11;
+/// sim::HealthHeartbeat — `uav/<name>/health`.
+inline constexpr std::uint32_t kHealthHeartbeatTag = 0x12;
+
+/// Registers GeoPoint, Telemetry and HealthHeartbeat on `codec`.
+/// Idempotence is the codec's rule: registering twice throws.
+void register_wire_types(mw::Codec& codec);
+
+}  // namespace sesame::sim

@@ -1,0 +1,88 @@
+#include "sesame/sim/wire_types.hpp"
+
+#include "sesame/geo/geodesy.hpp"
+#include "sesame/sim/world.hpp"
+
+namespace sesame::sim {
+
+namespace {
+
+void encode_geo(mw::WireWriter& w, const geo::GeoPoint& p) {
+  w.f64(p.lat_deg);
+  w.f64(p.lon_deg);
+  w.f64(p.alt_m);
+}
+
+geo::GeoPoint decode_geo(mw::WireReader& r) {
+  geo::GeoPoint p;
+  p.lat_deg = r.f64();
+  p.lon_deg = r.f64();
+  p.alt_m = r.f64();
+  return p;
+}
+
+/// FlightMode travels as a u8; anything past the last enumerator poisons
+/// the reader (a future peer's new mode must not alias an old one).
+FlightMode decode_mode(mw::WireReader& r) {
+  const std::uint8_t m = r.u8();
+  if (m > static_cast<std::uint8_t>(FlightMode::kCrashed)) {
+    r.fail();
+    return FlightMode::kIdle;
+  }
+  return static_cast<FlightMode>(m);
+}
+
+}  // namespace
+
+void register_wire_types(mw::Codec& codec) {
+  codec.register_type<geo::GeoPoint>(kGeoPointTag, "geo.GeoPoint", encode_geo,
+                                     decode_geo);
+  codec.register_type<Telemetry>(
+      kTelemetryTag, "sim.Telemetry",
+      [](mw::WireWriter& w, const Telemetry& t) {
+        w.str16(t.uav);
+        encode_geo(w, t.reported_position);
+        w.f64(t.altitude_m);
+        w.f64(t.battery_soc);
+        w.f64(t.battery_temp_c);
+        w.u8(static_cast<std::uint8_t>(t.mode));
+        w.f64(t.time_s);
+        w.boolean(t.gps_fix);
+      },
+      [](mw::WireReader& r) {
+        Telemetry t;
+        t.uav = std::string(r.str16());
+        t.reported_position = decode_geo(r);
+        t.altitude_m = r.f64();
+        t.battery_soc = r.f64();
+        t.battery_temp_c = r.f64();
+        t.mode = decode_mode(r);
+        t.time_s = r.f64();
+        t.gps_fix = r.boolean();
+        return t;
+      });
+  codec.register_type<HealthHeartbeat>(
+      kHealthHeartbeatTag, "sim.HealthHeartbeat",
+      [](mw::WireWriter& w, const HealthHeartbeat& h) {
+        w.str16(h.uav);
+        w.f64(h.time_s);
+        w.u8(static_cast<std::uint8_t>(h.mode));
+        w.u32(static_cast<std::uint32_t>(h.motors_failed));
+        w.boolean(h.vision_sensor_healthy);
+        w.f64(h.battery_soc);
+        w.boolean(h.battery_fault);
+      },
+      [](mw::WireReader& r) {
+        HealthHeartbeat h;
+        h.uav = std::string(r.str16());
+        h.time_s = r.f64();
+        h.mode = decode_mode(r);
+        h.motors_failed = r.u32();
+        h.vision_sensor_healthy = r.boolean();
+        h.battery_soc = r.f64();
+        h.battery_fault = r.boolean();
+        return h;
+      });
+}
+
+}  // namespace sesame::sim

@@ -22,6 +22,18 @@ TEST(Counter, IncrementsAndReads) {
   EXPECT_DOUBLE_EQ(c.value(), 3.5);
 }
 
+TEST(Counter, RaiseToIsMonotone) {
+  obs::Counter c;
+  c.raise_to(5.0);
+  EXPECT_DOUBLE_EQ(c.value(), 5.0);
+  c.raise_to(3.0);  // never goes backwards
+  EXPECT_DOUBLE_EQ(c.value(), 5.0);
+  c.raise_to(8.0);
+  EXPECT_DOUBLE_EQ(c.value(), 8.0);
+  c.inc();  // mixing with inc keeps the running value
+  EXPECT_DOUBLE_EQ(c.value(), 9.0);
+}
+
 TEST(Gauge, SetAndAdd) {
   obs::Gauge g;
   g.set(10.0);

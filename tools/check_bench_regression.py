@@ -13,6 +13,15 @@ Usage:
       --current bus.json --gate BM_BusPublishSteadyState \
       [--gate NAME ...] [--max-regression 0.20]
 
+Several suites can be gated in one invocation with repeatable
+`--compare BASELINE:CURRENT` pairs (equivalent to one --baseline/--current
+run per pair, sharing --gate and --max-regression):
+
+  check_bench_regression.py \
+      --compare BENCH_bus_publish.json:bus.json \
+      --compare BENCH_wire.json:wire.json \
+      --gate BM_BusPublishSteadyState --gate BM_BridgeFederation
+
 The committed baseline carries `before`/`after` sections (the optimisation
 record); a plain bench report is also accepted. The `after` section is
 what CI gates against.
@@ -42,25 +51,17 @@ def load_results(path):
     return out
 
 
-def main():
-    ap = argparse.ArgumentParser(description=__doc__)
-    ap.add_argument("--baseline", required=True)
-    ap.add_argument("--current", required=True)
-    ap.add_argument("--gate", action="append", default=[],
-                    help="benchmark name to gate (repeatable); default: all "
-                         "benchmarks present in both files")
-    ap.add_argument("--max-regression", type=float, default=0.20,
-                    help="fatal fractional throughput drop (default 0.20)")
-    args = ap.parse_args()
+def check_pair(baseline_path, current_path, gate_names, max_regression):
+    """Gates one baseline/current report pair; returns True on failure."""
+    baseline = load_results(baseline_path)
+    current = load_results(current_path)
+    gates = gate_names or sorted(set(baseline) & set(current))
 
-    baseline = load_results(args.baseline)
-    current = load_results(args.current)
-    gates = args.gate or sorted(set(baseline) & set(current))
-
+    print(f"{baseline_path} vs {current_path}:")
     failed = False
     for name in gates:
         if name not in baseline:
-            print(f"  SKIP {name}: not in baseline (refresh {args.baseline})")
+            print(f"  SKIP {name}: not in baseline (refresh {baseline_path})")
             continue
         if name not in current:
             print(f"  SKIP {name}: not in current report")
@@ -68,15 +69,51 @@ def main():
         base, cur = baseline[name], current[name]
         ratio = cur / base
         verdict = "ok"
-        if ratio < 1.0 - args.max_regression:
+        if ratio < 1.0 - max_regression:
             verdict = "REGRESSION"
             failed = True
         print(f"  {verdict:>10}  {name}: {cur:,.0f} vs baseline {base:,.0f} "
               f"items/s ({ratio:.2f}x)")
-
     if failed:
         print(f"FAIL: throughput dropped more than "
-              f"{args.max_regression:.0%} vs {args.baseline}")
+              f"{max_regression:.0%} vs {baseline_path}")
+    return failed
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--baseline", help="single-pair form (with --current)")
+    ap.add_argument("--current", help="single-pair form (with --baseline)")
+    ap.add_argument("--compare", action="append", default=[],
+                    metavar="BASELINE:CURRENT",
+                    help="baseline:current report pair (repeatable; may be "
+                         "combined with --baseline/--current)")
+    ap.add_argument("--gate", action="append", default=[],
+                    help="benchmark name to gate (repeatable); names absent "
+                         "from a pair are skipped there; default: all "
+                         "benchmarks present in both files of each pair")
+    ap.add_argument("--max-regression", type=float, default=0.20,
+                    help="fatal fractional throughput drop (default 0.20)")
+    args = ap.parse_args()
+
+    pairs = []
+    if args.baseline or args.current:
+        if not (args.baseline and args.current):
+            ap.error("--baseline and --current must be given together")
+        pairs.append((args.baseline, args.current))
+    for spec in args.compare:
+        baseline, sep, current = spec.partition(":")
+        if not sep or not baseline or not current:
+            ap.error(f"--compare expects BASELINE:CURRENT, got '{spec}'")
+        pairs.append((baseline, current))
+    if not pairs:
+        ap.error("nothing to do: give --baseline/--current or --compare")
+
+    failed = False
+    for baseline_path, current_path in pairs:
+        failed |= check_pair(baseline_path, current_path, args.gate,
+                             args.max_regression)
+    if failed:
         return 1
     print("bench regression gate passed")
     return 0
