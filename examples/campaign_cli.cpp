@@ -13,7 +13,8 @@
 //                [--json FILE] [--csv PREFIX] [--no-metrics]
 //
 // --preset picks a paper scenario (nominal | battery_fault | spoofing |
-//   spoofing_lossy | baseline | chaos); later flags override it. --config
+//   spoofing_lossy | baseline | chaos | fleet_1024); later flags override
+//   it. --config
 //   loads a scenario_cli JSON file instead (mutually composable: preset,
 //   then config, then flags).
 // --jobs 0 uses one worker per hardware thread. Campaign results are

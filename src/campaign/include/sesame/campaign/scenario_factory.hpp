@@ -48,6 +48,9 @@ class ScenarioFactory {
   ///  - "baseline":       nominal with SESAME disabled (naive firmware)
   ///  - "chaos":          nominal + per-run randomized vehicle failures
   ///                      with the recovery subsystem active
+  ///  - "fleet_1024":     1,024-vehicle sweep of a 4x4 km area under chaos
+  ///                      failures + recovery (fleet-scale stress; baseline
+  ///                      firmware, no per-vehicle EDDI stack)
   /// Throws std::invalid_argument for an unknown name.
   static ScenarioFactory preset(const std::string& name);
   static const std::vector<std::string>& preset_names();

@@ -46,6 +46,19 @@ ScenarioFactory ScenarioFactory::preset(const std::string& name) {
     ScenarioFactory factory(std::move(config));
     factory.enable_chaos();
     return factory;
+  } else if (name == "fleet_1024") {
+    // Fleet-scale stress shape: 1,024 vehicles sweeping a 4x4 km area
+    // under chaos fault injection with recovery enabled. Baseline firmware
+    // (no per-vehicle EDDI stack) keeps the runtime focused on fleet
+    // stepping and the failure/recovery path at scale.
+    config.sesame_enabled = false;
+    config.n_uavs = 1024;
+    config.area = {0.0, 4000.0, 0.0, 4000.0};
+    config.n_persons = 256;
+    config.max_time_s = 300.0;
+    ScenarioFactory factory(std::move(config));
+    factory.enable_chaos();
+    return factory;
   } else {
     throw std::invalid_argument("ScenarioFactory: unknown preset '" + name +
                                 "'");
@@ -54,9 +67,9 @@ ScenarioFactory ScenarioFactory::preset(const std::string& name) {
 }
 
 const std::vector<std::string>& ScenarioFactory::preset_names() {
-  static const std::vector<std::string> names{"nominal",        "battery_fault",
-                                              "spoofing",       "spoofing_lossy",
-                                              "baseline",       "chaos"};
+  static const std::vector<std::string> names{
+      "nominal",  "battery_fault", "spoofing", "spoofing_lossy",
+      "baseline", "chaos",         "fleet_1024"};
   return names;
 }
 

@@ -89,7 +89,11 @@ class Histogram {
 
   /// Folds another histogram's observations into this one (campaign-level
   /// roll-up of per-run registries). Throws std::invalid_argument when the
-  /// bucket bounds differ.
+  /// bucket bounds differ or a sample claims observations without any
+  /// bucket mass. Merging an empty side is a no-op and never disturbs the
+  /// observed extremes; extremes inconsistent with the bucket mass (e.g. a
+  /// wire peer's defaulted zeros) are replaced by the occupied buckets'
+  /// finite edges rather than trusted.
   void merge(const Histogram& other);
 
  private:

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <limits>
 #include <stdexcept>
 
 namespace sesame::obs {
@@ -158,6 +159,39 @@ void Histogram::merge_raw(const std::vector<double>& bounds,
     throw std::invalid_argument("Histogram::merge: bucket bounds differ");
   }
   if (count == 0) return;
+  std::size_t first = counts.size();
+  std::size_t last = 0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    if (counts[i] > 0) {
+      if (first == counts.size()) first = i;
+      last = i;
+    }
+  }
+  if (first == counts.size()) {
+    throw std::invalid_argument(
+        "Histogram::merge: sample claims observations but every bucket is "
+        "empty");
+  }
+  // Claimed extremes must be consistent with the bucket mass: the min lies
+  // in the first occupied bucket (lower edge exclusive) and the max in the
+  // last. MetricSample is a public struct, so external producers (wire
+  // peers, hand-built samples) can leave min/max defaulted to 0 while the
+  // mass sits elsewhere; trusting such values drags the merged extremes to
+  // 0 and collapses quantile bracketing onto the bucket bounds. Fall back
+  // to the occupied buckets' finite edges instead. NaN claims fail every
+  // comparison and take the same fallback.
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  const double min_lo = first == 0 ? -kInf : bounds_[first - 1];
+  const double min_hi = first < bounds_.size() ? bounds_[first] : kInf;
+  const double max_lo = last == 0 ? -kInf : bounds_[last - 1];
+  const double max_hi = last < bounds_.size() ? bounds_[last] : kInf;
+  const bool consistent = min_observed <= max_observed &&
+                          min_observed > min_lo && min_observed <= min_hi &&
+                          max_observed > max_lo && max_observed <= max_hi;
+  if (!consistent) {
+    min_observed = bounds_[first == 0 ? 0 : first - 1];
+    max_observed = bounds_[last < bounds_.size() ? last : bounds_.size() - 1];
+  }
   for (std::size_t i = 0; i < counts_.size(); ++i) counts_[i] += counts[i];
   if (count_ == 0) {
     min_ = min_observed;

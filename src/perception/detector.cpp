@@ -30,9 +30,10 @@ double PersonDetector::detection_probability(double altitude_m) const {
   return config_.peak_detection_probability * s * (1.0 + std::exp(-4.0));
 }
 
-std::vector<Detection> PersonDetector::detect(
+template <class IndexOf>
+std::vector<Detection> PersonDetector::detect_core(
     const geo::EnuPoint& uav_pos, const std::vector<sim::Person>& persons,
-    mathx::Rng& rng) const {
+    std::size_t n_candidates, IndexOf&& index_of, mathx::Rng& rng) const {
   std::vector<Detection> out;
   const double alt = uav_pos.up_m;
   if (alt <= 0.0) return out;
@@ -42,7 +43,8 @@ std::vector<Detection> PersonDetector::detect(
   const double sigma =
       config_.base_position_sigma_m * std::max(1.0, gsd / config_.gsd_ref_m);
 
-  for (std::size_t i = 0; i < persons.size(); ++i) {
+  for (std::size_t k = 0; k < n_candidates; ++k) {
+    const std::size_t i = index_of(k);
     if (!fp.contains(persons[i].position)) continue;
     if (!rng.bernoulli(p_det)) continue;
     Detection d;
@@ -67,6 +69,24 @@ std::vector<Detection> PersonDetector::detect(
     out.push_back(fa);
   }
   return out;
+}
+
+std::vector<Detection> PersonDetector::detect(
+    const geo::EnuPoint& uav_pos, const std::vector<sim::Person>& persons,
+    mathx::Rng& rng) const {
+  return detect_core(uav_pos, persons, persons.size(),
+                     [](std::size_t k) { return k; }, rng);
+}
+
+std::vector<Detection> PersonDetector::detect(
+    const geo::EnuPoint& uav_pos, const std::vector<sim::Person>& persons,
+    const std::vector<std::uint32_t>& candidates, mathx::Rng& rng) const {
+  return detect_core(
+      uav_pos, persons, candidates.size(),
+      [&candidates](std::size_t k) {
+        return static_cast<std::size_t>(candidates[k]);
+      },
+      rng);
 }
 
 FrameFeatures PersonDetector::frame_features(double altitude_m,

@@ -15,6 +15,7 @@
 // are generated consistently with the same altitude model.
 #pragma once
 
+#include <cstdint>
 #include <optional>
 #include <vector>
 
@@ -79,6 +80,17 @@ class PersonDetector {
                                 const std::vector<sim::Person>& persons,
                                 mathx::Rng& rng) const;
 
+  /// Same frame model restricted to a pre-filtered candidate subset
+  /// (typically a spatial index's footprint query). `candidates` must hold
+  /// ascending person indices and include every person inside the camera
+  /// footprint. Persons outside the footprint draw no randomness, so any
+  /// such superset yields a draw sequence — and detections — bit-identical
+  /// to the full scan.
+  std::vector<Detection> detect(const geo::EnuPoint& uav_pos,
+                                const std::vector<sim::Person>& persons,
+                                const std::vector<std::uint32_t>& candidates,
+                                mathx::Rng& rng) const;
+
   /// Per-frame image statistics at the given altitude.
   FrameFeatures frame_features(double altitude_m, mathx::Rng& rng) const;
 
@@ -90,6 +102,15 @@ class PersonDetector {
   static constexpr std::size_t kDetectionFeatureCount = 4;
 
  private:
+  // Shared frame model: enumerates `n_candidates` person indices through
+  // `index_of(k)` in the order given. Both public overloads funnel here so
+  // the draw sequence cannot diverge between the scan and indexed paths.
+  template <class IndexOf>
+  std::vector<Detection> detect_core(const geo::EnuPoint& uav_pos,
+                                     const std::vector<sim::Person>& persons,
+                                     std::size_t n_candidates,
+                                     IndexOf&& index_of, mathx::Rng& rng) const;
+
   DetectorConfig config_;
   sim::Camera camera_;
 };

@@ -16,6 +16,7 @@
 //    degradation go unnoticed.
 #pragma once
 
+#include <cstdint>
 #include <map>
 #include <set>
 #include <memory>
@@ -217,7 +218,7 @@ class MissionRunner {
   /// The named UAV's EDDI (SESAME runs only; throws std::out_of_range
   /// otherwise) — diagnostics access to per-monitor assessments.
   const eddi::UavEddi& uav_eddi(const std::string& name) const {
-    return *eddis_.at(name);
+    return *eddis_.at(uav_ix(name));
   }
 
   /// Age of the named UAV's last *received* telemetry (mission clock
@@ -233,8 +234,12 @@ class MissionRunner {
  private:
   RunnerConfig config_;
   std::unique_ptr<sim::World> world_;
+  // Vehicle names in add order; per-vehicle runner state below is held in
+  // vectors parallel to names_ (index == World fleet index), so the
+  // per-tick loops are linear sweeps instead of string-map lookups at
+  // fleet scale. Name-keyed entry points resolve through uav_ix().
   std::vector<std::string> names_;
-  std::map<std::string, geo::EnuPoint> home_enu_;
+  std::vector<geo::EnuPoint> home_enu_;
   std::vector<sar::SweepPlan> plans_;  // parallel to names_
   std::unique_ptr<sar::SarMission> mission_;
   std::unique_ptr<UavManager> uav_manager_;
@@ -242,7 +247,7 @@ class MissionRunner {
   std::unique_ptr<DatabaseManager> database_;
   std::unique_ptr<security::IntrusionDetectionSystem> ids_;
   std::shared_ptr<security::SecurityEddi> security_;
-  std::map<std::string, std::unique_ptr<eddi::UavEddi>> eddis_;
+  std::vector<std::unique_ptr<eddi::UavEddi>> eddis_;  // parallel to names_
   conserts::ConSertNetwork consert_network_;
   std::unique_ptr<conserts::AssuranceTrace> assurance_trace_;
   sim::CommLink comm_link_{sim::CommLinkConfig{}};
@@ -251,8 +256,9 @@ class MissionRunner {
   obs::Counter* ticks_counter_ = nullptr;
   obs::Counter* consert_evals_counter_ = nullptr;
 
-  // Baseline battery-swap state.
-  std::map<std::string, double> swap_until_;
+  // Baseline battery-swap state per vehicle: -1 = no swap pending,
+  // >= 1e18 = landing commanded, else the mission time the swap finishes.
+  std::vector<double> swap_until_;
   bool fault_injected_ = false;
   int over_threshold_streak_ = 0;
   bool descended_ = false;
@@ -271,9 +277,9 @@ class MissionRunner {
   // they release their bus registrations before the bus is destroyed.
   std::unique_ptr<mw::FaultInjector> fault_injector_;
   mw::Subscription fault_policy_sub_;
-  std::map<std::string, double> last_telemetry_rx_s_;
+  std::vector<double> last_telemetry_rx_s_;
   std::vector<mw::Subscription> telemetry_subscriptions_;
-  std::map<std::string, obs::Gauge*> staleness_gauges_;
+  std::vector<obs::Gauge*> staleness_gauges_;
 
   // Failure & recovery wiring (docs/ROBUSTNESS.md). vehicle_failures_
   // holds a bus policy registration, so it too is declared after world_.
@@ -282,10 +288,10 @@ class MissionRunner {
   std::unique_ptr<InvariantChecker> invariants_;
   /// Edge-triggered comm demotion state: one demotion per outage, one
   /// re-arm on recovery (gather_inputs reads this, not raw staleness).
-  std::map<std::string, bool> watchdog_demoted_;
-  std::map<std::string, double> last_health_rx_s_;
+  std::vector<std::uint8_t> watchdog_demoted_;
+  std::vector<double> last_health_rx_s_;
   std::vector<mw::Subscription> health_subscriptions_;
-  std::map<std::string, obs::Counter*> comm_demotion_counters_;
+  std::vector<obs::Counter*> comm_demotion_counters_;
   std::size_t recovery_replans_ = 0;
   std::size_t recovery_redistributed_ = 0;
   double first_replan_time_s_ = -1.0;
@@ -297,7 +303,10 @@ class MissionRunner {
   void setup_sesame();
   void setup_recovery();
   void update_watchdog();
+  /// Fleet index of a scenario vehicle (== its position in names_).
+  std::size_t uav_ix(const std::string& name) const;
   void set_comm_demoted(const std::string& name, bool demoted);
+  void set_comm_demoted_ix(std::size_t i, bool demoted);
   double recovery_staleness_s(const std::string& name) const;
   double failure_onset_s(const std::string& name) const;
   void declare_lost(const std::string& name);

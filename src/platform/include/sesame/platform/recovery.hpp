@@ -124,13 +124,19 @@ class RecoveryManager {
     RecoveryTimes times;
   };
 
-  void escalate(const std::string& name, Track& track, double now_s);
+  std::size_t index_of(const std::string& uav) const;
+  void escalate(std::size_t i, double now_s);
   void emit(const char* event, const std::string& uav, double now_s);
 
-  std::vector<std::string> uavs_;  ///< iteration order (determinism)
+  // Vehicles in construction order; tracks_ and the per-UAV counters are
+  // parallel vectors indexed the same way, so the per-tick step() loop is
+  // a linear sweep instead of N string-map lookups at fleet scale. The
+  // name-keyed public API resolves through index_.
+  std::vector<std::string> uavs_;
   RecoveryConfig config_;
   RecoveryHooks hooks_;
-  std::map<std::string, Track> tracks_;
+  std::vector<Track> tracks_;
+  std::map<std::string, std::size_t, std::less<>> index_;
 
   std::size_t pings_sent_ = 0;
   std::size_t demotions_ = 0;
@@ -140,9 +146,9 @@ class RecoveryManager {
   obs::Observability* obs_ = nullptr;
   obs::Counter* lost_counter_ = nullptr;
   obs::Counter* recovered_counter_ = nullptr;
-  std::map<std::string, obs::Counter*> ping_counters_;
-  std::map<std::string, obs::Counter*> demote_counters_;
-  std::map<std::string, obs::Counter*> rth_counters_;
+  std::vector<obs::Counter*> ping_counters_;
+  std::vector<obs::Counter*> demote_counters_;
+  std::vector<obs::Counter*> rth_counters_;
 };
 
 }  // namespace sesame::platform

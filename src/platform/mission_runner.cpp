@@ -59,7 +59,7 @@ void MissionRunner::setup_world() {
             (static_cast<double>(i) + 0.5) * config_.area.width() /
                 static_cast<double>(config_.n_uavs),
         config_.area.north_min - 20.0, 0.0};
-    home_enu_[uc.name] = home_enu;
+    home_enu_.push_back(home_enu);
     world_->add_uav(uc, world_->frame().to_geo(home_enu));
   }
 
@@ -106,13 +106,14 @@ void MissionRunner::setup_world() {
 
   // Telemetry-staleness watchdog: track the newest *received* sample per
   // UAV. max() keeps reordered or delayed arrivals from rolling time back.
-  for (const auto& name : names_) {
-    last_telemetry_rx_s_[name] = 0.0;
-    watchdog_demoted_[name] = false;
+  last_telemetry_rx_s_.assign(names_.size(), 0.0);
+  watchdog_demoted_.assign(names_.size(), 0);
+  swap_until_.assign(names_.size(), -1.0);
+  for (std::size_t i = 0; i < names_.size(); ++i) {
     telemetry_subscriptions_.push_back(world_->bus().subscribe<sim::Telemetry>(
-        sim::telemetry_topic(name),
-        [this, name](const mw::MessageHeader&, const sim::Telemetry& t) {
-          auto& last = last_telemetry_rx_s_[name];
+        sim::telemetry_topic(names_[i]),
+        [this, i](const mw::MessageHeader&, const sim::Telemetry& t) {
+          auto& last = last_telemetry_rx_s_[i];
           last = std::max(last, t.time_s);
         }));
   }
@@ -133,14 +134,14 @@ void MissionRunner::setup_world() {
 
 void MissionRunner::setup_recovery() {
   world_->enable_health_heartbeats(config_.health_heartbeat_period_s);
-  for (const auto& name : names_) {
-    last_health_rx_s_[name] = 0.0;
+  last_health_rx_s_.assign(names_.size(), 0.0);
+  for (std::size_t i = 0; i < names_.size(); ++i) {
     health_subscriptions_.push_back(
         world_->bus().subscribe<sim::HealthHeartbeat>(
-            sim::health_topic(name),
-            [this, name](const mw::MessageHeader&,
-                         const sim::HealthHeartbeat& hb) {
-              auto& last = last_health_rx_s_[name];
+            sim::health_topic(names_[i]),
+            [this, i](const mw::MessageHeader&,
+                      const sim::HealthHeartbeat& hb) {
+              auto& last = last_health_rx_s_[i];
               last = std::max(last, hb.time_s);
             }));
   }
@@ -167,15 +168,24 @@ void MissionRunner::setup_recovery() {
       std::make_unique<RecoveryManager>(names_, rc, std::move(hooks));
 }
 
+std::size_t MissionRunner::uav_ix(const std::string& name) const {
+  return world_->uav_by_name(name).fleet_index();
+}
+
 void MissionRunner::set_comm_demoted(const std::string& name, bool demoted) {
-  bool& flag = watchdog_demoted_[name];
-  if (flag == demoted) return;  // edge-triggered: no repeat events
-  flag = demoted;
+  set_comm_demoted_ix(uav_ix(name), demoted);
+}
+
+void MissionRunner::set_comm_demoted_ix(std::size_t i, bool demoted) {
+  std::uint8_t& flag = watchdog_demoted_[i];
+  if (static_cast<bool>(flag) == demoted) return;  // edge-triggered
+  flag = demoted ? 1 : 0;
   if (obs_ != nullptr) {
+    const std::string& name = names_[i];
     if (demoted) {
-      if (const auto it = comm_demotion_counters_.find(name);
-          it != comm_demotion_counters_.end()) {
-        it->second->inc();
+      if (i < comm_demotion_counters_.size() &&
+          comm_demotion_counters_[i] != nullptr) {
+        comm_demotion_counters_[i]->inc();
       }
       obs_->tracer.event("sesame.platform.comm_demoted",
                          {{"uav", name},
@@ -189,9 +199,10 @@ void MissionRunner::set_comm_demoted(const std::string& name, bool demoted) {
 }
 
 void MissionRunner::update_watchdog() {
-  for (const auto& name : names_) {
-    set_comm_demoted(name, telemetry_staleness_s(name) >
-                               config_.telemetry_staleness_window_s);
+  const double now_s = world_->time_s();
+  for (std::size_t i = 0; i < names_.size(); ++i) {
+    const double staleness_s = std::max(0.0, now_s - last_telemetry_rx_s_[i]);
+    set_comm_demoted_ix(i, staleness_s > config_.telemetry_staleness_window_s);
   }
 }
 
@@ -199,15 +210,9 @@ double MissionRunner::recovery_staleness_s(const std::string& name) const {
   // Last contact of any kind: telemetry or health heartbeat. Heartbeats
   // dodge the lossy-link model (they are small and heavily coded), so a
   // vehicle only looks silent when its radio is genuinely gone.
-  double last = 0.0;
-  if (const auto it = last_telemetry_rx_s_.find(name);
-      it != last_telemetry_rx_s_.end()) {
-    last = std::max(last, it->second);
-  }
-  if (const auto it = last_health_rx_s_.find(name);
-      it != last_health_rx_s_.end()) {
-    last = std::max(last, it->second);
-  }
+  const std::size_t i = uav_ix(name);
+  double last = i < last_telemetry_rx_s_.size() ? last_telemetry_rx_s_[i] : 0.0;
+  if (i < last_health_rx_s_.size()) last = std::max(last, last_health_rx_s_[i]);
   return std::max(0.0, world_->time_s() - last);
 }
 
@@ -277,9 +282,9 @@ void MissionRunner::declare_lost(const std::string& name) {
 }
 
 double MissionRunner::telemetry_staleness_s(const std::string& name) const {
-  const auto it = last_telemetry_rx_s_.find(name);
-  if (it == last_telemetry_rx_s_.end()) return 0.0;
-  return std::max(0.0, world_->time_s() - it->second);
+  const std::size_t i = uav_ix(name);
+  if (i >= last_telemetry_rx_s_.size()) return 0.0;
+  return std::max(0.0, world_->time_s() - last_telemetry_rx_s_[i]);
 }
 
 std::vector<std::vector<double>> MissionRunner::collect_safeml_reference() {
@@ -417,11 +422,12 @@ void MissionRunner::setup_sesame() {
     config_.eddi.dk_uncertainty_baseline = acc / trials;
   }
 
+  eddis_.reserve(names_.size());
   for (const auto& name : names_) {
     auto e = std::make_unique<eddi::UavEddi>(name, config_.eddi, reference);
     e->attach_security(security_);
     e->attach_deepknowledge(dk_model, dk_analyzer, 16);
-    eddis_.emplace(name, std::move(e));
+    eddis_.push_back(std::move(e));
     conserts::add_uav_conserts(consert_network_, name);
   }
   assurance_trace_ = std::make_unique<conserts::AssuranceTrace>(
@@ -434,12 +440,13 @@ void MissionRunner::attach_observability(obs::Observability& o) {
   if (ids_) ids_->set_observability(&o);
   ticks_counter_ = &o.metrics.counter("sesame.mission.ticks_total");
   consert_evals_counter_ = &o.metrics.counter("sesame.mission.consert_evals_total");
-  staleness_gauges_.clear();
-  comm_demotion_counters_.clear();
-  for (const auto& name : names_) {
-    staleness_gauges_[name] = &o.metrics.gauge(
+  staleness_gauges_.assign(names_.size(), nullptr);
+  comm_demotion_counters_.assign(names_.size(), nullptr);
+  for (std::size_t i = 0; i < names_.size(); ++i) {
+    const auto& name = names_[i];
+    staleness_gauges_[i] = &o.metrics.gauge(
         "sesame.platform.telemetry_staleness_s", {{"uav", name}});
-    comm_demotion_counters_[name] = &o.metrics.counter(
+    comm_demotion_counters_[i] = &o.metrics.counter(
         "sesame.platform.comm_demotions_total", {{"uav", name}});
   }
   if (recovery_) recovery_->attach_observability(&o);
@@ -480,19 +487,15 @@ eddi::EddiInputs MissionRunner::gather_inputs(const std::string& name) {
   // re-arm on recovery) and updated at the top of every tick, so the
   // evidence stream is identical to comparing raw staleness here.
   in.comm_link_good =
-      comm_link_.usable(
-          geo::enu_ground_distance_m(uav.true_position(), home_enu_.at(name))) &&
-      !watchdog_demoted_.at(name);
-  // A nearby fleet member within 250 m can assist (CL availability).
-  for (const auto& other : names_) {
-    if (other == name) continue;
-    const auto& o = world_->uav_by_name(other);
-    if (o.airborne() &&
-        geo::enu_distance_m(o.true_position(), uav.true_position()) < 250.0) {
-      in.nearby_uav_available = true;
-      break;
-    }
-  }
+      comm_link_.usable(geo::enu_ground_distance_m(
+          uav.true_position(), home_enu_[uav.fleet_index()])) &&
+      watchdog_demoted_[uav.fleet_index()] == 0;
+  // A nearby airborne fleet member within 250 m can assist (CL
+  // availability). Grid-backed: the all-pairs scan dominated the tick at
+  // fleet scale.
+  in.nearby_uav_available =
+      world_->has_neighbor_within(uav.fleet_index(), 250.0,
+                                  /*airborne_only=*/true);
   return in;
 }
 
@@ -501,16 +504,18 @@ void MissionRunner::baseline_policy(const std::string& name,
   (void)result;
   sim::Uav& uav = world_->uav_by_name(name);
   constexpr double kPendingLanding = 1e18;
+  constexpr double kNoSwap = -1.0;
+  double& swap_at = swap_until_[uav.fleet_index()];
 
   // Swap pending or in progress.
-  if (const auto it = swap_until_.find(name); it != swap_until_.end()) {
+  if (swap_at != kNoSwap) {
     if (uav.mode() == sim::FlightMode::kLanded) {
-      if (it->second >= kPendingLanding) {
+      if (swap_at >= kPendingLanding) {
         // Just touched down: start the swap clock.
-        it->second = world_->time_s() + config_.battery_swap_time_s;
-      } else if (world_->time_s() >= it->second) {
+        swap_at = world_->time_s() + config_.battery_swap_time_s;
+      } else if (world_->time_s() >= swap_at) {
         uav.battery().swap();
-        swap_until_.erase(it);
+        swap_at = kNoSwap;
         uav.command_takeoff();
       }
     }
@@ -521,7 +526,7 @@ void MissionRunner::baseline_policy(const std::string& name,
   if (uav.airborne() && uav.battery().soc() < config_.baseline_rtb_soc &&
       uav.waypoints_remaining() > 0) {
     uav.command_return_to_base();
-    swap_until_[name] = kPendingLanding;
+    swap_at = kPendingLanding;
   }
 }
 
@@ -572,7 +577,7 @@ void MissionRunner::start_spoof_response(const std::string& victim,
     model.detection_probability = 0.95;
     cl_ = std::make_unique<localization::CollaborativeLocalizer>(
         *world_, victim, assistants, model);
-    geo::EnuPoint pad = home_enu_.at(victim);
+    geo::EnuPoint pad = home_enu_[uav.fleet_index()];
     pad.up_m = config_.coverage.altitude_m;
     landing_guide_ = std::make_unique<localization::SafeLandingGuide>(
         *world_, *cl_, pad);
@@ -697,13 +702,14 @@ RunnerResult MissionRunner::run() {
       // time, and gather_inputs draws world randomness); the evidence
       // context is only materialized on ConSert-evaluation ticks, since
       // consert_evidence() is a pure read of the EDDI state.
-      for (const auto& name : names_) {
-        eddis_.at(name)->tick(gather_inputs(name));
+      for (std::size_t i = 0; i < names_.size(); ++i) {
+        eddis_[i]->tick(gather_inputs(names_[i]));
       }
       if (consert_due) {
         conserts::EvaluationContext ctx;
-        for (const auto& name : names_) {
-          auto evidence = eddis_.at(name)->consert_evidence();
+        for (std::size_t i = 0; i < names_.size(); ++i) {
+          const auto& name = names_[i];
+          auto evidence = eddis_[i]->consert_evidence();
           // Per-UAV attribution: only vehicles whose own channels were
           // attacked lose the no-attack evidence.
           evidence.no_security_attack = !compromised_.count(name);
@@ -723,9 +729,10 @@ RunnerResult MissionRunner::run() {
           consert_evals_counter_->inc();
         }
         const auto eval = assurance_trace_->evaluate(ctx, world_->time_s());
-        for (const auto& name : names_) {
+        for (std::size_t i = 0; i < names_.size(); ++i) {
+          const auto& name = names_[i];
           auto action = conserts::uav_action(eval, name);
-          const auto& assessment = eddis_.at(name)->assessment();
+          const auto& assessment = eddis_[i]->assessment();
           // Safety EDDI corrective action overrides the lattice: crossing
           // the abort threshold forces an emergency landing (Fig. 5).
           if (assessment.reliability.abort_recommended) {
@@ -786,8 +793,8 @@ RunnerResult MissionRunner::run() {
         // Section V-B adaptation: persistent over-threshold uncertainty
         // demands a descend-and-rescan.
         const bool exceeded = std::any_of(
-            names_.begin(), names_.end(), [&](const std::string& n) {
-              return eddis_.at(n)->assessment().uncertainty_exceeded;
+            eddis_.begin(), eddis_.end(), [](const auto& e) {
+              return e->assessment().uncertainty_exceeded;
             });
         over_threshold_streak_ = exceeded ? over_threshold_streak_ + 1 : 0;
         if (!descended_ && over_threshold_streak_ >= config_.descend_patience) {
@@ -832,14 +839,15 @@ RunnerResult MissionRunner::run() {
       rec.altitude_m = uav.true_position().up_m;
       rec.action = current_action[name];
       if (config_.sesame_enabled) {
-        const auto& a = eddis_.at(name)->assessment();
+        const auto& a = eddis_[uav.fleet_index()]->assessment();
         rec.p_fail = a.reliability.probability_of_failure;
         rec.sar_uncertainty = a.sar_uncertainty;
       }
       result.series[name].push_back(rec);
-      if (const auto it = staleness_gauges_.find(name);
-          it != staleness_gauges_.end()) {
-        it->second->set(telemetry_staleness_s(name));
+      if (uav.fleet_index() < staleness_gauges_.size() &&
+          staleness_gauges_[uav.fleet_index()] != nullptr) {
+        staleness_gauges_[uav.fleet_index()]->set(
+            telemetry_staleness_s(name));
       }
 
       // Safety invariants checked once per tick per vehicle.

@@ -27,26 +27,39 @@ RecoveryManager::RecoveryManager(std::vector<std::string> uavs,
       config_.ping_backoff < 1.0) {
     throw std::invalid_argument("RecoveryManager: non-positive bound");
   }
-  for (const auto& name : uavs_) tracks_[name];
+  tracks_.resize(uavs_.size());
+  for (std::size_t i = 0; i < uavs_.size(); ++i) index_[uavs_[i]] = i;
+  if (index_.size() != uavs_.size()) {
+    throw std::invalid_argument("RecoveryManager: duplicate vehicle name");
+  }
+}
+
+std::size_t RecoveryManager::index_of(const std::string& uav) const {
+  const auto it = index_.find(uav);
+  if (it == index_.end()) {
+    throw std::out_of_range("RecoveryManager: unknown vehicle " + uav);
+  }
+  return it->second;
 }
 
 void RecoveryManager::attach_observability(obs::Observability* o) {
   obs_ = o;
-  ping_counters_.clear();
-  demote_counters_.clear();
-  rth_counters_.clear();
+  ping_counters_.assign(uavs_.size(), nullptr);
+  demote_counters_.assign(uavs_.size(), nullptr);
+  rth_counters_.assign(uavs_.size(), nullptr);
   lost_counter_ = nullptr;
   recovered_counter_ = nullptr;
   if (o == nullptr) return;
   lost_counter_ = &o->metrics.counter("sesame.platform.uav_lost_total");
   recovered_counter_ =
       &o->metrics.counter("sesame.platform.recovery_recovered_total");
-  for (const auto& name : uavs_) {
-    ping_counters_[name] = &o->metrics.counter(
+  for (std::size_t i = 0; i < uavs_.size(); ++i) {
+    const auto& name = uavs_[i];
+    ping_counters_[i] = &o->metrics.counter(
         "sesame.platform.recovery_pings_total", {{"uav", name}});
-    demote_counters_[name] = &o->metrics.counter(
+    demote_counters_[i] = &o->metrics.counter(
         "sesame.platform.recovery_demotions_total", {{"uav", name}});
-    rth_counters_[name] = &o->metrics.counter(
+    rth_counters_[i] = &o->metrics.counter(
         "sesame.platform.rth_commanded_total", {{"uav", name}});
   }
 }
@@ -59,24 +72,25 @@ void RecoveryManager::emit(const char* event, const std::string& uav,
 }
 
 RecoveryState RecoveryManager::state(const std::string& uav) const {
-  return tracks_.at(uav).state;
+  return tracks_[index_of(uav)].state;
 }
 
 const RecoveryTimes& RecoveryManager::times(const std::string& uav) const {
-  return tracks_.at(uav).times;
+  return tracks_[index_of(uav)].times;
 }
 
 std::vector<std::string> RecoveryManager::lost_uavs() const {
   std::vector<std::string> lost;
-  for (const auto& name : uavs_) {
-    if (tracks_.at(name).state == RecoveryState::kLost) lost.push_back(name);
+  for (std::size_t i = 0; i < uavs_.size(); ++i) {
+    if (tracks_[i].state == RecoveryState::kLost) lost.push_back(uavs_[i]);
   }
   return lost;
 }
 
 void RecoveryManager::step(double now_s, const StalenessFn& staleness) {
-  for (const auto& name : uavs_) {
-    Track& track = tracks_.at(name);
+  for (std::size_t i = 0; i < uavs_.size(); ++i) {
+    const std::string& name = uavs_[i];
+    Track& track = tracks_[i];
     if (track.state == RecoveryState::kLost) continue;  // terminal
 
     if (staleness(name) <= config_.staleness_window_s) {
@@ -92,12 +106,13 @@ void RecoveryManager::step(double now_s, const StalenessFn& staleness) {
       }
       continue;
     }
-    escalate(name, track, now_s);
+    escalate(i, now_s);
   }
 }
 
-void RecoveryManager::escalate(const std::string& name, Track& track,
-                               double now_s) {
+void RecoveryManager::escalate(std::size_t i, double now_s) {
+  const std::string& name = uavs_[i];
+  Track& track = tracks_[i];
   switch (track.state) {
     case RecoveryState::kHealthy:
       track.state = RecoveryState::kPinging;
@@ -105,9 +120,8 @@ void RecoveryManager::escalate(const std::string& name, Track& track,
       track.pings = 1;
       track.deadline_s = now_s + config_.ping_timeout_s;
       ++pings_sent_;
-      if (const auto it = ping_counters_.find(name);
-          it != ping_counters_.end()) {
-        it->second->inc();
+      if (i < ping_counters_.size() && ping_counters_[i] != nullptr) {
+        ping_counters_[i]->inc();
       }
       emit("ping", name, now_s);
       if (hooks_.ping) hooks_.ping(name);
@@ -122,9 +136,8 @@ void RecoveryManager::escalate(const std::string& name, Track& track,
                                  static_cast<double>(track.pings));
         ++track.pings;
         ++pings_sent_;
-        if (const auto it = ping_counters_.find(name);
-            it != ping_counters_.end()) {
-          it->second->inc();
+        if (i < ping_counters_.size() && ping_counters_[i] != nullptr) {
+          ping_counters_[i]->inc();
         }
         emit("ping", name, now_s);
         if (hooks_.ping) hooks_.ping(name);
@@ -132,9 +145,8 @@ void RecoveryManager::escalate(const std::string& name, Track& track,
         track.state = RecoveryState::kDemoted;
         track.deadline_s = now_s + config_.demote_grace_s;
         ++demotions_;
-        if (const auto it = demote_counters_.find(name);
-            it != demote_counters_.end()) {
-          it->second->inc();
+        if (i < demote_counters_.size() && demote_counters_[i] != nullptr) {
+          demote_counters_[i]->inc();
         }
         emit("demote", name, now_s);
         if (hooks_.demote) hooks_.demote(name);
@@ -146,8 +158,8 @@ void RecoveryManager::escalate(const std::string& name, Track& track,
       track.state = RecoveryState::kRthCommanded;
       track.deadline_s = now_s + config_.rth_timeout_s;
       ++rth_commands_;
-      if (const auto it = rth_counters_.find(name); it != rth_counters_.end()) {
-        it->second->inc();
+      if (i < rth_counters_.size() && rth_counters_[i] != nullptr) {
+        rth_counters_[i]->inc();
       }
       emit("rth_commanded", name, now_s);
       if (hooks_.command_rth) hooks_.command_rth(name);

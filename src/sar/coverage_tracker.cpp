@@ -17,12 +17,57 @@ CoverageTracker::CoverageTracker(const Area& area, double cell_m)
   cells_east_ = static_cast<std::size_t>(std::ceil(area_.width() / cell_m_));
   cells_north_ = static_cast<std::size_t>(std::ceil(area_.height() / cell_m_));
   covered_.assign(cells_east_ * cells_north_, 0);
+  exact_grid_ =
+      static_cast<double>(cells_east_) * cell_m_ == area_.width() &&
+      static_cast<double>(cells_north_) * cell_m_ == area_.height();
 }
 
 double CoverageTracker::fraction_covered() const {
   if (covered_.empty()) return 0.0;
-  return static_cast<double>(covered_count_) /
-         static_cast<double>(covered_.size());
+  if (exact_grid_) {
+    return static_cast<double>(covered_count_) /
+           static_cast<double>(covered_.size());
+  }
+  return covered_area_m2_ / (area_.width() * area_.height());
+}
+
+double CoverageTracker::fraction_covered(const Area& region) const {
+  // Intersection of the query region with the tracked area.
+  const double east_lo = std::max(region.east_min, area_.east_min);
+  const double east_hi = std::min(region.east_max, area_.east_max);
+  const double north_lo = std::max(region.north_min, area_.north_min);
+  const double north_hi = std::min(region.north_max, area_.north_max);
+  if (east_hi <= east_lo || north_hi <= north_lo) return 0.0;
+
+  const auto cell_of = [&](double offset_m) {
+    return static_cast<std::size_t>(std::max(0.0, offset_m / cell_m_));
+  };
+  const std::size_t ie_lo = cell_of(east_lo - area_.east_min);
+  const std::size_t in_lo = cell_of(north_lo - area_.north_min);
+
+  double region_area = 0.0;
+  double covered_area = 0.0;
+  for (std::size_t in = in_lo; in < cells_north_; ++in) {
+    const double cell_n_lo = area_.north_min + static_cast<double>(in) * cell_m_;
+    if (cell_n_lo >= north_hi) break;
+    const double ext_n = std::min(cell_n_lo + cell_extent_north(in), north_hi) -
+                         std::max(cell_n_lo, north_lo);
+    if (ext_n <= 0.0) continue;
+    const std::size_t row = in * cells_east_;
+    for (std::size_t ie = ie_lo; ie < cells_east_; ++ie) {
+      const double cell_e_lo =
+          area_.east_min + static_cast<double>(ie) * cell_m_;
+      if (cell_e_lo >= east_hi) break;
+      const double ext_e =
+          std::min(cell_e_lo + cell_extent_east(ie), east_hi) -
+          std::max(cell_e_lo, east_lo);
+      if (ext_e <= 0.0) continue;
+      const double overlap = ext_e * ext_n;
+      region_area += overlap;
+      if (covered_[row + ie]) covered_area += overlap;
+    }
+  }
+  return region_area > 0.0 ? covered_area / region_area : 0.0;
 }
 
 void CoverageTracker::mark(const sim::Footprint& footprint) {
@@ -47,18 +92,21 @@ void CoverageTracker::mark(const sim::Footprint& footprint) {
   const auto in_hi = static_cast<std::size_t>(std::ceil(clamp_north(north_hi)));
 
   for (std::size_t in = in_lo; in < in_hi && in < cells_north_; ++in) {
-    // Cell centres must lie inside the footprint; the north half of that
-    // test is row-invariant, so it runs once per row.
+    // Cell centres (of the clipped extent, for a partial edge row) must lie
+    // inside the footprint; the north half of that test is row-invariant,
+    // so it runs once per row.
+    const double ext_n = cell_extent_north(in);
     const double centre_north =
-        area_.north_min + (static_cast<double>(in) + 0.5) * cell_m_;
+        area_.north_min + static_cast<double>(in) * cell_m_ + 0.5 * ext_n;
     if (std::abs(centre_north - footprint.center_north_m) >
         footprint.half_height_m) {
       continue;
     }
     const std::size_t row = in * cells_east_;
     for (std::size_t ie = ie_lo; ie < ie_hi && ie < cells_east_; ++ie) {
+      const double ext_e = cell_extent_east(ie);
       const double centre_east =
-          area_.east_min + (static_cast<double>(ie) + 0.5) * cell_m_;
+          area_.east_min + static_cast<double>(ie) * cell_m_ + 0.5 * ext_e;
       if (std::abs(centre_east - footprint.center_east_m) >
           footprint.half_width_m) {
         continue;
@@ -67,6 +115,7 @@ void CoverageTracker::mark(const sim::Footprint& footprint) {
       if (!covered_[idx]) {
         covered_[idx] = 1;
         ++covered_count_;
+        covered_area_m2_ += ext_e * ext_n;
       }
     }
   }
@@ -86,6 +135,7 @@ bool CoverageTracker::covered_at(const geo::EnuPoint& p) const {
 void CoverageTracker::reset() {
   std::fill(covered_.begin(), covered_.end(), std::uint8_t{0});
   covered_count_ = 0;
+  covered_area_m2_ = 0.0;
 }
 
 }  // namespace sesame::sar

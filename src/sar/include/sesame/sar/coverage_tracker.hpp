@@ -7,6 +7,7 @@
 // dropped-out UAV costs before task redistribution kicks in.
 #pragma once
 
+#include <algorithm>
 #include <cstddef>
 #include <cstdint>
 #include <vector>
@@ -27,10 +28,26 @@ class CoverageTracker {
   std::size_t cells_total() const noexcept { return covered_.size(); }
   std::size_t cells_covered() const noexcept { return covered_count_; }
 
-  /// Fraction of the area's cells seen at least once.
+  /// Fraction of the area (by true ground area, not cell count) seen at
+  /// least once. Edge cells of a region whose extent is not an exact
+  /// multiple of the cell size carry only their real (clipped) area, so
+  /// partial rows/columns no longer over-report coverage.
   double fraction_covered() const;
 
-  /// Marks every cell whose centre lies inside the footprint.
+  /// Covered ground area in square metres (edge cells clipped to the area).
+  double covered_area_m2() const noexcept { return covered_area_m2_; }
+
+  /// Fraction of `region` (clipped to the tracker's area) that is covered,
+  /// with boundary cells weighted by their intersection with the region.
+  /// Overlapping sweep regions share the underlying cells, so querying two
+  /// overlapping strips never double-counts the shared ground: each cell's
+  /// area is credited once globally, and per-region queries of a disjoint
+  /// partition sum exactly to the global covered area. Returns 0 when the
+  /// region does not intersect the tracker's area.
+  double fraction_covered(const Area& region) const;
+
+  /// Marks every cell whose centre (of its clipped extent, for edge cells)
+  /// lies inside the footprint.
   void mark(const sim::Footprint& footprint);
 
   /// Whether the cell containing the point has been covered. Points
@@ -48,9 +65,21 @@ class CoverageTracker {
   // path, and byte stores beat vector<bool>'s bit twiddling there.
   std::vector<std::uint8_t> covered_;
   std::size_t covered_count_ = 0;
+  double covered_area_m2_ = 0.0;
+  // True when the area divides evenly into cells; fraction_covered() then
+  // reduces to the exact covered-count ratio (no floating-point area sums).
+  bool exact_grid_ = true;
 
   std::size_t index(std::size_t ie, std::size_t in) const {
     return in * cells_east_ + ie;
+  }
+  // Clipped extents of a cell (only the last row/column can be partial).
+  double cell_extent_east(std::size_t ie) const {
+    return std::min(cell_m_, area_.width() - static_cast<double>(ie) * cell_m_);
+  }
+  double cell_extent_north(std::size_t in) const {
+    return std::min(cell_m_,
+                    area_.height() - static_cast<double>(in) * cell_m_);
   }
 };
 

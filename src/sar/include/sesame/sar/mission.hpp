@@ -13,6 +13,7 @@
 #include "sesame/perception/tracker.hpp"
 #include "sesame/sar/coverage.hpp"
 #include "sesame/sar/coverage_tracker.hpp"
+#include "sesame/sim/spatial_grid.hpp"
 #include "sesame/sim/world.hpp"
 
 namespace sesame::sar {
@@ -117,6 +118,12 @@ class SarMission {
   DetectionStats stats_;
   std::optional<CoverageTracker> tracker_;
   std::size_t total_assigned_ = 0;
+
+  // Spatial index over the world's (static) person positions: each tick
+  // queries the camera footprint instead of scanning every person per
+  // vehicle. Rebuilt only when the person count changes.
+  sim::SpatialGrid person_grid_{50.0};
+  std::vector<std::uint32_t> candidate_scratch_;
 };
 
 }  // namespace sesame::sar

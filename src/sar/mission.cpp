@@ -68,15 +68,26 @@ void SarMission::tick() {
   ++stats_.frames;
   last_tick_detectors_.clear();
   auto& persons = world_->persons();
+  if (person_grid_.indexed_points() != persons.size()) {
+    person_grid_.rebuild(persons.size(),
+                         [&persons](std::size_t i) -> const geo::EnuPoint& {
+                           return persons[i].position;
+                         });
+  }
   for (const auto& name : active_uavs_) {
     const sim::Uav& uav = world_->uav_by_name(name);
     if (!uav.airborne()) continue;
     if (!uav.vision_sensor_healthy()) continue;  // camera blind: no frames
-    if (tracker_) {
-      tracker_->mark(detector_.camera().footprint(uav.true_position()));
-    }
-    const auto detections =
-        detector_.detect(uav.true_position(), persons, world_->rng());
+    const auto fp = detector_.camera().footprint(uav.true_position());
+    if (tracker_) tracker_->mark(fp);
+    candidate_scratch_.clear();
+    person_grid_.query_rect(fp.center_east_m - fp.half_width_m,
+                            fp.center_east_m + fp.half_width_m,
+                            fp.center_north_m - fp.half_height_m,
+                            fp.center_north_m + fp.half_height_m,
+                            candidate_scratch_);
+    const auto detections = detector_.detect(uav.true_position(), persons,
+                                             candidate_scratch_, world_->rng());
     if (!detections.empty()) last_tick_detectors_.push_back(name);
     person_tracker_.update(detections);
     for (const auto& d : detections) {

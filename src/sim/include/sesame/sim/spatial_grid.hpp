@@ -1,0 +1,81 @@
+// Uniform-grid spatial index over ENU ground positions.
+//
+// Fleet-scale queries (person-detection geometry, neighbor checks) are
+// O(all pairs) when every vehicle scans every point per tick; bucketing
+// points into ground-plane cells turns each query into a visit of the few
+// cells overlapping the query window. Candidates are returned in ascending
+// index order so RNG-consuming callers (the person detector draws per
+// candidate) keep a draw order that is independent of bucket layout — the
+// bit-identity contract extends to the index.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <stdexcept>
+#include <unordered_map>
+#include <vector>
+
+namespace sesame::sim {
+
+class SpatialGrid {
+ public:
+  explicit SpatialGrid(double cell_m = 50.0) : cell_m_(cell_m) {
+    if (cell_m_ <= 0.0) {
+      throw std::invalid_argument("SpatialGrid: non-positive cell size");
+    }
+  }
+
+  double cell_m() const noexcept { return cell_m_; }
+  std::size_t indexed_points() const noexcept { return n_points_; }
+
+  /// Rebuilds the index over `n` points; `point_of(i)` must return
+  /// something with `east_m`/`north_m` members. Bucket storage is reused
+  /// across rebuilds, so a once-per-step refresh does not allocate in
+  /// steady state.
+  template <class GetPoint>
+  void rebuild(std::size_t n, GetPoint&& point_of) {
+    for (auto& [key, bucket] : cells_) bucket.clear();
+    n_points_ = n;
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto& p = point_of(i);
+      cells_[key_of(cell_coord(p.east_m), cell_coord(p.north_m))].push_back(
+          static_cast<std::uint32_t>(i));
+    }
+  }
+
+  /// Appends the indices of every point whose cell overlaps the rectangle
+  /// [east_lo, east_hi] x [north_lo, north_hi] to `out`, sorted ascending.
+  /// Callers apply their exact geometric test to the candidates.
+  void query_rect(double east_lo, double east_hi, double north_lo,
+                  double north_hi, std::vector<std::uint32_t>& out) const {
+    const std::size_t before = out.size();
+    const std::int64_t ie_lo = cell_coord(east_lo);
+    const std::int64_t ie_hi = cell_coord(east_hi);
+    const std::int64_t in_lo = cell_coord(north_lo);
+    const std::int64_t in_hi = cell_coord(north_hi);
+    for (std::int64_t in = in_lo; in <= in_hi; ++in) {
+      for (std::int64_t ie = ie_lo; ie <= ie_hi; ++ie) {
+        const auto it = cells_.find(key_of(ie, in));
+        if (it == cells_.end()) continue;
+        out.insert(out.end(), it->second.begin(), it->second.end());
+      }
+    }
+    std::sort(out.begin() + static_cast<std::ptrdiff_t>(before), out.end());
+  }
+
+ private:
+  std::int64_t cell_coord(double metres) const {
+    return static_cast<std::int64_t>(std::floor(metres / cell_m_));
+  }
+  static std::uint64_t key_of(std::int64_t ie, std::int64_t in) {
+    return (static_cast<std::uint64_t>(ie) << 32) ^
+           (static_cast<std::uint64_t>(in) & 0xFFFFFFFFULL);
+  }
+
+  double cell_m_;
+  std::size_t n_points_ = 0;
+  std::unordered_map<std::uint64_t, std::vector<std::uint32_t>> cells_;
+};
+
+}  // namespace sesame::sim

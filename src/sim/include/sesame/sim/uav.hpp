@@ -8,12 +8,14 @@
 // Localization) corrects it.
 #pragma once
 
+#include <cstddef>
 #include <deque>
 #include <optional>
 #include <string>
 
 #include "sesame/geo/geodesy.hpp"
 #include "sesame/sim/battery.hpp"
+#include "sesame/sim/fleet_state.hpp"
 #include "sesame/sim/gps.hpp"
 
 namespace sesame::sim {
@@ -58,13 +60,18 @@ struct Wind {
   double gust_sigma_mps = 0.0;
 };
 
-/// One simulated multirotor.
+/// One simulated multirotor: a *view* over the fleet's struct-of-arrays
+/// state. The hot per-vehicle quantities (positions, velocity commands,
+/// battery SoC) live in the FleetState the World owns; this object carries
+/// the cold per-vehicle state (config, waypoint queue, mode machine,
+/// battery/GPS models) plus its fleet index.
 class Uav {
  public:
   /// `home` is the takeoff/landing point; the world's local frame is used
-  /// for all ENU conversions.
+  /// for all ENU conversions. `fleet` must outlive the vehicle and already
+  /// contain a slot at `index` (World::add_uav arranges both).
   Uav(UavConfig config, const geo::LocalFrame& frame, const geo::GeoPoint& home,
-      mathx::Rng& rng);
+      mathx::Rng& rng, FleetState& fleet, std::size_t index);
 
   const std::string& name() const noexcept { return config_.name; }
   FlightMode mode() const noexcept { return mode_; }
@@ -73,13 +80,24 @@ class Uav {
   Gps& gps() noexcept { return gps_; }
   const Gps& gps() const noexcept { return gps_; }
 
-  /// Ground-truth position (world ENU).
-  const geo::EnuPoint& true_position() const noexcept { return true_pos_; }
-  geo::GeoPoint true_geo() const { return frame_->to_geo(true_pos_); }
+  /// Ground-truth position (world ENU). The reference points into the
+  /// fleet's position array; it is resolved per call, so it stays valid
+  /// across later add_uav reallocations as long as it is not cached.
+  const geo::EnuPoint& true_position() const noexcept {
+    return fleet_->true_pos[index_];
+  }
+  geo::GeoPoint true_geo() const { return frame_->to_geo(true_position()); }
 
   /// Navigation estimate the vehicle currently believes (world ENU).
-  const geo::EnuPoint& estimated_position() const noexcept { return est_pos_; }
-  geo::GeoPoint estimated_geo() const { return frame_->to_geo(est_pos_); }
+  const geo::EnuPoint& estimated_position() const noexcept {
+    return fleet_->est_pos[index_];
+  }
+  geo::GeoPoint estimated_geo() const {
+    return frame_->to_geo(estimated_position());
+  }
+
+  /// This vehicle's index into the fleet's struct-of-arrays state.
+  std::size_t fleet_index() const noexcept { return index_; }
 
   /// Estimation error magnitude (metres, ground plane).
   double estimation_error_m() const;
@@ -134,8 +152,23 @@ class Uav {
   /// Localization) into the estimator.
   void correct_estimate(const geo::GeoPoint& fix);
 
-  /// Advances the vehicle by dt seconds under the given wind.
+  /// Advances the vehicle by dt seconds under the given wind. Equivalent
+  /// to plan(dt) followed by integrate(dt, wind).
   void step(double dt_s, const Wind& wind);
+
+  /// Phase 1 of a step: mode logic and guidance. Computes the commanded
+  /// velocity from the vehicle's *own previous-step* state and draws no
+  /// randomness, so the world batches this pass over the whole fleet
+  /// before any stochastic state advances — same results as the fused
+  /// per-vehicle loop, but with the arithmetic-heavy guidance math
+  /// streaming over the contiguous fleet arrays.
+  void plan(double dt_s);
+
+  /// Phase 2 of a step: gusts, motion integration, GPS estimate, battery.
+  /// Consumes the world RNG; the world runs this pass in vehicle order so
+  /// the fleet-wide draw sequence matches the pre-split simulation
+  /// bit-for-bit.
+  void integrate(double dt_s, const Wind& wind);
 
   /// Distance flown since construction (true path length, metres).
   double odometer_m() const noexcept { return odometer_m_; }
@@ -147,11 +180,11 @@ class Uav {
   UavConfig config_;
   const geo::LocalFrame* frame_;
   mathx::Rng* rng_;
+  FleetState* fleet_;
+  std::size_t index_;
   Battery battery_;
   Gps gps_;
 
-  geo::EnuPoint true_pos_;
-  geo::EnuPoint est_pos_;
   geo::EnuPoint home_;
   // Position-hold anchor latched when an emergency landing is commanded;
   // the vehicle station-keeps over it (using its estimate) while
@@ -159,14 +192,24 @@ class Uav {
   geo::EnuPoint emergency_anchor_;
   std::deque<geo::EnuPoint> waypoints_;
   FlightMode mode_ = FlightMode::kIdle;
+  BatteryLoad planned_load_ = BatteryLoad::kIdle;  ///< plan() → integrate()
 
   double odometer_m_ = 0.0;
   std::size_t motors_failed_ = 0;
   bool vision_sensor_healthy_ = true;
-  // Commanded velocity of the last step, for dead reckoning.
-  double cmd_east_mps_ = 0.0;
-  double cmd_north_mps_ = 0.0;
-  double cmd_up_mps_ = 0.0;
+
+  // Mutable views into the fleet arrays (hot state). Const-qualified on
+  // purpose: they dereference the fleet pointer, and several const readers
+  // (estimation error, remaining path length) share them.
+  geo::EnuPoint& true_pos() const noexcept { return fleet_->true_pos[index_]; }
+  geo::EnuPoint& est_pos() const noexcept { return fleet_->est_pos[index_]; }
+  double& cmd_east_mps() const noexcept {
+    return fleet_->cmd_east_mps[index_];
+  }
+  double& cmd_north_mps() const noexcept {
+    return fleet_->cmd_north_mps[index_];
+  }
+  double& cmd_up_mps() const noexcept { return fleet_->cmd_up_mps[index_]; }
 
   void navigate_towards(const geo::EnuPoint& target, double dt_s);
   void update_estimate(double dt_s);

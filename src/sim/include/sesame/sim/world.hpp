@@ -20,6 +20,8 @@
 #include "sesame/mw/bus.hpp"
 #include "sesame/obs/metrics.hpp"
 #include "sesame/sim/comm_link.hpp"
+#include "sesame/sim/fleet_state.hpp"
+#include "sesame/sim/spatial_grid.hpp"
 #include "sesame/sim/uav.hpp"
 
 namespace sesame::sim {
@@ -99,6 +101,20 @@ class World {
   Uav& uav(std::size_t i) { return *uavs_.at(i).uav; }
   const Uav& uav(std::size_t i) const { return *uavs_.at(i).uav; }
 
+  /// The fleet's struct-of-arrays hot state (positions, velocity commands,
+  /// battery SoC mirror, link quality), indexed by vehicle add-order.
+  const FleetState& fleet() const noexcept { return fleet_; }
+
+  /// True when any *other* vehicle is within `radius_m` 3-D distance of
+  /// vehicle `i`. `airborne_only` restricts the match to flying vehicles
+  /// (the collaborative-localization availability check: a wreck cannot
+  /// assist); when false, grounded and crashed vehicles count too
+  /// (separation sweeps treat wrecks as obstacles). Backed by a
+  /// uniform-grid index refreshed lazily after each step, so a fleet-wide
+  /// sweep costs O(N · cells) instead of the all-pairs O(N^2) scan.
+  bool has_neighbor_within(std::size_t i, double radius_m,
+                           bool airborne_only = false);
+
   /// Finds a UAV by name; throws std::out_of_range when absent.
   Uav& uav_by_name(const std::string& name);
 
@@ -166,6 +182,9 @@ class World {
   mw::Bus bus_;
   Wind wind_;
   double time_s_ = 0.0;
+  // Declared before uavs_: every Uav view points into it, so it must
+  // outlive them (members destroy in reverse declaration order).
+  FleetState fleet_;
 
   struct Slot {
     std::unique_ptr<Uav> uav;
@@ -190,6 +209,10 @@ class World {
 
   double heartbeat_period_s_ = 0.0;  ///< <= 0: heartbeats off
   double next_heartbeat_s_ = 0.0;
+
+  SpatialGrid uav_grid_{125.0};
+  bool uav_grid_stale_ = true;
+  std::vector<std::uint32_t> neighbor_scratch_;
 
   obs::Histogram* step_duration_ = nullptr;
   obs::Counter* steps_total_ = nullptr;

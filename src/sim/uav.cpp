@@ -21,21 +21,22 @@ std::string flight_mode_name(FlightMode m) {
 }
 
 Uav::Uav(UavConfig config, const geo::LocalFrame& frame, const geo::GeoPoint& home,
-         mathx::Rng& rng)
-    : config_(std::move(config)), frame_(&frame), rng_(&rng),
-      battery_(config_.battery), gps_(config_.gps, rng) {
+         mathx::Rng& rng, FleetState& fleet, std::size_t index)
+    : config_(std::move(config)), frame_(&frame), rng_(&rng), fleet_(&fleet),
+      index_(index), battery_(config_.battery), gps_(config_.gps, rng) {
   if (config_.cruise_speed_mps <= 0.0 || config_.climb_rate_mps <= 0.0 ||
       config_.descent_rate_mps <= 0.0) {
     throw std::invalid_argument("Uav: non-positive speed");
   }
   home_ = frame_->to_enu(home);
   home_.up_m = 0.0;
-  true_pos_ = home_;
-  est_pos_ = home_;
+  true_pos() = home_;
+  est_pos() = home_;
+  fleet_->soc[index_] = battery_.soc();
 }
 
 double Uav::estimation_error_m() const {
-  return geo::enu_ground_distance_m(true_pos_, est_pos_);
+  return geo::enu_ground_distance_m(true_pos(), est_pos());
 }
 
 void Uav::add_waypoint(const geo::EnuPoint& wp) { waypoints_.push_back(wp); }
@@ -44,7 +45,7 @@ void Uav::clear_waypoints() { waypoints_.clear(); }
 
 double Uav::remaining_path_length_m() const {
   if (waypoints_.empty()) return 0.0;
-  double total = geo::enu_distance_m(est_pos_, waypoints_.front());
+  double total = geo::enu_distance_m(est_pos(), waypoints_.front());
   for (std::size_t i = 1; i < waypoints_.size(); ++i) {
     total += geo::enu_distance_m(waypoints_[i - 1], waypoints_[i]);
   }
@@ -89,14 +90,14 @@ void Uav::command_return_to_base() {
 void Uav::command_emergency_land() {
   if (airborne()) {
     mode_ = FlightMode::kEmergencyLand;
-    emergency_anchor_ = est_pos_;
+    emergency_anchor_ = est_pos();
   }
 }
 
 void Uav::correct_estimate(const geo::GeoPoint& fix) {
   const geo::EnuPoint e = frame_->to_enu(fix);
-  est_pos_.east_m = e.east_m;
-  est_pos_.north_m = e.north_m;
+  est_pos().east_m = e.east_m;
+  est_pos().north_m = e.north_m;
   // Altitude comes from the barometer in practice; keep our own.
 }
 
@@ -108,9 +109,9 @@ bool Uav::airborne() const noexcept {
 
 void Uav::force_crash() {
   mode_ = FlightMode::kCrashed;
-  true_pos_.up_m = 0.0;
-  est_pos_.up_m = 0.0;
-  cmd_east_mps_ = cmd_north_mps_ = cmd_up_mps_ = 0.0;
+  true_pos().up_m = 0.0;
+  est_pos().up_m = 0.0;
+  cmd_east_mps() = cmd_north_mps() = cmd_up_mps() = 0.0;
 }
 
 void Uav::fail_motor() {
@@ -129,9 +130,9 @@ double Uav::effective_cruise_speed() const {
 
 void Uav::navigate_towards(const geo::EnuPoint& target, double dt_s) {
   // Proportional guidance on the *estimated* position.
-  const double de = target.east_m - est_pos_.east_m;
-  const double dn = target.north_m - est_pos_.north_m;
-  const double du = target.up_m - est_pos_.up_m;
+  const double de = target.east_m - est_pos().east_m;
+  const double dn = target.north_m - est_pos().north_m;
+  const double du = target.up_m - est_pos().up_m;
   const double ground = std::sqrt(de * de + dn * dn);
 
   double ve = 0.0, vn = 0.0;
@@ -146,23 +147,23 @@ void Uav::navigate_towards(const geo::EnuPoint& target, double dt_s) {
     const double rate = du > 0.0 ? config_.climb_rate_mps : config_.descent_rate_mps;
     vu = std::clamp(du / std::max(dt_s, 1e-6), -rate, rate);
   }
-  cmd_east_mps_ = ve;
-  cmd_north_mps_ = vn;
-  cmd_up_mps_ = vu;
+  cmd_east_mps() = ve;
+  cmd_north_mps() = vn;
+  cmd_up_mps() = vu;
 }
 
 void Uav::update_estimate(double dt_s) {
   const auto fix = gps_.read(true_geo(), dt_s);
   if (fix.has_value()) {
     const geo::EnuPoint e = frame_->to_enu(fix->position);
-    est_pos_.east_m = e.east_m;
-    est_pos_.north_m = e.north_m;
-    est_pos_.up_m = true_pos_.up_m;  // barometric altitude: near-truth
+    est_pos().east_m = e.east_m;
+    est_pos().north_m = e.north_m;
+    est_pos().up_m = true_pos().up_m;  // barometric altitude: near-truth
   } else {
     // Dead reckoning on commanded velocity; wind drift goes unnoticed.
-    est_pos_.east_m += cmd_east_mps_ * dt_s;
-    est_pos_.north_m += cmd_north_mps_ * dt_s;
-    est_pos_.up_m = true_pos_.up_m;
+    est_pos().east_m += cmd_east_mps() * dt_s;
+    est_pos().north_m += cmd_north_mps() * dt_s;
+    est_pos().up_m = true_pos().up_m;
   }
 }
 
@@ -172,22 +173,28 @@ void Uav::apply_motion(double dt_s, const Wind& wind) {
     gust_e = rng_->normal(0.0, wind.gust_sigma_mps);
     gust_n = rng_->normal(0.0, wind.gust_sigma_mps);
   }
-  const double ve = cmd_east_mps_ + (airborne() ? wind.east_mps + gust_e : 0.0);
-  const double vn = cmd_north_mps_ + (airborne() ? wind.north_mps + gust_n : 0.0);
+  const double ve = cmd_east_mps() + (airborne() ? wind.east_mps + gust_e : 0.0);
+  const double vn = cmd_north_mps() + (airborne() ? wind.north_mps + gust_n : 0.0);
   const double de = ve * dt_s;
   const double dn = vn * dt_s;
-  const double du = cmd_up_mps_ * dt_s;
-  true_pos_.east_m += de;
-  true_pos_.north_m += dn;
-  true_pos_.up_m = std::max(0.0, true_pos_.up_m + du);
+  const double du = cmd_up_mps() * dt_s;
+  true_pos().east_m += de;
+  true_pos().north_m += dn;
+  true_pos().up_m = std::max(0.0, true_pos().up_m + du);
   odometer_m_ += std::sqrt(de * de + dn * dn + du * du);
 }
 
 void Uav::step(double dt_s, const Wind& wind) {
   if (dt_s <= 0.0) throw std::invalid_argument("Uav::step: non-positive dt");
+  plan(dt_s);
+  integrate(dt_s, wind);
+}
+
+void Uav::plan(double dt_s) {
+  if (dt_s <= 0.0) throw std::invalid_argument("Uav::plan: non-positive dt");
   if (mode_ == FlightMode::kCrashed) return;  // wreckage does not fly
 
-  cmd_east_mps_ = cmd_north_mps_ = cmd_up_mps_ = 0.0;
+  cmd_east_mps() = cmd_north_mps() = cmd_up_mps() = 0.0;
   BatteryLoad load = BatteryLoad::kIdle;
 
   switch (mode_) {
@@ -197,11 +204,11 @@ void Uav::step(double dt_s, const Wind& wind) {
       break;
 
     case FlightMode::kTakeoff: {
-      geo::EnuPoint up = est_pos_;
+      geo::EnuPoint up = est_pos();
       up.up_m = config_.mission_altitude_m;
       navigate_towards(up, dt_s);
       load = BatteryLoad::kHover;
-      if (true_pos_.up_m >= config_.mission_altitude_m - 0.5) {
+      if (true_pos().up_m >= config_.mission_altitude_m - 0.5) {
         mode_ = waypoints_.empty() ? FlightMode::kHold : FlightMode::kMission;
       }
       break;
@@ -215,7 +222,7 @@ void Uav::step(double dt_s, const Wind& wind) {
       }
       navigate_towards(waypoints_.front(), dt_s);
       load = BatteryLoad::kCruise;
-      const double d = geo::enu_distance_m(est_pos_, waypoints_.front());
+      const double d = geo::enu_distance_m(est_pos(), waypoints_.front());
       if (d <= config_.waypoint_capture_m) {
         waypoints_.pop_front();
         if (waypoints_.empty()) mode_ = FlightMode::kHold;
@@ -230,16 +237,16 @@ void Uav::step(double dt_s, const Wind& wind) {
     case FlightMode::kReturnToBase: {
       geo::EnuPoint above_home = home_;
       above_home.up_m = config_.mission_altitude_m;
-      const double ground_d = geo::enu_ground_distance_m(est_pos_, home_);
+      const double ground_d = geo::enu_ground_distance_m(est_pos(), home_);
       if (ground_d > config_.waypoint_capture_m) {
         navigate_towards(above_home, dt_s);
         load = BatteryLoad::kCruise;
       } else {
-        geo::EnuPoint down = est_pos_;
+        geo::EnuPoint down = est_pos();
         down.up_m = 0.0;
         navigate_towards(down, dt_s);
         load = BatteryLoad::kHover;
-        if (true_pos_.up_m <= 0.05) mode_ = FlightMode::kLanded;
+        if (true_pos().up_m <= 0.05) mode_ = FlightMode::kLanded;
       }
       break;
     }
@@ -249,14 +256,24 @@ void Uav::step(double dt_s, const Wind& wind) {
       down.up_m = 0.0;
       navigate_towards(down, dt_s);
       load = BatteryLoad::kHover;
-      if (true_pos_.up_m <= 0.05) mode_ = FlightMode::kLanded;
+      if (true_pos().up_m <= 0.05) mode_ = FlightMode::kLanded;
       break;
     }
   }
 
+  planned_load_ = load;
+}
+
+void Uav::integrate(double dt_s, const Wind& wind) {
+  if (dt_s <= 0.0) {
+    throw std::invalid_argument("Uav::integrate: non-positive dt");
+  }
+  if (mode_ == FlightMode::kCrashed) return;
+
   apply_motion(dt_s, wind);
   update_estimate(dt_s);
-  battery_.step(dt_s, load);
+  battery_.step(dt_s, planned_load_);
+  fleet_->soc[index_] = battery_.soc();
   if (battery_.depleted() && airborne() &&
       mode_ != FlightMode::kEmergencyLand) {
     // A dead pack means an uncontrolled descent; model as emergency land.

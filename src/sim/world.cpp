@@ -22,70 +22,88 @@ std::string health_topic(const std::string& uav_name) {
 }
 
 // Drops C2 traffic with probability 1 − link quality at the publishing
-// UAV's current ground distance from the GCS. Quality is sampled (fading
-// included) from a private RNG so the world's own random stream — and with
-// it every trajectory — is untouched by the link model.
+// UAV's current ground distance from the GCS. Each vehicle's fading and
+// drop draws come from its *own* SplitMix64-derived stream (keyed by the
+// vehicle's add-order index), so the world's random stream is untouched
+// AND one vehicle's traffic volume never perturbs another vehicle's link
+// draws: adding, crashing, or losing a vehicle mid-run leaves every other
+// link sequence bit-identical — the property chaos campaigns rely on.
 class World::LinkGate : public mw::DeliveryPolicy {
  public:
+  static constexpr std::uint32_t kNotC2 = 0xFFFFFFFFu;
+
   LinkGate(World& world, const LossyLinkConfig& config)
       : world_(world), link_(config.link), gcs_(config.gcs_enu),
-        rng_(config.seed) {}
+        seed_(config.seed) {}
 
   mw::FaultDecision decide(const mw::MessageHeader& header) override {
     mw::FaultDecision d;
-    const Uav* uav = uav_for_topic(header);
-    if (uav == nullptr) return d;  // not C2 traffic
+    const std::uint32_t index = uav_for_topic(header);
+    if (index == kNotC2) return d;  // not C2 traffic
+    mathx::Rng& rng = stream_for(index);
+    const Uav& uav = *world_.uavs_[index].uav;
     const double distance_m =
-        geo::enu_ground_distance_m(uav->true_position(), gcs_);
-    const double quality = link_.sample_quality(distance_m, rng_);
-    d.drop = rng_.bernoulli(1.0 - quality);
+        geo::enu_ground_distance_m(uav.true_position(), gcs_);
+    const double quality = link_.sample_quality(distance_m, rng);
+    world_.fleet_.link_quality[index] = quality;
+    d.drop = rng.bernoulli(1.0 - quality);
     return d;
   }
 
  private:
+  /// The vehicle's decoupled link stream, created on first use.
+  mathx::Rng& stream_for(std::uint32_t index) {
+    while (streams_.size() <= index) {
+      streams_.emplace_back(derive_stream_seed(seed_, streams_.size()));
+    }
+    return streams_[index];
+  }
+
   /// Resolves "uav/<name>/telemetry" and "uav/<name>/position_fix" to the
-  /// UAV whose link the message rides; nullptr for any other topic. The
-  /// per-TopicId resolution is memoised: steady-state C2 traffic costs one
-  /// indexed load here, not a topic-string parse.
-  const Uav* uav_for_topic(const mw::MessageHeader& header) {
+  /// index of the UAV whose link the message rides; kNotC2 for any other
+  /// topic. The per-TopicId resolution is memoised: steady-state C2
+  /// traffic costs one indexed load here, not a topic-string parse.
+  std::uint32_t uav_for_topic(const mw::MessageHeader& header) {
     const std::uint32_t idx = header.topic_id.index();
-    if (idx < cache_.size() && cache_[idx].known) return cache_[idx].uav;
+    if (idx < cache_.size() && cache_[idx].known) return cache_[idx].uav_index;
     const std::string_view topic = header.topic;
     bool cacheable = true;
-    const Uav* uav = parse_topic(topic, cacheable);
+    const std::uint32_t uav_index = parse_topic(topic, cacheable);
     if (cacheable && header.topic_id.valid()) {
       if (cache_.size() <= idx) cache_.resize(idx + 1);
-      cache_[idx] = {true, uav};
+      cache_[idx] = {true, uav_index};
     }
-    return uav;
+    return uav_index;
   }
 
   /// `cacheable` is cleared for topics that *look like* C2 traffic but name
-  /// an unknown UAV — one added later must not inherit a stale nullptr.
-  const Uav* parse_topic(std::string_view topic, bool& cacheable) const {
-    if (!topic.starts_with("uav/")) return nullptr;
+  /// an unknown UAV — one added later must not inherit a stale miss.
+  std::uint32_t parse_topic(std::string_view topic, bool& cacheable) const {
+    if (!topic.starts_with("uav/")) return kNotC2;
     const auto slash = topic.find('/', 4);
-    if (slash == std::string_view::npos) return nullptr;
+    if (slash == std::string_view::npos) return kNotC2;
     const std::string_view suffix = topic.substr(slash);
-    if (suffix != "/telemetry" && suffix != "/position_fix") return nullptr;
+    if (suffix != "/telemetry" && suffix != "/position_fix") return kNotC2;
     const std::string_view name = topic.substr(4, slash - 4);
-    for (const auto& slot : world_.uavs_) {
-      if (slot.uav->name() == name) return slot.uav.get();
+    if (const auto it = world_.uav_index_.find(name);
+        it != world_.uav_index_.end()) {
+      return static_cast<std::uint32_t>(it->second);
     }
     cacheable = false;
-    return nullptr;
+    return kNotC2;
   }
 
   struct CacheSlot {
     bool known = false;
-    const Uav* uav = nullptr;
+    std::uint32_t uav_index = kNotC2;
   };
 
   World& world_;
   CommLink link_;
   geo::EnuPoint gcs_;
-  mathx::Rng rng_;
-  std::vector<CacheSlot> cache_;  ///< indexed by TopicId
+  std::uint64_t seed_;
+  std::vector<mathx::Rng> streams_;  ///< indexed by vehicle add-order
+  std::vector<CacheSlot> cache_;     ///< indexed by TopicId
 };
 
 World::World(const geo::GeoPoint& origin, std::uint64_t seed)
@@ -118,8 +136,11 @@ std::size_t World::add_uav(UavConfig config, const geo::GeoPoint& home) {
     throw std::invalid_argument("World::add_uav: duplicate name " + config.name);
   }
   Slot slot;
-  slot.uav = std::make_unique<Uav>(std::move(config), frame_, home, rng_);
+  const std::size_t fleet_index = fleet_.add({0.0, 0.0, 0.0}, 1.0);
+  slot.uav = std::make_unique<Uav>(std::move(config), frame_, home, rng_,
+                                   fleet_, fleet_index);
   Uav* raw = slot.uav.get();
+  uav_grid_stale_ = true;
   // The fix channel is trusted verbatim — the deliberate vulnerability.
   slot.fix_subscription = bus_.subscribe<geo::GeoPoint>(
       position_fix_topic(raw->name()),
@@ -211,10 +232,21 @@ void World::step(double dt_s) {
   // Delayed messages mature on the step boundary so a "delay by N steps"
   // fault means exactly N calls to step(), independent of wall time.
   bus_.drain_delayed();
+  // Phase 1: batched guidance. plan() is RNG-free and reads only the
+  // vehicle's own previous-step state, so running it fleet-wide first is
+  // result-identical to the old fused per-vehicle loop while streaming the
+  // guidance arithmetic over the contiguous fleet arrays.
   for (auto& slot : uavs_) {
-    slot.uav->step(dt_s, wind_);
+    slot.uav->plan(dt_s);
+  }
+  // Phase 2: stochastic pass in vehicle order — gusts, motion, GPS,
+  // battery. The fleet-wide RNG draw sequence matches the pre-split
+  // simulation bit-for-bit.
+  for (auto& slot : uavs_) {
+    slot.uav->integrate(dt_s, wind_);
   }
   time_s_ += dt_s;
+  uav_grid_stale_ = true;
   for (auto& slot : uavs_) {
     // A wreck's radio is dead: no telemetry, no heartbeats.
     if (slot.uav->mode() == FlightMode::kCrashed) continue;
@@ -261,6 +293,34 @@ void World::publish_telemetry(const Slot& slot) {
 
 void World::run(std::size_t n, double dt_s) {
   for (std::size_t i = 0; i < n; ++i) step(dt_s);
+}
+
+bool World::has_neighbor_within(std::size_t i, double radius_m,
+                                bool airborne_only) {
+  if (i >= uavs_.size()) {
+    throw std::out_of_range("World::has_neighbor_within: bad index");
+  }
+  if (radius_m <= 0.0) return false;
+  if (uav_grid_stale_) {
+    uav_grid_.rebuild(fleet_.size(),
+                      [this](std::size_t j) -> const geo::EnuPoint& {
+                        return fleet_.true_pos[j];
+                      });
+    uav_grid_stale_ = false;
+  }
+  const geo::EnuPoint& p = fleet_.true_pos[i];
+  neighbor_scratch_.clear();
+  // A ground-plane window of the query radius over-approximates the 3-D
+  // ball; candidates get the exact distance test below.
+  uav_grid_.query_rect(p.east_m - radius_m, p.east_m + radius_m,
+                       p.north_m - radius_m, p.north_m + radius_m,
+                       neighbor_scratch_);
+  for (const std::uint32_t j : neighbor_scratch_) {
+    if (j == i) continue;
+    if (airborne_only && !uavs_[j].uav->airborne()) continue;
+    if (geo::enu_distance_m(fleet_.true_pos[j], p) < radius_m) return true;
+  }
+  return false;
 }
 
 }  // namespace sesame::sim

@@ -71,6 +71,14 @@ TEST(ScenarioFactory, PresetsCoverThePaperScenarios) {
       campaign::ScenarioFactory::preset("spoofing_lossy").base().lossy_links);
   EXPECT_FALSE(
       campaign::ScenarioFactory::preset("baseline").base().sesame_enabled);
+  const auto fleet = campaign::ScenarioFactory::preset("fleet_1024");
+  EXPECT_EQ(fleet.base().n_uavs, 1024u);
+  EXPECT_FALSE(fleet.base().sesame_enabled);
+  // Chaos-capable: every run gets a seed-derived failure schedule with the
+  // recovery subsystem active.
+  const auto fleet_run = fleet.config_for_run(1, 0);
+  EXPECT_TRUE(fleet_run.failure_schedule.has_value());
+  EXPECT_TRUE(fleet_run.recovery_enabled);
   EXPECT_THROW(campaign::ScenarioFactory::preset("nope"),
                std::invalid_argument);
 }
@@ -275,6 +283,41 @@ TEST(Campaign, ChaosReportsAreBitIdenticalAcrossJobCounts) {
   }
   EXPECT_GT(pings, 0u);
   EXPECT_EQ(violations, 0u);
+}
+
+TEST(Campaign, FleetScaleChaosRunIsDeterministicAndInvariantClean) {
+  // Fleet-scale integration: 256 vehicles sweep a 2x2 km area under a
+  // seed-derived chaos schedule with the recovery subsystem active. The
+  // run must stay byte-identical across worker counts and weather the
+  // faults without a single safety-invariant violation.
+  platform::RunnerConfig scenario = campaign::ScenarioFactory::default_scenario();
+  scenario.sesame_enabled = false;  // baseline firmware: focus on the fleet
+  scenario.n_uavs = 256;
+  scenario.area = {0.0, 2000.0, 0.0, 2000.0};
+  scenario.n_persons = 32;
+  scenario.max_time_s = 60.0;  // enough for onset + escalation, not a sweep
+  sesame::sim::ChaosProfile profile;
+  profile.earliest_time_s = 10.0;
+  profile.latest_time_s = 35.0;
+  profile.min_duration_s = 8.0;
+  profile.max_duration_s = 20.0;
+  campaign::ScenarioFactory factory(scenario);
+  factory.enable_chaos(profile);
+
+  campaign::CampaignConfig cc;
+  cc.runs = 1;
+  cc.seed = 2026;
+  cc.jobs = 1;
+  const auto r1 = campaign::run_campaign(factory, cc);
+  cc.jobs = 8;
+  const auto r8 = campaign::run_campaign(factory, cc);
+
+  EXPECT_EQ(campaign::campaign_json(r1), campaign::campaign_json(r8));
+  ASSERT_EQ(r1.outcomes.size(), 1u);
+  EXPECT_EQ(r1.outcomes[0].invariant_violations, 0u);
+  // Non-vacuous: with 256 vehicles the schedule reliably silences someone,
+  // so the recovery escalation must actually have fired.
+  EXPECT_GT(r1.outcomes[0].recovery_pings, 0u);
 }
 
 TEST(ScenarioFactory, ChaosSchedulesAreSeedDerivedPerRun) {

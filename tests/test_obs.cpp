@@ -187,6 +187,68 @@ TEST(Histogram, MergeAddsCountsAndExtremes) {
   EXPECT_DOUBLE_EQ(a.min_observed(), 0.5);
 }
 
+TEST(Registry, MergeSanitizesDefaultedExtremesFromExternalSamples) {
+  // A wire peer or hand-built sample: bucket mass present (all overflow),
+  // min/max left at their 0 defaults. Trusting them would drag the merged
+  // extremes to 0 and collapse quantile bracketing onto [0, bounds].
+  obs::MetricSample s;
+  s.name = "ext.lat";
+  s.kind = obs::MetricKind::kHistogram;
+  s.bucket_bounds = {1.0, 2.0};
+  s.bucket_counts = {0, 0, 5};
+  s.observations = 5;
+  s.value = 250.0;
+  obs::MetricsSnapshot snap;
+  snap.samples.push_back(s);
+
+  obs::MetricsRegistry reg;
+  reg.merge(snap);
+  const auto out = reg.snapshot();
+  const auto* h = out.find("ext.lat");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->observations, 5u);
+  // Extremes fall back to the occupied bucket's finite edge (the last
+  // bound), the tightest honest claim available, instead of the bogus 0s.
+  EXPECT_DOUBLE_EQ(h->min_observed, 2.0);
+  EXPECT_DOUBLE_EQ(h->max_observed, 2.0);
+}
+
+TEST(Registry, MergeRejectsObservationsWithoutBucketMass) {
+  obs::MetricSample s;
+  s.name = "ext.lat";
+  s.kind = obs::MetricKind::kHistogram;
+  s.bucket_bounds = {1.0, 2.0};
+  s.bucket_counts = {0, 0, 0};
+  s.observations = 3;  // claims samples that are in no bucket
+  obs::MetricsSnapshot snap;
+  snap.samples.push_back(s);
+
+  obs::MetricsRegistry reg;
+  EXPECT_THROW(reg.merge(snap), std::invalid_argument);
+}
+
+TEST(Registry, MergeOfEmptyHistogramSampleKeepsExtremesUntouched) {
+  obs::MetricsRegistry run_empty;
+  run_empty.histogram("lat", {}, {1.0, 2.0});  // registered, never observed
+
+  obs::MetricsRegistry run_full;
+  run_full.histogram("lat", {}, {1.0, 2.0}).observe(50.0);  // overflow mass
+
+  // Either merge order: the empty side must not clamp the extremes to the
+  // bucket bounds (or to 0, the empty-sample encoding of min/max).
+  for (const bool empty_first : {true, false}) {
+    obs::MetricsRegistry merged;
+    merged.merge(empty_first ? run_empty.snapshot() : run_full.snapshot());
+    merged.merge(empty_first ? run_full.snapshot() : run_empty.snapshot());
+    const auto snap = merged.snapshot();
+    const auto* h = snap.find("lat");
+    ASSERT_NE(h, nullptr);
+    EXPECT_EQ(h->observations, 1u);
+    EXPECT_DOUBLE_EQ(h->min_observed, 50.0) << "empty_first=" << empty_first;
+    EXPECT_DOUBLE_EQ(h->max_observed, 50.0) << "empty_first=" << empty_first;
+  }
+}
+
 TEST(Registry, MergeRollsUpSnapshots) {
   obs::MetricsRegistry run1;
   run1.counter("sesame.mw.publish_total", {{"topic", "a"}}).inc(3.0);

@@ -84,6 +84,51 @@ TEST(Detector, NoDetectionsOnGround) {
   EXPECT_TRUE(det.detect({0.0, 0.0, 0.0}, one_person_below(), rng).empty());
 }
 
+TEST(Detector, CandidateSubsetMatchesFullScanBitForBit) {
+  // The spatial-index path hands detect() a pre-filtered ascending
+  // candidate list. Any superset of the persons actually inside the
+  // footprint must reproduce the full scan exactly — same RNG draws, same
+  // detections — because out-of-footprint persons draw nothing.
+  pc::PersonDetector det{pc::DetectorConfig{}};
+  std::vector<sesame::sim::Person> persons;
+  for (int i = 0; i < 24; ++i) {
+    // Mix of in-footprint (near origin) and far-away persons.
+    const double east = (i % 3 == 0) ? 0.5 * i : 500.0 + 10.0 * i;
+    persons.push_back({{east, 0.25 * i, 0.0}, false});
+  }
+  const geo::EnuPoint uav_pos{0.0, 0.0, 20.0};
+  const auto fp = det.camera().footprint(uav_pos);
+
+  std::vector<std::uint32_t> in_footprint;
+  std::vector<std::uint32_t> superset;
+  for (std::uint32_t i = 0; i < persons.size(); ++i) {
+    superset.push_back(i);
+    if (fp.contains(persons[i].position)) in_footprint.push_back(i);
+  }
+  ASSERT_FALSE(in_footprint.empty());
+  ASSERT_LT(in_footprint.size(), persons.size());
+
+  for (int frame = 0; frame < 50; ++frame) {
+    mx::Rng full_rng(100 + frame);
+    mx::Rng tight_rng(100 + frame);
+    mx::Rng super_rng(100 + frame);
+    const auto full = det.detect(uav_pos, persons, full_rng);
+    const auto tight = det.detect(uav_pos, persons, in_footprint, tight_rng);
+    const auto super = det.detect(uav_pos, persons, superset, super_rng);
+    for (const auto* other : {&tight, &super}) {
+      ASSERT_EQ(full.size(), other->size());
+      for (std::size_t d = 0; d < full.size(); ++d) {
+        EXPECT_EQ(full[d].person_index, (*other)[d].person_index);
+        EXPECT_DOUBLE_EQ(full[d].confidence, (*other)[d].confidence);
+        EXPECT_DOUBLE_EQ(full[d].estimated_position.east_m,
+                         (*other)[d].estimated_position.east_m);
+        EXPECT_DOUBLE_EQ(full[d].estimated_position.north_m,
+                         (*other)[d].estimated_position.north_m);
+      }
+    }
+  }
+}
+
 TEST(Detector, FalseAlarmRateApproximatelyConfigured) {
   pc::DetectorConfig cfg;
   cfg.false_alarm_rate = 0.10;

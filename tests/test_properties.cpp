@@ -3,6 +3,8 @@
 // geometry round-trips, detector monotonicity, reliability monotonicity,
 // and ConSert evaluation determinism.
 #include <cmath>
+#include <limits>
+#include <utility>
 
 #include <gtest/gtest.h>
 
@@ -786,5 +788,125 @@ TEST_P(HistogramQuantileProperties, AllOverflowMassStaysInObservedRange) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, HistogramQuantileProperties,
                          ::testing::Values(11u, 22u, 33u, 44u));
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Histogram merge vs. the concatenated-sample oracle.
+//
+// merge(a, b) must leave the histogram in exactly the state it would have
+// reached by observing a's and b's samples directly: same bucket counts,
+// same observed extremes, same quantiles. The sweeps include an empty side
+// (must be a perfect no-op on extremes) and all-overflow mass (extremes far
+// beyond the last bucket bound must survive the merge).
+// ---------------------------------------------------------------------------
+namespace {
+
+class HistogramMergeProperties : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(HistogramMergeProperties, MergeMatchesConcatenatedSampleOracle) {
+  sesame::mathx::Rng rng(GetParam());
+  const std::vector<double> bounds = {-2.0, 0.0, 3.0, 8.0};
+
+  // Random split sizes, including deliberately empty and one-sided splits.
+  for (const auto& [na, nb] : {std::pair<int, int>{60, 40},
+                              {0, 50},
+                              {50, 0},
+                              {1, 99},
+                              {0, 0}}) {
+    sesame::obs::Histogram a(bounds);
+    sesame::obs::Histogram b(bounds);
+    sesame::obs::Histogram oracle(bounds);
+    for (int i = 0; i < na; ++i) {
+      const double x = rng.uniform(-12.0, 12.0);
+      a.observe(x);
+      oracle.observe(x);
+    }
+    for (int i = 0; i < nb; ++i) {
+      const double x = rng.uniform(-12.0, 12.0);
+      b.observe(x);
+      oracle.observe(x);
+    }
+
+    a.merge(b);
+    EXPECT_EQ(a.count(), oracle.count());
+    EXPECT_EQ(a.bucket_counts(), oracle.bucket_counts());
+    EXPECT_DOUBLE_EQ(a.min_observed(), oracle.min_observed())
+        << "na=" << na << " nb=" << nb << " seed=" << GetParam();
+    EXPECT_DOUBLE_EQ(a.max_observed(), oracle.max_observed());
+    EXPECT_NEAR(a.sum(), oracle.sum(), 1e-9);
+    for (double q : {0.0, 0.1, 0.5, 0.9, 1.0}) {
+      EXPECT_DOUBLE_EQ(a.quantile(q), oracle.quantile(q)) << "q=" << q;
+    }
+  }
+}
+
+TEST_P(HistogramMergeProperties, AllOverflowSideKeepsExtremesPastBounds) {
+  sesame::mathx::Rng rng(GetParam());
+  const std::vector<double> bounds = {1.0, 2.0};
+  sesame::obs::Histogram overflow_only(bounds);
+  sesame::obs::Histogram empty(bounds);
+  sesame::obs::Histogram oracle(bounds);
+
+  double true_min = std::numeric_limits<double>::infinity();
+  double true_max = -true_min;
+  for (int i = 0; i < 40; ++i) {
+    const double x = rng.uniform(100.0, 200.0);
+    overflow_only.observe(x);
+    oracle.observe(x);
+    true_min = std::min(true_min, x);
+    true_max = std::max(true_max, x);
+  }
+
+  // Merging the empty histogram in either direction must not pull the
+  // extremes back to the bucket bounds (the 0-defaults of an empty sample).
+  overflow_only.merge(empty);
+  EXPECT_DOUBLE_EQ(overflow_only.min_observed(), true_min);
+  EXPECT_DOUBLE_EQ(overflow_only.max_observed(), true_max);
+
+  empty.merge(overflow_only);
+  EXPECT_DOUBLE_EQ(empty.min_observed(), true_min);
+  EXPECT_DOUBLE_EQ(empty.max_observed(), true_max);
+  for (double q : {0.0, 0.5, 1.0}) {
+    EXPECT_DOUBLE_EQ(empty.quantile(q), oracle.quantile(q));
+    EXPECT_GE(empty.quantile(q), true_min);  // never the 2.0 bucket edge
+  }
+}
+
+TEST_P(HistogramMergeProperties, RegistrySnapshotMergeMatchesOracleBothOrders) {
+  sesame::mathx::Rng rng(GetParam());
+  const std::vector<double> bounds = {0.0, 5.0};
+
+  sesame::obs::MetricsRegistry run1;
+  sesame::obs::MetricsRegistry run2;
+  sesame::obs::Histogram oracle(bounds);
+  for (int i = 0; i < 30; ++i) {
+    const double x = rng.uniform(-20.0, 20.0);
+    (i % 2 == 0 ? run1 : run2).histogram("m", {}, bounds).observe(x);
+    oracle.observe(x);
+  }
+  run1.histogram("only_in_run1", {}, bounds);  // registered but empty
+
+  for (const bool reversed : {false, true}) {
+    sesame::obs::MetricsRegistry merged;
+    merged.merge(reversed ? run2.snapshot() : run1.snapshot());
+    merged.merge(reversed ? run1.snapshot() : run2.snapshot());
+    const auto snap = merged.snapshot();
+    const auto* h = snap.find("m");
+    ASSERT_NE(h, nullptr);
+    EXPECT_EQ(h->observations, oracle.count());
+    EXPECT_DOUBLE_EQ(h->min_observed, oracle.min_observed())
+        << "reversed=" << reversed << " seed=" << GetParam();
+    EXPECT_DOUBLE_EQ(h->max_observed, oracle.max_observed());
+    const auto* e = snap.find("only_in_run1");
+    ASSERT_NE(e, nullptr);
+    EXPECT_EQ(e->observations, 0u);
+    EXPECT_DOUBLE_EQ(e->min_observed, 0.0);  // empty-sample convention
+    EXPECT_DOUBLE_EQ(e->max_observed, 0.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HistogramMergeProperties,
+                         ::testing::Values(7u, 77u, 777u));
 
 }  // namespace

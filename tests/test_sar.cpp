@@ -239,6 +239,88 @@ TEST(CoverageTracker, FootprintOverhangingAreaIsClamped) {
   EXPECT_LE(tracker.cells_covered(), tracker.cells_total());
 }
 
+TEST(CoverageTracker, PartialEdgeCellsWeightedByTrueArea) {
+  // 25 x 17 m area with 10 m cells: 3x2 grid whose last column is 5 m wide
+  // and last row 7 m tall. Covering everything must report exactly 1.0, and
+  // covering only the full-size corner cell must report its true area share
+  // (100 / 425), not 1/6 of the cell count.
+  sar::CoverageTracker tracker({0, 25, 0, 17}, 10.0);
+  EXPECT_EQ(tracker.cells_east(), 3u);
+  EXPECT_EQ(tracker.cells_north(), 2u);
+
+  sesame::sim::Footprint corner;
+  corner.center_east_m = 5.0;
+  corner.center_north_m = 5.0;
+  corner.half_width_m = 5.0;
+  corner.half_height_m = 5.0;
+  tracker.mark(corner);
+  EXPECT_EQ(tracker.cells_covered(), 1u);
+  EXPECT_DOUBLE_EQ(tracker.covered_area_m2(), 100.0);
+  EXPECT_DOUBLE_EQ(tracker.fraction_covered(), 100.0 / 425.0);
+
+  sesame::sim::Footprint all;
+  all.center_east_m = 12.5;
+  all.center_north_m = 8.5;
+  all.half_width_m = 50.0;
+  all.half_height_m = 50.0;
+  tracker.mark(all);
+  EXPECT_EQ(tracker.cells_covered(), tracker.cells_total());
+  EXPECT_DOUBLE_EQ(tracker.covered_area_m2(), 425.0);
+  EXPECT_DOUBLE_EQ(tracker.fraction_covered(), 1.0);
+}
+
+TEST(CoverageTracker, PartialEdgeCellCentreStaysInsideArea) {
+  // A 10 m-cell grid over a 25 x 17 m area: the old nominal-centre rule
+  // placed the last column's centre at east 25 (on the boundary) and the
+  // last row's at north 25 (outside entirely). A footprint hugging the
+  // area's far edges must still be able to mark those edge cells.
+  sar::CoverageTracker tracker({0, 25, 0, 17}, 10.0);
+  sesame::sim::Footprint edge;
+  edge.center_east_m = 23.0;  // clipped east cell spans [20, 25]: centre 22.5
+  edge.center_north_m = 15.0;  // clipped north cell spans [10, 17]: centre 13.5
+  edge.half_width_m = 1.6;
+  edge.half_height_m = 1.6;
+  tracker.mark(edge);
+  EXPECT_EQ(tracker.cells_covered(), 1u);
+  EXPECT_TRUE(tracker.covered_at({22.0, 14.0, 0.0}));
+}
+
+TEST(CoverageTracker, SharedRegionQueriesDoNotDoubleCountOverlap) {
+  sar::CoverageTracker tracker({0, 100, 0, 100}, 10.0);
+  sesame::sim::Footprint fp;
+  fp.center_east_m = 50.0;
+  fp.center_north_m = 50.0;
+  fp.half_width_m = 50.0;
+  fp.half_height_m = 50.0;
+  tracker.mark(fp);  // everything covered
+  EXPECT_DOUBLE_EQ(tracker.fraction_covered(), 1.0);
+
+  // Two overlapping sweep strips: each fully covered on its own, and the
+  // global figure stays 1.0 — the 20 m overlap band is credited once.
+  const sar::Area left{0, 60, 0, 100};
+  const sar::Area right{40, 100, 0, 100};
+  EXPECT_DOUBLE_EQ(tracker.fraction_covered(left), 1.0);
+  EXPECT_DOUBLE_EQ(tracker.fraction_covered(right), 1.0);
+
+  // A disjoint partition's region areas weight back to the global fraction.
+  tracker.reset();
+  fp.center_east_m = 25.0;  // cover only the west half
+  fp.half_width_m = 25.0;
+  tracker.mark(fp);
+  const sar::Area west{0, 50, 0, 100};
+  const sar::Area east{50, 100, 0, 100};
+  EXPECT_DOUBLE_EQ(tracker.fraction_covered(west), 1.0);
+  EXPECT_DOUBLE_EQ(tracker.fraction_covered(east), 0.0);
+  EXPECT_DOUBLE_EQ(tracker.fraction_covered(), 0.5);
+
+  // Region queries clip to the tracked area; a region half outside still
+  // reports the covered share of its inside part, and a disjoint region 0.
+  const sar::Area overhang{-50, 50, 0, 100};
+  EXPECT_DOUBLE_EQ(tracker.fraction_covered(overhang), 1.0);
+  const sar::Area outside{200, 300, 0, 100};
+  EXPECT_DOUBLE_EQ(tracker.fraction_covered(outside), 0.0);
+}
+
 TEST(CoverageTracker, ResetClears) {
   sar::CoverageTracker tracker({0, 100, 0, 100}, 10.0);
   sesame::sim::Footprint fp;

@@ -619,6 +619,124 @@ TEST(World, LossyLinksDoNotPerturbTrajectories) {
   }
 }
 
+TEST(SpatialGrid, QueryReturnsAscendingCandidatesFromOverlappingCells) {
+  sim::SpatialGrid grid(10.0);
+  const std::vector<geo::EnuPoint> pts{{5.0, 5.0, 0.0},
+                                       {-3.0, -7.0, 0.0},
+                                       {25.0, 5.0, 0.0},
+                                       {5.0, 6.0, 10.0},
+                                       {95.0, 95.0, 0.0}};
+  grid.rebuild(pts.size(),
+               [&pts](std::size_t i) -> const geo::EnuPoint& { return pts[i]; });
+  EXPECT_EQ(grid.indexed_points(), pts.size());
+
+  std::vector<std::uint32_t> out;
+  grid.query_rect(0.0, 9.0, 0.0, 9.0, out);
+  EXPECT_EQ(out, (std::vector<std::uint32_t>{0, 3}));
+
+  out.clear();
+  grid.query_rect(-10.0, 30.0, -10.0, 10.0, out);
+  EXPECT_EQ(out, (std::vector<std::uint32_t>{0, 1, 2, 3}));  // sorted
+
+  out.clear();
+  grid.query_rect(200.0, 300.0, 200.0, 300.0, out);
+  EXPECT_TRUE(out.empty());
+
+  // Rebuild drops stale points and reuses buckets.
+  grid.rebuild(1, [&pts](std::size_t) -> const geo::EnuPoint& { return pts[4]; });
+  out.clear();
+  grid.query_rect(-10.0, 30.0, -10.0, 10.0, out);
+  EXPECT_TRUE(out.empty());
+
+  EXPECT_THROW(sim::SpatialGrid(0.0), std::invalid_argument);
+}
+
+TEST(World, HasNeighborWithinMatchesDistancesAndAirborneFilter) {
+  sim::World world(kOrigin, 3);
+  const geo::LocalFrame& frame = world.frame();
+  world.add_uav(test_uav("a"), frame.to_geo({0.0, 0.0, 0.0}));
+  world.add_uav(test_uav("b"), frame.to_geo({120.0, 0.0, 0.0}));
+  world.add_uav(test_uav("c"), frame.to_geo({5000.0, 0.0, 0.0}));
+
+  EXPECT_TRUE(world.has_neighbor_within(0, 250.0));
+  EXPECT_TRUE(world.has_neighbor_within(1, 250.0));
+  EXPECT_FALSE(world.has_neighbor_within(2, 250.0));
+  EXPECT_FALSE(world.has_neighbor_within(0, 100.0));  // b is 120 m away
+  // Everyone is parked: the airborne-only flavour finds nobody.
+  EXPECT_FALSE(world.has_neighbor_within(0, 250.0, /*airborne_only=*/true));
+
+  world.uav_by_name("b").command_takeoff();
+  world.step(1.0);  // b lifts off; grid refreshes lazily after the step
+  EXPECT_TRUE(world.has_neighbor_within(0, 250.0, /*airborne_only=*/true));
+
+  EXPECT_FALSE(world.has_neighbor_within(0, 0.0));
+  EXPECT_THROW(world.has_neighbor_within(99, 250.0), std::out_of_range);
+}
+
+TEST(World, PerVehicleLinkStreamsSurviveFleetLoss) {
+  // Link-quality draws ride per-vehicle RNG streams derived from the
+  // lossy-link seed, so one vehicle's mid-run loss (its traffic — and
+  // therefore its draws — stop) must not perturb any survivor's drop
+  // pattern. Under a shared stream the crash would shift every later draw,
+  // silently changing survivors' delivery sequences.
+  const auto fly = [](bool crash_u3) {
+    sim::World world(kOrigin, 33);
+    const geo::LocalFrame& frame = world.frame();
+    double north = 0.0;
+    for (const char* name : {"u1", "u2", "u3", "u4"}) {
+      // Parked ~1000 m from the GCS: drop probability ~0.63, so the
+      // delivery sequences are non-trivial mixtures.
+      world.add_uav(test_uav(name), frame.to_geo({1000.0, north, 0.0}));
+      north += 10.0;
+    }
+    sim::LossyLinkConfig llc;
+    llc.link.fading_sigma = 0.0;  // quality purely from geometry
+    llc.gcs_enu = {0.0, 0.0, 0.0};
+    llc.seed = 5;
+    world.enable_lossy_links(llc);
+
+    std::map<std::string, std::vector<double>> rx;
+    std::vector<sesame::mw::Subscription> subs;
+    for (const char* name : {"u1", "u2", "u3", "u4"}) {
+      subs.push_back(world.bus().subscribe<sim::Telemetry>(
+          sim::telemetry_topic(name),
+          [&rx, name](const sesame::mw::MessageHeader&,
+                      const sim::Telemetry& t) { rx[name].push_back(t.time_s); }));
+    }
+    for (int i = 0; i < 60; ++i) {
+      if (crash_u3 && i == 30) world.uav_by_name("u3").force_crash();
+      world.step(1.0);
+    }
+    return rx;
+  };
+
+  auto intact = fly(false);
+  auto after_loss = fly(true);
+  for (const char* name : {"u1", "u2", "u4"}) {
+    EXPECT_EQ(intact[name], after_loss[name]) << name;
+  }
+  // The wreck itself stops delivering at the crash.
+  EXPECT_LT(after_loss["u3"].size(), intact["u3"].size());
+}
+
+TEST(World, LossyLinkQualityRecordedPerVehicle) {
+  // The link gate mirrors each vehicle's last sampled quality into the
+  // fleet arrays: near the GCS ~1, around 1 km ~0.37, past max range ~0.
+  sim::World world(kOrigin, 11);
+  const geo::LocalFrame& frame = world.frame();
+  world.add_uav(test_uav("near"), frame.to_geo({100.0, 0.0, 0.0}));
+  world.add_uav(test_uav("far"), frame.to_geo({1000.0, 0.0, 0.0}));
+  sim::LossyLinkConfig llc;
+  llc.link.fading_sigma = 0.0;
+  llc.gcs_enu = {0.0, 0.0, 0.0};
+  world.enable_lossy_links(llc);
+  world.run(3, 1.0);
+  ASSERT_EQ(world.fleet().link_quality.size(), 2u);
+  EXPECT_GT(world.fleet().link_quality[0], 0.9);
+  EXPECT_LT(world.fleet().link_quality[1], 0.6);
+  EXPECT_GT(world.fleet().link_quality[0], world.fleet().link_quality[1]);
+}
+
 TEST(World, LossyLinksEnableTwiceThrows) {
   sim::World world(kOrigin);
   world.enable_lossy_links({});

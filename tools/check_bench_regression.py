@@ -45,9 +45,19 @@ def load_results(path):
     if "benchmarks" not in doc:
         raise SystemExit(f"{path}: no 'benchmarks' array (not a bench report?)")
     out = {}
-    for b in doc["benchmarks"]:
-        if "items_per_second" in b:
+    for i, b in enumerate(doc["benchmarks"]):
+        if "items_per_second" not in b:
+            continue
+        if "name" not in b:
+            raise SystemExit(
+                f"{path}: benchmarks[{i}] has items_per_second but no 'name' "
+                f"(malformed report — regenerate it)")
+        try:
             out[b["name"]] = float(b["items_per_second"])
+        except (TypeError, ValueError):
+            raise SystemExit(
+                f"{path}: benchmarks[{i}] ('{b['name']}') has a non-numeric "
+                f"items_per_second: {b['items_per_second']!r}")
     return out
 
 
@@ -67,6 +77,11 @@ def check_pair(baseline_path, current_path, gate_names, max_regression):
             print(f"  SKIP {name}: not in current report")
             continue
         base, cur = baseline[name], current[name]
+        if base <= 0.0:
+            raise SystemExit(
+                f"{baseline_path}: {name} has a zero or negative baseline "
+                f"items_per_second ({base}); the gate cannot compute a ratio "
+                f"— refresh the baseline from a real bench run")
         ratio = cur / base
         verdict = "ok"
         if ratio < 1.0 - max_regression:
