@@ -1,0 +1,139 @@
+// Campaign-service benchmarks: the two service-level SLOs that the
+// committed BENCH_service.json baseline gates in CI
+// (docs/SERVICE.md, docs/PERFORMANCE.md).
+//
+//  - BM_ServiceQueuedThroughput: sustained campaigns/second through a
+//    saturated queue — a batch of distinct-seed submissions is enqueued at
+//    once and the iteration waits for all of them, so admission, fair
+//    scheduling, executor handoff and report generation are all on the
+//    measured path. items_per_second == completed campaigns/second (the
+//    CI-gated figure).
+//  - BM_ServiceSubmitToFirstResult: latency from submit() returning to the
+//    first completed run of that submission, sampled per iteration on a
+//    service with both executors busy-capable; the p50/p99 land in the
+//    counters. This is the operator-facing "how long until I see data"
+//    number.
+//  - BM_ServiceCacheHit: repeat-submission path — digest lookup + cached
+//    report handout with no executor involvement.
+//
+// Campaigns use the same tiny baseline scenario as
+// bench_campaign_throughput so per-run simulation cost stays small and
+// the service machinery dominates.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "bench_json.hpp"
+#include "sesame/platform/config_io.hpp"
+#include "sesame/service/service.hpp"
+#include "sesame/service/submission.hpp"
+
+namespace {
+
+using namespace sesame;
+
+service::Submission tiny_submission(std::uint64_t seed) {
+  platform::RunnerConfig config =
+      campaign::ScenarioFactory::default_scenario();
+  config.n_uavs = 2;
+  config.area = {0.0, 150.0, 0.0, 150.0};
+  config.n_persons = 3;
+  config.max_time_s = 200.0;
+  config.sesame_enabled = false;
+  service::Submission s;
+  s.config_json = platform::config_to_json(config).to_json();
+  s.runs = 4;
+  s.seed = seed;
+  return s;
+}
+
+/// Seeds never repeat across iterations, so the result cache cannot turn
+/// a throughput measurement into a cache measurement.
+std::uint64_t next_seed() {
+  static std::uint64_t seed = 1;
+  return seed++;
+}
+
+void BM_ServiceQueuedThroughput(benchmark::State& state) {
+  const std::size_t batch = 8;
+  std::size_t campaigns = 0;
+  for (auto _ : state) {
+    service::ServiceLimits limits;
+    limits.executors = static_cast<std::size_t>(state.range(0));
+    service::CampaignService svc(limits);
+    std::vector<std::uint64_t> jobs;
+    for (std::size_t i = 0; i < batch; ++i) {
+      const auto outcome = svc.submit(tiny_submission(next_seed()));
+      if (outcome.accepted) jobs.push_back(outcome.job_id);
+    }
+    for (const auto id : jobs) {
+      benchmark::DoNotOptimize(svc.wait(id).state);
+    }
+    campaigns += jobs.size();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(campaigns));
+  state.counters["executors"] = static_cast<double>(state.range(0));
+}
+
+void BM_ServiceSubmitToFirstResult(benchmark::State& state) {
+  service::ServiceLimits limits;
+  limits.executors = 2;
+  service::CampaignService svc(limits);
+  std::vector<double> latencies_s;
+  for (auto _ : state) {
+    const auto submitted = std::chrono::steady_clock::now();
+    const auto outcome = svc.submit(tiny_submission(next_seed()));
+    if (!outcome.accepted) continue;
+    // Spin until the first run of THIS submission lands.
+    while (svc.status(outcome.job_id).runs_completed == 0) {
+      std::this_thread::yield();
+    }
+    latencies_s.push_back(std::chrono::duration<double>(
+                              std::chrono::steady_clock::now() - submitted)
+                              .count());
+    benchmark::DoNotOptimize(svc.wait(outcome.job_id).state);
+  }
+  if (!latencies_s.empty()) {
+    std::sort(latencies_s.begin(), latencies_s.end());
+    const auto at = [&](double q) {
+      const std::size_t i = static_cast<std::size_t>(
+          q * static_cast<double>(latencies_s.size() - 1));
+      return latencies_s[i];
+    };
+    state.counters["first_result_p50_s"] = at(0.50);
+    state.counters["first_result_p99_s"] = at(0.99);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(latencies_s.size()));
+}
+
+void BM_ServiceCacheHit(benchmark::State& state) {
+  service::CampaignService svc;
+  const service::Submission s = tiny_submission(next_seed());
+  benchmark::DoNotOptimize(svc.wait(svc.submit(s).job_id).state);
+  std::size_t hits = 0;
+  for (auto _ : state) {
+    const auto outcome = svc.submit(s);
+    benchmark::DoNotOptimize(svc.report(outcome.job_id).size());
+    ++hits;
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(hits));
+}
+
+}  // namespace
+
+// UseRealTime: campaigns execute on the service's own threads, so wall
+// time — not this thread's CPU time — is the denominator that means
+// "campaigns per second".
+BENCHMARK(BM_ServiceQueuedThroughput)->Arg(1)->Arg(2)
+    ->UseRealTime()->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ServiceSubmitToFirstResult)->UseRealTime()
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_ServiceCacheHit)->Unit(benchmark::kMicrosecond);
+
+int main(int argc, char** argv) {
+  return sesame::bench::run_main(argc, argv);
+}

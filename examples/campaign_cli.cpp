@@ -26,6 +26,9 @@
 //   violation (the chaos-stress CI gate).
 // --json / --csv write the campaign report (schema in docs/CAMPAIGN.md).
 //
+// SIGINT/SIGTERM drain gracefully: in-flight runs finish, workers join,
+// and no report is written (exit 4) — a report on disk is always complete.
+//
 // Examples:
 //   campaign_cli --preset spoofing --runs 200 --jobs 0 --json camp.json
 //   campaign_cli --preset battery_fault --runs 100 --link-loss --csv out
@@ -39,6 +42,7 @@
 #include "sesame/campaign/campaign.hpp"
 #include "sesame/campaign/report.hpp"
 #include "sesame/platform/config_io.hpp"
+#include "sesame/service/drain.hpp"
 
 namespace {
 
@@ -154,12 +158,25 @@ int main(int argc, char** argv) {
 
   campaign::ScenarioFactory factory(scenario);
   if (chaos) factory.enable_chaos();
+
+  // Graceful drain (docs/SERVICE.md): SIGINT/SIGTERM stops the campaign at
+  // run granularity — workers finish their current run and join, and the
+  // report is either complete or not written at all, never truncated.
+  service::DrainSignal drain;
+  campaign_config.stop = drain.flag();
+
   campaign::CampaignResult result;
   try {
     result = campaign::run_campaign(factory, campaign_config);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "campaign failed: %s\n", e.what());
     return 1;
+  }
+  if (result.interrupted) {
+    std::fprintf(stderr,
+                 "interrupted: drained after %zu/%zu runs; no report written\n",
+                 result.completed_runs, campaign_config.runs);
+    return 4;
   }
 
   std::printf("campaign seed     : %llu\n",

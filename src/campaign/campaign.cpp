@@ -166,18 +166,20 @@ std::vector<StatSummary> summarize(const std::vector<RunOutcome>& outcomes) {
     s.count = values.size();
     if (!values.empty()) {
       s.mean = mathx::mean(values);
-      s.stddev = values.size() >= 2 ? mathx::stddev(values) : 0.0;
-      const double half =
-          values.size() >= 2
-              ? mathx::normal_quantile(0.975) * s.stddev /
-                    std::sqrt(static_cast<double>(values.size()))
-              : 0.0;
-      s.ci95_lo = s.mean - half;
-      s.ci95_hi = s.mean + half;
       s.min = mathx::min_value(values);
       s.p50 = mathx::quantile(values, 0.5);
       s.p90 = mathx::quantile(values, 0.9);
       s.max = mathx::max_value(values);
+      // Spread statistics need at least two samples; below that they stay
+      // NaN (rendered as null/empty by the report writers) instead of a
+      // misleading zero-width interval.
+      if (values.size() >= 2) {
+        s.stddev = mathx::stddev(values);
+        const double half = mathx::normal_quantile(0.975) * s.stddev /
+                            std::sqrt(static_cast<double>(values.size()));
+        s.ci95_lo = s.mean - half;
+        s.ci95_hi = s.mean + half;
+      }
     }
     summaries.push_back(std::move(s));
   }
@@ -213,9 +215,15 @@ CampaignResult run_campaign(const ScenarioFactory& factory,
   std::atomic<std::size_t> next_run{0};
   std::mutex error_mutex;
   std::exception_ptr first_error;
+  // One slot per run; workers write disjoint slots, the post-join scan is
+  // the only cross-slot reader.
+  std::vector<unsigned char> completed(config.runs, 0);
 
   const auto worker = [&] {
     for (;;) {
+      if (config.stop && config.stop->load(std::memory_order_relaxed)) {
+        return;  // drain: stop claiming, in-flight runs already finished
+      }
       const std::size_t i = next_run.fetch_add(1, std::memory_order_relaxed);
       if (i >= config.runs) return;
       {
@@ -232,6 +240,12 @@ CampaignResult run_campaign(const ScenarioFactory& factory,
             extract_outcome(i, seed, run_result, runner->world().bus(),
                             attack_scheduled, attack_time_s);
         if (config.collect_metrics) snapshots[i] = o.metrics.snapshot();
+        completed[i] = 1;
+        if (config.on_run_complete) {
+          config.on_run_complete(
+              result.outcomes[i],
+              config.collect_metrics ? &snapshots[i] : nullptr);
+        }
       } catch (...) {
         std::lock_guard<std::mutex> lock(error_mutex);
         if (!first_error) first_error = std::current_exception();
@@ -250,9 +264,31 @@ CampaignResult run_campaign(const ScenarioFactory& factory,
   }
   if (first_error) std::rethrow_exception(first_error);
 
+  std::size_t done = 0;
+  for (const unsigned char c : completed) done += c;
+  result.completed_runs = done;
+  result.interrupted = done < config.runs;
+  if (result.interrupted) {
+    // Drain fired mid-campaign: keep only the completed runs (in index
+    // order). Interrupted results never feed reports or caches, so the
+    // subset's composition may legitimately depend on timing.
+    std::vector<RunOutcome> kept;
+    kept.reserve(done);
+    for (std::size_t i = 0; i < config.runs; ++i) {
+      if (completed[i]) kept.push_back(std::move(result.outcomes[i]));
+    }
+    result.outcomes = std::move(kept);
+  }
+
   if (config.collect_metrics) {
     obs::MetricsRegistry merged;
-    for (const auto& snap : snapshots) merged.merge(snap);
+    // Stamp each snapshot with its run index so gauge merges are pinned to
+    // run order, not merge order — any consumer re-folding these snapshots
+    // (the service streams them completion-ordered) lands on the same bits.
+    for (std::size_t i = 0; i < snapshots.size(); ++i) {
+      if (!completed[i]) continue;
+      merged.merge(snapshots[i], i + 1);
+    }
     result.metrics = merged.snapshot();
   }
   result.summaries = summarize(result.outcomes);

@@ -20,7 +20,10 @@
 //    kept out of the deterministic report surface (see report.hpp).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <functional>
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -28,6 +31,8 @@
 #include "sesame/obs/metrics.hpp"
 
 namespace sesame::campaign {
+
+struct RunOutcome;
 
 struct CampaignConfig {
   std::size_t runs = 16;
@@ -38,6 +43,21 @@ struct CampaignConfig {
   /// Attach a per-run metrics registry and merge all runs' series into
   /// CampaignResult::metrics (in run order).
   bool collect_metrics = true;
+
+  /// Cooperative drain: when non-null and set, workers stop claiming new
+  /// runs (in-flight runs finish at run granularity — a run is never torn
+  /// mid-simulation). The result then reports interrupted = true and holds
+  /// only the completed runs. Owned by the caller (a signal handler flag,
+  /// the service's shutdown latch); must outlive run_campaign.
+  const std::atomic<bool>* stop = nullptr;
+
+  /// Progress hook, invoked from the worker thread that finished run i with
+  /// its outcome and per-run metrics snapshot (nullptr when collect_metrics
+  /// is off). Callbacks race across workers — the callee synchronizes.
+  /// Stamped gauge merges (run index + 1) let a callee fold snapshots in
+  /// completion order and still land on the report's exact merged bits.
+  std::function<void(const RunOutcome&, const obs::MetricsSnapshot*)>
+      on_run_complete;
 };
 
 /// Scalar outcome of one campaign run (the per-run RunnerResult reduced to
@@ -92,26 +112,41 @@ struct RunOutcome {
 /// Mean / spread / quantile digest of one outcome metric across the runs
 /// that contributed to it (latencies only exist for runs where the event
 /// happened; `count` says how many).
+///
+/// Statistics that are mathematically undefined stay NaN: every field when
+/// count == 0, and stddev / ci95_* when count < 2 (a single sample has no
+/// spread). Report writers render NaN as JSON `null` / an empty CSV cell —
+/// a literal "nan" never reaches serialized output (RFC 8259 has no such
+/// token).
 struct StatSummary {
+  static constexpr double kUndefined =
+      std::numeric_limits<double>::quiet_NaN();
+
   std::string metric;
-  std::size_t count = 0;  ///< contributing runs; 0 = everything below is 0
-  double mean = 0.0;
-  double stddev = 0.0;  ///< 0 when count < 2
-  double ci95_lo = 0.0;  ///< normal-approximation 95% CI of the mean
-  double ci95_hi = 0.0;
-  double min = 0.0;
-  double p50 = 0.0;
-  double p90 = 0.0;
-  double max = 0.0;
+  std::size_t count = 0;  ///< contributing runs; 0 = nothing below defined
+  double mean = kUndefined;
+  double stddev = kUndefined;  ///< undefined (NaN) when count < 2
+  double ci95_lo = kUndefined;  ///< normal-approximation 95% CI of the mean
+  double ci95_hi = kUndefined;
+  double min = kUndefined;
+  double p50 = kUndefined;
+  double p90 = kUndefined;
+  double max = kUndefined;
 };
 
 struct CampaignResult {
   std::uint64_t seed = 0;
-  std::size_t runs = 0;
-  std::vector<RunOutcome> outcomes;    ///< indexed by run
+  std::size_t runs = 0;                ///< runs requested by the config
+  std::vector<RunOutcome> outcomes;    ///< completed runs, by run index
   std::vector<StatSummary> summaries;  ///< fixed metric order
   /// Per-run registries merged in run order (campaign-level histograms).
   obs::MetricsSnapshot metrics;
+  /// True when the config's stop flag fired before every run finished:
+  /// outcomes/summaries/metrics then cover only the completed subset (an
+  /// interrupted result is NOT part of the byte-identity contract and must
+  /// not be exported as a report or cached).
+  bool interrupted = false;
+  std::size_t completed_runs = 0;  ///< == runs unless interrupted
   /// Execution footprint — depends on load and --jobs, so report writers
   /// exclude both from the deterministic report surface.
   std::size_t jobs_used = 0;

@@ -21,6 +21,12 @@ namespace sesame::campaign {
 /// does not measure wall-clock time: name does not end in "_seconds").
 bool deterministic_metric(const std::string& name);
 
+/// The deterministic subset of a metrics snapshot as the JSON array used
+/// in the report's "metrics" section (wall-clock families filtered out).
+/// Exposed so progress streams — the campaign service — serialize interim
+/// snapshots with the exact same encoding as the final report.
+std::string metrics_json(const obs::MetricsSnapshot& snapshot);
+
 /// The full campaign report as a JSON document: campaign identity,
 /// summary table, per-run outcomes, and the merged deterministic metrics.
 /// 64-bit seeds are emitted as decimal strings (JSON numbers are doubles).

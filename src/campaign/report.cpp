@@ -1,5 +1,6 @@
 #include "sesame/campaign/report.hpp"
 
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -16,8 +17,11 @@ namespace {
 using eddi::ode::Value;
 
 /// CSV double format: shortest %.6g form that round-trips, else %.17g —
-/// same convention as the Prometheus renderer.
+/// same convention as the Prometheus renderer. Undefined statistics (NaN,
+/// e.g. stddev of a single run) become an empty cell, mirroring the JSON
+/// writer's null.
 std::string fmt_double(double v) {
+  if (std::isnan(v)) return "";
   char buf[32];
   std::snprintf(buf, sizeof buf, "%.17g", v);
   char shorter[32];
@@ -114,6 +118,23 @@ Value sample_to_json(const obs::MetricSample& s) {
 
 }  // namespace
 
+namespace {
+
+Value metrics_to_value(const obs::MetricsSnapshot& snapshot) {
+  Value::Array metrics;
+  for (const auto& s : snapshot.samples) {
+    if (!deterministic_metric(s.name)) continue;  // wall-clock: excluded
+    metrics.push_back(sample_to_json(s));
+  }
+  return Value(std::move(metrics));
+}
+
+}  // namespace
+
+std::string metrics_json(const obs::MetricsSnapshot& snapshot) {
+  return metrics_to_value(snapshot).to_json();
+}
+
 bool deterministic_metric(const std::string& name) {
   static const std::string kWallClockSuffix = "_seconds";
   return name.size() < kWallClockSuffix.size() ||
@@ -125,10 +146,13 @@ void write_campaign_json(const CampaignResult& result, std::ostream& out) {
   Value::Object doc;
   {
     Value::Object campaign;
-    // /2 adds the recovery and invariant columns (uavs_lost,
-    // invariant_violations, recovery_*, time_to_detect_loss_s,
-    // time_to_replan_s); /1 readers ignore unknown keys.
-    campaign["schema"] = "sesame.campaign.report/2";
+    // /3: undefined summary statistics (stddev/ci95 of n=1 runs, every
+    // stat of an empty column) serialize as null instead of a bare "nan"
+    // token, and the metrics section may carry wire-security evidence
+    // (sesame.security.wire_* families). /2 added the recovery and
+    // invariant columns; readers of older schemas ignore unknown keys but
+    // must now accept null in summary rows.
+    campaign["schema"] = "sesame.campaign.report/3";
     campaign["seed"] = std::to_string(result.seed);
     campaign["runs"] = result.runs;
     doc["campaign"] = Value(std::move(campaign));
@@ -143,14 +167,7 @@ void write_campaign_json(const CampaignResult& result, std::ostream& out) {
     for (const auto& o : result.outcomes) runs.push_back(outcome_to_json(o));
     doc["runs"] = Value(std::move(runs));
   }
-  {
-    Value::Array metrics;
-    for (const auto& s : result.metrics.samples) {
-      if (!deterministic_metric(s.name)) continue;  // wall-clock: excluded
-      metrics.push_back(sample_to_json(s));
-    }
-    doc["metrics"] = Value(std::move(metrics));
-  }
+  doc["metrics"] = metrics_to_value(result.metrics);
   out << Value(std::move(doc)).to_json() << '\n';
 }
 
@@ -201,22 +218,43 @@ void write_summary_csv(const CampaignResult& result, std::ostream& out) {
 
 void export_campaign(const CampaignResult& result, const std::string& json_path,
                      const std::string& csv_prefix) {
-  const auto open = [](const std::string& path) {
-    std::ofstream f(path);
-    if (!f) {
-      throw std::runtime_error("campaign report: cannot open " + path);
+  // Atomic publication: each report is written to a `.tmp` sibling and
+  // renamed into place, so a crash or signal mid-write never leaves a
+  // truncated file under the requested name (the drain contract —
+  // docs/SERVICE.md — relies on this).
+  const auto write_atomic = [](const std::string& path, const auto& writer) {
+    const std::string tmp = path + ".tmp";
+    {
+      std::ofstream f(tmp);
+      if (!f) {
+        throw std::runtime_error("campaign report: cannot open " + tmp);
+      }
+      writer(f);
+      f.flush();
+      if (!f) {
+        f.close();
+        std::remove(tmp.c_str());
+        throw std::runtime_error("campaign report: write failed: " + tmp);
+      }
     }
-    return f;
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+      std::remove(tmp.c_str());
+      throw std::runtime_error("campaign report: cannot rename " + tmp +
+                               " -> " + path);
+    }
   };
   if (!json_path.empty()) {
-    auto f = open(json_path);
-    write_campaign_json(result, f);
+    write_atomic(json_path, [&](std::ostream& f) {
+      write_campaign_json(result, f);
+    });
   }
   if (!csv_prefix.empty()) {
-    auto runs = open(csv_prefix + "_runs.csv");
-    write_runs_csv(result, runs);
-    auto summary = open(csv_prefix + "_summary.csv");
-    write_summary_csv(result, summary);
+    write_atomic(csv_prefix + "_runs.csv", [&](std::ostream& f) {
+      write_runs_csv(result, f);
+    });
+    write_atomic(csv_prefix + "_summary.csv", [&](std::ostream& f) {
+      write_summary_csv(result, f);
+    });
   }
 }
 

@@ -58,7 +58,11 @@ void write(std::ostream& os, const Value& v) {
     os << (v.as_bool() ? "true" : "false");
   } else if (v.is_number()) {
     const double d = v.as_number();
-    if (d == std::floor(d) && std::abs(d) < 1e15) {
+    if (!std::isfinite(d)) {
+      // RFC 8259 has no NaN/Inf token; clamp to null so every document
+      // this writer emits re-parses (parse_json rejects bare "nan").
+      os << "null";
+    } else if (d == std::floor(d) && std::abs(d) < 1e15) {
       os << static_cast<long long>(d);
     } else {
       std::ostringstream tmp;

@@ -18,6 +18,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <map>
 #include <memory>
 #include <string>
@@ -47,14 +48,33 @@ class Counter {
 };
 
 /// Point-in-time value (mission clock, fleet availability...).
+///
+/// A gauge carries a merge *stamp* alongside its value: the provenance
+/// order (run index, merge sequence) of the snapshot that last set it
+/// through a merge. Live `set`/`add` calls leave the stamp untouched —
+/// stamps only matter when snapshots of different registries are folded
+/// together, where "which value survives" must not depend on merge order.
 class Gauge {
  public:
   void set(double v) noexcept { value_ = v; }
   void add(double d) noexcept { value_ += d; }
   double value() const noexcept { return value_; }
 
+  /// Deterministic merge: the (stamp, value) pair wins lexicographically —
+  /// a higher stamp replaces, an equal stamp keeps the larger value (so
+  /// folding the same snapshot set in any permutation lands on one
+  /// result), a lower stamp is ignored.
+  void merge_stamped(double v, std::uint64_t stamp) noexcept {
+    if (stamp > stamp_ || (stamp == stamp_ && v > value_)) {
+      value_ = v;
+      stamp_ = stamp;
+    }
+  }
+  std::uint64_t stamp() const noexcept { return stamp_; }
+
  private:
   double value_ = 0.0;
+  std::uint64_t stamp_ = 0;
 };
 
 /// Fixed-bucket histogram: upper bounds are set at registration and never
@@ -128,6 +148,7 @@ struct MetricSample {
   std::vector<std::size_t> bucket_counts;    ///< histogram only (non-cumulative)
   double min_observed = 0.0;                 ///< histogram only; 0 when empty
   double max_observed = 0.0;                 ///< histogram only; 0 when empty
+  std::uint64_t gauge_stamp = 0;             ///< gauge only; merge provenance
 };
 
 struct MetricsSnapshot {
@@ -156,11 +177,21 @@ class MetricsRegistry {
 
   /// Folds a snapshot (typically of another registry — one campaign run's
   /// metrics) into this registry: counters add their value, histograms add
-  /// their bucket counts / sum / min / max, gauges take the snapshot's
-  /// value (last merge wins — merge in run order for determinism). Series
-  /// absent here are created. Throws std::logic_error on a kind clash and
-  /// std::invalid_argument on histogram bound mismatch.
+  /// their bucket counts / sum / min / max, gauges merge by stamp (see
+  /// below). Series absent here are created. Throws std::logic_error on a
+  /// kind clash and std::invalid_argument on histogram bound mismatch.
+  ///
+  /// Gauge determinism: each gauge keeps the value of the highest-stamped
+  /// merge it has seen (ties keep the larger value), so folding a fixed
+  /// set of stamped snapshots produces the same result in any merge order.
+  /// The one-argument form stamps the whole snapshot with an internal
+  /// sequence number (monotone per registry), which preserves the legacy
+  /// "last merge wins" behaviour for strictly in-order callers; pass an
+  /// explicit stamp (e.g. the campaign run index + 1) whenever merges may
+  /// happen out of order — concurrent service tenants, completion-order
+  /// streaming.
   void merge(const MetricsSnapshot& snapshot);
+  void merge(const MetricsSnapshot& snapshot, std::uint64_t gauge_stamp);
 
   /// Prometheus text exposition (v0.0.4) of the current state: dotted
   /// names become underscored, histograms expand to cumulative
@@ -183,6 +214,7 @@ class MetricsRegistry {
   Family& family_of(const std::string& name, MetricKind kind);
 
   std::map<std::string, Family> families_;
+  std::uint64_t merge_seq_ = 0;  ///< stamps un-stamped merges (last wins)
 };
 
 /// Renders a snapshot in the Prometheus text format (what

@@ -292,6 +292,7 @@ MetricsSnapshot MetricsRegistry::snapshot() const {
     for (const auto& [key, g] : fam.gauges) {
       MetricSample s;
       s.value = g->value();
+      s.gauge_stamp = g->stamp();
       emit(key, std::move(s));
     }
     for (const auto& [key, h] : fam.histograms) {
@@ -309,13 +310,21 @@ MetricsSnapshot MetricsRegistry::snapshot() const {
 }
 
 void MetricsRegistry::merge(const MetricsSnapshot& snapshot) {
+  merge(snapshot, ++merge_seq_);
+}
+
+void MetricsRegistry::merge(const MetricsSnapshot& snapshot,
+                            std::uint64_t gauge_stamp) {
+  // Keep the internal sequence ahead of explicit stamps so interleaving
+  // the two forms cannot hand an un-stamped merge a stale (losing) stamp.
+  merge_seq_ = std::max(merge_seq_, gauge_stamp);
   for (const auto& s : snapshot.samples) {
     switch (s.kind) {
       case MetricKind::kCounter:
         counter(s.name, s.labels).inc(s.value);
         break;
       case MetricKind::kGauge:
-        gauge(s.name, s.labels).set(s.value);
+        gauge(s.name, s.labels).merge_stamped(s.value, gauge_stamp);
         break;
       case MetricKind::kHistogram:
         histogram(s.name, s.labels, s.bucket_bounds)

@@ -186,11 +186,25 @@ AttackTree make_spoofing_attack_tree() {
   flood.likelihood = 0.4;
   flood.mitigation = "Rate-limit per-source publications.";
 
+  AttackStepInfo wire;
+  wire.capec_id = "CAPEC-94";
+  wire.title = "Tamper with the framed companion-computer link";
+  wire.description =
+      "An adversary in the middle of the serial/socket link mangles or "
+      "replays authenticated frames; the framing layer rejects them (CRC, "
+      "auth, replay counters) and the wire monitor raises the evidence.";
+  wire.severity = Severity::kHigh;
+  wire.likelihood = 0.3;
+  wire.mitigation =
+      "Authenticated framing with replay windows; re-key and fail over to "
+      "a redundant link.";
+
   auto root = AttackNode::or_node(
       "Manipulate UAV area-mapping mission",
       {AttackNode::and_node("Spoof ROS messages",
                             {AttackNode::leaf(access), AttackNode::leaf(inject)}),
-       AttackNode::leaf(gps), AttackNode::leaf(flood)});
+       AttackNode::leaf(gps), AttackNode::leaf(flood),
+       AttackNode::leaf(wire)});
   return AttackTree("ros_message_spoofing", std::move(root));
 }
 

@@ -1,0 +1,90 @@
+// Wire-link intrusion evidence (ROADMAP item 1 leftover).
+//
+// The framed transport (mw::Framing) already *counts* hostile or corrupt
+// wire traffic — CRC failures, COBS garbage, failed frame authentication,
+// replayed sequence numbers — but until now nothing consumed those
+// counters as security evidence: an attacker replaying captured frames at
+// a bridge was invisible to the Security EDDI. A WireMonitor closes that
+// gap. The link owner (bus-bridge pump loop, the campaign service's wire
+// listener) polls it with the link's cumulative `mw::LinkCounters` at
+// known mission times; the monitor turns counter deltas into `IdsAlert`s
+// on the ordinary `ids/alerts` topic:
+//
+//   - replays_rejected advancing        -> rule "wire_replay", CAPEC-594
+//     (captured traffic re-injected on the link = traffic injection);
+//   - crc/cobs/auth/malformed advancing -> rule "wire_tampering", CAPEC-94
+//     (an adversary-in-the-middle mangling authenticated frames), after a
+//     configurable evidence threshold so a single bit-flip on a noisy
+//     serial link does not page anyone.
+//
+// Security EDDIs consume these like any IDS alert: CAPEC-594 completes the
+// spoofing tree's injection AND-branch, CAPEC-94 is a leaf of its own (see
+// make_spoofing_attack_tree). Detection latency — first suspicious delta
+// to the alert that crossed the threshold — lands in the report schema as
+// the `sesame.security.wire_detection_latency_s{link}` histogram next to
+// `sesame.security.wire_alerts_total{rule}`.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "sesame/mw/bus.hpp"
+#include "sesame/mw/framing.hpp"
+#include "sesame/obs/observability.hpp"
+
+namespace sesame::security {
+
+struct WireMonitorConfig {
+  /// Tampering evidence (crc + cobs + auth + malformed deltas) that must
+  /// accumulate since the last tampering alert before the next one fires.
+  /// 1 alerts on the first corrupt frame; the default tolerates stray
+  /// noise on a healthy link. Must be >= 1.
+  std::uint64_t tamper_threshold = 3;
+  /// Replayed frames before a replay alert; replays never happen by
+  /// accident on a compliant peer, so the default alerts immediately.
+  std::uint64_t replay_threshold = 1;
+};
+
+/// Turns one link's `mw::LinkCounters` into IDS evidence. Single-threaded,
+/// like the bus it publishes on; one monitor per link endpoint.
+class WireMonitor {
+ public:
+  /// Alerts are published on `bus` under `ids_alert_topic()` with source
+  /// "wire/<link_name>". Throws std::invalid_argument on a zero threshold.
+  WireMonitor(mw::Bus& bus, std::string link_name,
+              WireMonitorConfig config = {});
+
+  /// Attaches (nullptr: detaches) observability: alerts increment
+  /// `sesame.security.wire_alerts_total{rule}` and observe first-evidence
+  /// -> alert latency in `sesame.security.wire_detection_latency_s{link}`.
+  void set_observability(obs::Observability* o) noexcept { obs_ = o; }
+
+  /// Polls the link's cumulative counters at mission time `now_s`.
+  /// Deltas against the previous call become evidence; crossing a
+  /// threshold publishes the alert synchronously. Counters must be from
+  /// the same Framing instance every call (cumulative, never reset).
+  void observe(const mw::LinkCounters& counters, double now_s);
+
+  std::size_t alerts_raised() const noexcept { return alerts_raised_; }
+
+ private:
+  struct Evidence {
+    std::uint64_t pending = 0;   ///< deltas since the last alert
+    double onset_s = -1.0;       ///< time of the first pending delta
+  };
+
+  void raise(const char* rule, const char* capec, Evidence& evidence,
+             std::uint64_t count, double now_s);
+
+  mw::Bus* bus_;
+  obs::Observability* obs_ = nullptr;
+  std::string link_;
+  WireMonitorConfig config_;
+  mw::LinkCounters last_;  ///< zero-initialised: the first observe() sees
+                           ///< everything since the link came up
+  Evidence tamper_;
+  Evidence replay_;
+  std::size_t alerts_raised_ = 0;
+};
+
+}  // namespace sesame::security

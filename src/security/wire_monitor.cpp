@@ -1,0 +1,83 @@
+#include "sesame/security/wire_monitor.hpp"
+
+#include <stdexcept>
+#include <string>
+
+#include "sesame/security/ids.hpp"
+
+namespace sesame::security {
+
+WireMonitor::WireMonitor(mw::Bus& bus, std::string link_name,
+                         WireMonitorConfig config)
+    : bus_(&bus), link_(std::move(link_name)), config_(config) {
+  if (config_.tamper_threshold == 0 || config_.replay_threshold == 0) {
+    throw std::invalid_argument("WireMonitor: thresholds must be >= 1");
+  }
+}
+
+void WireMonitor::observe(const mw::LinkCounters& counters, double now_s) {
+  const std::uint64_t tamper_now = counters.crc_errors + counters.cobs_errors +
+                                   counters.auth_failures +
+                                   counters.malformed_frames;
+  const std::uint64_t tamper_last = last_.crc_errors + last_.cobs_errors +
+                                    last_.auth_failures +
+                                    last_.malformed_frames;
+  const std::uint64_t tamper_delta = tamper_now - tamper_last;
+  const std::uint64_t replay_delta =
+      counters.replays_rejected - last_.replays_rejected;
+  last_ = counters;
+
+  if (tamper_delta > 0) {
+    if (tamper_.pending == 0) tamper_.onset_s = now_s;
+    tamper_.pending += tamper_delta;
+  }
+  if (replay_delta > 0) {
+    if (replay_.pending == 0) replay_.onset_s = now_s;
+    replay_.pending += replay_delta;
+  }
+
+  if (replay_.pending >= config_.replay_threshold) {
+    raise("wire_replay", "CAPEC-594", replay_, replay_.pending, now_s);
+  }
+  if (tamper_.pending >= config_.tamper_threshold) {
+    raise("wire_tampering", "CAPEC-94", tamper_, tamper_.pending, now_s);
+  }
+}
+
+void WireMonitor::raise(const char* rule, const char* capec,
+                        Evidence& evidence, std::uint64_t count,
+                        double now_s) {
+  ++alerts_raised_;
+  const double latency_s =
+      evidence.onset_s >= 0.0 ? now_s - evidence.onset_s : 0.0;
+  if (obs_ != nullptr) {
+    obs_->metrics
+        .counter("sesame.security.wire_alerts_total", {{"rule", rule}})
+        .inc();
+    obs_->metrics
+        .histogram("sesame.security.wire_detection_latency_s",
+                   {{"link", link_}}, obs::duration_buckets_s())
+        .observe(latency_s);
+    obs_->tracer.event("sesame.security.wire_alert",
+                       {{"rule", rule},
+                        {"capec", capec},
+                        {"link", link_},
+                        {"count", std::to_string(count)},
+                        {"time_s", obs::attr_value(now_s)},
+                        {"latency_s", obs::attr_value(latency_s)}});
+  }
+  IdsAlert alert;
+  alert.rule = rule;
+  alert.capec_id = capec;
+  alert.topic = "wire/" + link_;
+  alert.source = "wire/" + link_;
+  alert.time_s = now_s;
+  alert.detail = std::to_string(count) + " frame(s), first evidence at " +
+                 std::to_string(evidence.onset_s) + " s";
+  bus_->publish(ids_alert_topic(), alert, "wire_monitor", now_s);
+  // Re-arm: the next alert needs a fresh threshold's worth of evidence.
+  evidence.pending = 0;
+  evidence.onset_s = -1.0;
+}
+
+}  // namespace sesame::security

@@ -362,6 +362,75 @@ TEST(ScenarioFactory, ChaosSchedulesAreSeedDerivedPerRun) {
   EXPECT_NE(signature(*c.failure_schedule), signature(unsalted));
 }
 
+// ---------------------------------------------------------------------------
+// Report validity (schema /3): statistics that are undefined for small run
+// counts must never leak a bare "nan"/"inf" token into JSON (RFC 8259 has
+// none) or a misleading zero into CSV. Regression for the n=1 campaign bug.
+
+#include "sesame/eddi/ode.hpp"
+
+TEST(Report, SingleRunReportIsValidJsonWithNullSpread) {
+  const campaign::ScenarioFactory factory(small_scenario());
+  const auto result = campaign::run_campaign(factory, small_campaign(1, 1));
+  const std::string json = campaign::campaign_json(result);
+
+  // parse_json rejects bare nan/inf tokens, so a successful parse proves
+  // the document is RFC 8259-clean.
+  const auto doc = sesame::eddi::ode::parse_json(json);
+  EXPECT_EQ(doc.at("campaign").at("schema").as_string(),
+            "sesame.campaign.report/3");
+
+  bool checked = false;
+  for (const auto& row : doc.at("summary").as_array()) {
+    if (row.at("metric").as_string() != "availability") continue;
+    checked = true;
+    EXPECT_EQ(row.at("count").as_number(), 1.0);
+    EXPECT_TRUE(row.at("mean").is_number());
+    EXPECT_TRUE(row.at("min").is_number());
+    // One sample: spread statistics are undefined, not zero.
+    EXPECT_TRUE(row.at("stddev").is_null());
+    EXPECT_TRUE(row.at("ci95_lo").is_null());
+    EXPECT_TRUE(row.at("ci95_hi").is_null());
+  }
+  EXPECT_TRUE(checked);
+
+  // Zero-contribution columns (no attack in this scenario) are all null.
+  for (const auto& row : doc.at("summary").as_array()) {
+    if (row.at("metric").as_string() != "attack_detection_latency_s") continue;
+    EXPECT_EQ(row.at("count").as_number(), 0.0);
+    EXPECT_TRUE(row.at("mean").is_null());
+    EXPECT_TRUE(row.at("max").is_null());
+  }
+}
+
+TEST(Report, SingleRunSummaryCsvLeavesUndefinedCellsEmpty) {
+  const campaign::ScenarioFactory factory(small_scenario());
+  const auto result = campaign::run_campaign(factory, small_campaign(1, 1));
+  std::ostringstream out;
+  campaign::write_summary_csv(result, out);
+  const std::string csv = out.str();
+  EXPECT_EQ(csv.find("nan"), std::string::npos);
+  EXPECT_EQ(csv.find("inf"), std::string::npos);
+  // availability row: count=1, mean present, stddev/ci95 cells empty.
+  const auto pos = csv.find("availability,1,");
+  ASSERT_NE(pos, std::string::npos);
+  const std::string row = csv.substr(pos, csv.find('\n', pos) - pos);
+  EXPECT_NE(row.find(",,,"), std::string::npos) << row;
+}
+
+TEST(Report, SummariesStayDefinedAndFiniteForMultiRunCampaigns) {
+  const campaign::ScenarioFactory factory(small_scenario());
+  const auto result = campaign::run_campaign(factory, small_campaign(3, 1));
+  const auto doc = sesame::eddi::ode::parse_json(campaign::campaign_json(result));
+  for (const auto& row : doc.at("summary").as_array()) {
+    if (row.at("count").as_number() < 2.0) continue;
+    EXPECT_TRUE(row.at("stddev").is_number())
+        << row.at("metric").as_string();
+    EXPECT_TRUE(row.at("ci95_lo").is_number());
+    EXPECT_TRUE(row.at("ci95_hi").is_number());
+  }
+}
+
 TEST(ScenarioFactory, ChaosPresetIsRegistered) {
   const auto names = campaign::ScenarioFactory::preset_names();
   bool found = false;

@@ -1,5 +1,7 @@
 // Tests for the EDDI layer: ODE JSON round-trips, UavEddi integration of
 // all monitors, uncertainty calibration, and ConSert evidence derivation.
+#include <limits>
+
 #include <gtest/gtest.h>
 
 #include "sesame/eddi/consert_ode.hpp"
@@ -53,6 +55,20 @@ TEST(Ode, ScalarSerialization) {
   EXPECT_EQ(ode::Value(42).to_json(), "42");
   EXPECT_EQ(ode::Value(2.5).to_json(), "2.5");
   EXPECT_EQ(ode::Value("hi").to_json(), "\"hi\"");
+}
+
+TEST(Ode, NonFiniteNumbersSerializeAsNull) {
+  // RFC 8259 has no NaN/Inf token; the writer clamps to null so every
+  // emitted document re-parses (parse_json rejects bare "nan").
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  const double inf = std::numeric_limits<double>::infinity();
+  EXPECT_EQ(ode::Value(nan).to_json(), "null");
+  EXPECT_EQ(ode::Value(inf).to_json(), "null");
+  EXPECT_EQ(ode::Value(-inf).to_json(), "null");
+  ode::Value doc;
+  doc["stddev"] = nan;
+  EXPECT_EQ(doc.to_json(), "{\"stddev\":null}");
+  EXPECT_TRUE(ode::parse_json(doc.to_json()).at("stddev").is_null());
 }
 
 TEST(Ode, StringEscaping) {

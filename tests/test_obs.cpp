@@ -287,6 +287,69 @@ TEST(Registry, MergeRollsUpSnapshots) {
   EXPECT_THROW(clash.merge(run1.snapshot()), std::logic_error);
 }
 
+TEST(Registry, StampedGaugeMergeTakesHighestStamp) {
+  obs::MetricsRegistry run_a;
+  run_a.gauge("sesame.sim.time_s").set(400.0);
+  obs::MetricsRegistry run_b;
+  run_b.gauge("sesame.sim.time_s").set(120.0);
+
+  // Completion order (b then a) disagrees with run order (a = run 7,
+  // b = run 2): the higher-stamped value must win regardless.
+  obs::MetricsRegistry merged;
+  merged.merge(run_b.snapshot(), 3);
+  merged.merge(run_a.snapshot(), 8);
+  EXPECT_DOUBLE_EQ(merged.snapshot().find("sesame.sim.time_s")->value, 400.0);
+
+  obs::MetricsRegistry reversed;
+  reversed.merge(run_a.snapshot(), 8);
+  reversed.merge(run_b.snapshot(), 3);
+  EXPECT_DOUBLE_EQ(reversed.snapshot().find("sesame.sim.time_s")->value, 400.0);
+
+  // A snapshot of the merged registry remembers the winning stamp.
+  EXPECT_EQ(merged.snapshot().find("sesame.sim.time_s")->gauge_stamp, 8u);
+}
+
+// The service-tenant property (the bug this pins): folding one fixed set of
+// stamped per-run snapshots must produce bit-identical merged state under
+// EVERY merge permutation — concurrent tenants see runs complete in
+// arbitrary order. Exhaustive over all 4! permutations of 4 runs.
+TEST(Registry, StampedGaugeMergeIsPermutationInvariant) {
+  std::vector<obs::MetricsSnapshot> snaps;
+  for (int run = 0; run < 4; ++run) {
+    obs::MetricsRegistry reg;
+    reg.gauge("sesame.sim.time_s").set(100.0 * (3 - run));
+    reg.gauge("sesame.platform.fleet_availability")
+        .set(0.25 * (run % 2 ? run : 4 - run));
+    reg.counter("sesame.mw.publish_total").inc(run + 1.0);
+    snaps.push_back(reg.snapshot());
+  }
+
+  std::string reference;
+  std::vector<std::size_t> order{0, 1, 2, 3};
+  do {
+    obs::MetricsRegistry merged;
+    for (const std::size_t i : order) merged.merge(snaps[i], i + 1);
+    const std::string rendered = obs::render_prometheus(merged.snapshot());
+    if (reference.empty()) {
+      reference = rendered;
+    } else {
+      EXPECT_EQ(rendered, reference)
+          << "order " << order[0] << order[1] << order[2] << order[3];
+    }
+  } while (std::next_permutation(order.begin(), order.end()));
+}
+
+TEST(Registry, UnstampedMergeKeepsLastWinsForInOrderCallers) {
+  obs::MetricsRegistry a;
+  a.gauge("g").set(1.0);
+  obs::MetricsRegistry b;
+  b.gauge("g").set(-5.0);  // smaller value, later merge: must still win
+  obs::MetricsRegistry merged;
+  merged.merge(a.snapshot());
+  merged.merge(b.snapshot());
+  EXPECT_DOUBLE_EQ(merged.snapshot().find("g")->value, -5.0);
+}
+
 TEST(Prometheus, RendersCountersGaugesWithSanitizedNames) {
   obs::MetricsRegistry reg;
   reg.counter("sesame.mw.publish_total", {{"topic", "uav/uav1/telemetry"}})

@@ -1,0 +1,422 @@
+// Tests for the campaign service: submission parsing and cache digests,
+// the service core (byte-identity vs the campaign layer, result cache,
+// admission control, graceful drain), the HTTP adapter, the framed wire
+// transport, and the shared SIGINT/SIGTERM drain latch.
+//
+// The headline contract is byte-identity (docs/SERVICE.md): a report
+// fetched from the service — over any transport, at any executor count,
+// under multi-tenant concurrency — is exactly campaign_json() of the same
+// (scenario, runs, seed), i.e. the bytes campaign_cli --json writes.
+#include <csignal>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "sesame/campaign/campaign.hpp"
+#include "sesame/campaign/report.hpp"
+#include "sesame/eddi/ode.hpp"
+#include "sesame/mw/bus.hpp"
+#include "sesame/platform/config_io.hpp"
+#include "sesame/service/drain.hpp"
+#include "sesame/service/http.hpp"
+#include "sesame/service/service.hpp"
+#include "sesame/service/submission.hpp"
+#include "sesame/service/wire.hpp"
+
+namespace campaign = sesame::campaign;
+namespace platform = sesame::platform;
+namespace service = sesame::service;
+namespace ode = sesame::eddi::ode;
+
+namespace {
+
+/// A scenario small enough to run many campaigns in the test suite.
+std::string tiny_config_json(std::size_t n_uavs, std::size_t n_persons) {
+  platform::RunnerConfig config =
+      campaign::ScenarioFactory::default_scenario();
+  config.n_uavs = n_uavs;
+  config.area = {0.0, 150.0, 0.0, 150.0};
+  config.n_persons = n_persons;
+  config.max_time_s = 150.0;
+  config.sesame_enabled = false;
+  return platform::config_to_json(config).to_json();
+}
+
+service::Submission tiny_submission(const std::string& tenant,
+                                    std::uint64_t seed, std::size_t runs = 3,
+                                    std::size_t n_uavs = 2) {
+  service::Submission s;
+  s.tenant = tenant;
+  s.config_json = tiny_config_json(n_uavs, 3);
+  s.runs = runs;
+  s.seed = seed;
+  return s;
+}
+
+/// The reference bytes: what campaign_cli --json would write for the same
+/// submission (resolved identically, run in-process).
+std::string expected_report_bytes(const service::Submission& s) {
+  service::ResolvedCampaign resolved = service::resolve(s);
+  resolved.config.jobs = 2;  // any worker count: determinism contract
+  return campaign::campaign_json(
+      campaign::run_campaign(resolved.factory, resolved.config));
+}
+
+/// Moves bytes between a wire client and a server session until neither
+/// side has anything left to say.
+void pump(service::WireSession& server, service::WireClient& client) {
+  for (int i = 0; i < 64; ++i) {
+    bool moved = false;
+    if (client.has_outbound()) {
+      server.feed(client.take_outbound());
+      moved = true;
+    }
+    if (server.has_outbound()) {
+      client.feed(server.take_outbound());
+      moved = true;
+    }
+    if (!moved) return;
+  }
+  FAIL() << "wire pump did not quiesce";
+}
+
+}  // namespace
+
+TEST(Submission, CanonicalJsonRoundTrips) {
+  service::Submission s = tiny_submission("alpha", 42);
+  s.chaos = false;
+  const std::string canonical = service::submission_to_json(s);
+  const service::Submission back = service::submission_from_json(canonical);
+  EXPECT_EQ(service::submission_to_json(back), canonical);
+  EXPECT_EQ(service::resolve(back).digest, service::resolve(s).digest);
+}
+
+TEST(Submission, RejectsMalformedDocuments) {
+  EXPECT_THROW(service::submission_from_json("not json"), std::runtime_error);
+  EXPECT_THROW(service::submission_from_json("[1,2]"), std::runtime_error);
+  // A typo must not silently become a default.
+  EXPECT_THROW(service::submission_from_json(R"({"rnus": 4})"),
+               std::runtime_error);
+  EXPECT_THROW(service::submission_from_json(R"({"runs": 0})"),
+               std::invalid_argument);
+  // Bad presets are rejected at submit time, not minutes later on an
+  // executor.
+  EXPECT_ANY_THROW(
+      service::submission_from_json(R"({"preset": "no_such_preset"})"));
+}
+
+TEST(Submission, DigestIgnoresFormattingButNotSemantics) {
+  const std::string config = tiny_config_json(2, 3);
+  const auto digest_of = [&](const std::string& text) {
+    return service::resolve(service::submission_from_json(text)).digest;
+  };
+  // Key order and whitespace cannot split the cache...
+  const std::string a =
+      R"({"runs": 4, "seed": "7", "config": )" + config + "}";
+  const std::string b =
+      R"({  "config": )" + config + R"(, "seed": 7, "runs": 4})";
+  EXPECT_EQ(digest_of(a), digest_of(b));
+  // ...but every identity-bearing field does.
+  const std::string other_seed =
+      R"({"runs": 4, "seed": "8", "config": )" + config + "}";
+  const std::string other_runs =
+      R"({"runs": 5, "seed": "7", "config": )" + config + "}";
+  EXPECT_NE(digest_of(a), digest_of(other_seed));
+  EXPECT_NE(digest_of(a), digest_of(other_runs));
+}
+
+TEST(Service, ConcurrentTenantsGetCampaignCliBytes) {
+  // Three tenants, three distinct campaigns, all in flight at once; each
+  // report must be byte-identical to the same campaign run via the
+  // campaign layer directly (what campaign_cli --json writes).
+  const std::vector<service::Submission> submissions = {
+      tiny_submission("alpha", 7, 3, 2),
+      tiny_submission("bravo", 11, 4, 2),
+      tiny_submission("carol", 13, 3, 3),
+  };
+
+  service::ServiceLimits limits;
+  limits.executors = 3;
+  service::CampaignService svc(limits);
+  std::vector<std::uint64_t> jobs;
+  for (const auto& s : submissions) {
+    const auto outcome = svc.submit(s);
+    ASSERT_TRUE(outcome.accepted) << outcome.reject_reason;
+    jobs.push_back(outcome.job_id);
+  }
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    const auto status = svc.wait(jobs[i]);
+    ASSERT_EQ(status.state, service::JobState::kCompleted) << status.error;
+    EXPECT_EQ(status.runs_completed, submissions[i].runs);
+    EXPECT_EQ(svc.report(jobs[i]), expected_report_bytes(submissions[i]))
+        << "tenant " << submissions[i].tenant;
+  }
+}
+
+TEST(Service, CacheHitReturnsIdenticalBytesWithoutRerunning) {
+  service::CampaignService svc;
+  const service::Submission s = tiny_submission("alpha", 21);
+  const auto first = svc.submit(s);
+  ASSERT_TRUE(first.accepted);
+  ASSERT_EQ(svc.wait(first.job_id).state, service::JobState::kCompleted);
+
+  // Different tenant, differently formatted document, same resolved
+  // campaign: completes synchronously from the cache.
+  service::Submission again = s;
+  again.tenant = "bravo";
+  const auto second = svc.submit(again);
+  ASSERT_TRUE(second.accepted);
+  const auto status = svc.status(second.job_id);
+  EXPECT_EQ(status.state, service::JobState::kCompleted);
+  EXPECT_TRUE(status.cache_hit);
+  EXPECT_EQ(svc.cache_hits(), 1u);
+  EXPECT_EQ(svc.report(second.job_id), svc.report(first.job_id));
+
+  // The event log records the cache hit instead of fabricating runs.
+  bool saw_cache_hit = false;
+  for (const auto& line : svc.events(second.job_id, 0)) {
+    if (ode::parse_json(line).at("event").as_string() == "cache_hit") {
+      saw_cache_hit = true;
+    }
+  }
+  EXPECT_TRUE(saw_cache_hit);
+}
+
+TEST(Service, AdmissionRejectsOverCapsAndWhileDraining) {
+  service::ServiceLimits limits;
+  limits.max_runs_per_campaign = 4;
+  service::CampaignService svc(limits);
+
+  const auto too_big = svc.submit(tiny_submission("alpha", 3, /*runs=*/5));
+  EXPECT_FALSE(too_big.accepted);
+  EXPECT_EQ(too_big.reject_reason, "runs_cap");
+
+  svc.drain();
+  const auto while_drained = svc.submit(tiny_submission("alpha", 3));
+  EXPECT_FALSE(while_drained.accepted);
+  EXPECT_EQ(while_drained.reject_reason, "draining");
+}
+
+TEST(Service, DrainHandsBackEveryUnfinishedSubmission) {
+  service::ServiceLimits limits;
+  limits.executors = 1;
+  service::CampaignService svc(limits);
+
+  // One long campaign occupies the only executor; two more queue behind.
+  std::vector<std::uint64_t> jobs;
+  jobs.push_back(svc.submit(tiny_submission("alpha", 5, /*runs=*/400)).job_id);
+  jobs.push_back(svc.submit(tiny_submission("alpha", 6)).job_id);
+  jobs.push_back(svc.submit(tiny_submission("bravo", 7)).job_id);
+
+  const auto spooled = svc.drain();
+
+  // No orphans: every job either completed or came back for spooling, and
+  // nothing is left queued or running.
+  std::size_t completed = 0;
+  for (const auto id : jobs) {
+    const auto status = svc.status(id);
+    ASSERT_TRUE(status.state == service::JobState::kCompleted ||
+                status.state == service::JobState::kDrained)
+        << job_state_name(status.state);
+    if (status.state == service::JobState::kCompleted) ++completed;
+  }
+  EXPECT_EQ(spooled.size(), jobs.size() - completed);
+  EXPECT_GE(spooled.size(), 2u);  // at most the running job finished
+
+  // Spooled submissions survive the round trip to the spool directory.
+  for (const auto& s : spooled) {
+    const auto back =
+        service::submission_from_json(service::submission_to_json(s));
+    EXPECT_EQ(service::resolve(back).digest, service::resolve(s).digest);
+  }
+  // A second drain is a no-op.
+  EXPECT_TRUE(svc.drain().empty());
+}
+
+TEST(Service, EventLogIsCursorPollable) {
+  service::CampaignService svc;
+  const auto outcome = svc.submit(tiny_submission("alpha", 31));
+  ASSERT_TRUE(outcome.accepted);
+  ASSERT_EQ(svc.wait(outcome.job_id).state, service::JobState::kCompleted);
+
+  const auto all = svc.events(outcome.job_id, 0);
+  ASSERT_GE(all.size(), 3u);  // queued, started, runs..., completed
+  EXPECT_EQ(ode::parse_json(all.front()).at("event").as_string(), "queued");
+  EXPECT_EQ(ode::parse_json(all.back()).at("event").as_string(), "completed");
+  for (const auto& line : all) {
+    EXPECT_NO_THROW(ode::parse_json(line)) << line;
+  }
+  // Cursor semantics: a caller that consumed N lines sees only the tail.
+  EXPECT_EQ(svc.events(outcome.job_id, all.size()).size(), 0u);
+  EXPECT_EQ(svc.events(outcome.job_id, all.size() - 1).size(), 1u);
+
+  // Service-side metrics stay on their own surface, never in reports.
+  const std::string prom = svc.metrics_prometheus();
+  EXPECT_NE(prom.find("sesame_service_submissions_total"), std::string::npos);
+  EXPECT_EQ(svc.report(outcome.job_id).find("sesame.service."),
+            std::string::npos);
+}
+
+TEST(Http, IncrementalParserReassemblesSplitRequests) {
+  const std::string raw =
+      "POST /api/v1/campaigns?x=1 HTTP/1.1\r\n"
+      "Host: localhost\r\n"
+      "Content-Length: 11\r\n"
+      "\r\n"
+      "{\"runs\": 4}";
+  service::HttpConnection conn;
+  // Feed one byte at a time: the request must assemble exactly once.
+  std::optional<service::HttpRequest> req;
+  for (std::size_t i = 0; i < raw.size(); ++i) {
+    auto got = conn.feed(raw.data() + i, 1);
+    if (got) {
+      EXPECT_EQ(i, raw.size() - 1);
+      req = std::move(got);
+    }
+  }
+  ASSERT_TRUE(req.has_value());
+  EXPECT_EQ(req->method, "POST");
+  EXPECT_EQ(req->path, "/api/v1/campaigns");
+  EXPECT_EQ(req->query, "x=1");
+  EXPECT_EQ(req->headers.at("content-length"), "11");
+  EXPECT_EQ(req->body, "{\"runs\": 4}");
+
+  service::HttpConnection bad;
+  bad.feed("garbage\r\n\r\n", 11);
+  EXPECT_TRUE(bad.failed());
+}
+
+TEST(Http, RoutesTheFullJobLifecycle) {
+  service::CampaignService svc;
+  const service::Submission s = tiny_submission("alpha", 77);
+
+  const auto respond = [&](const std::string& method, const std::string& path,
+                           const std::string& body = "",
+                           const std::string& query = "") {
+    service::HttpRequest req;
+    req.method = method;
+    req.path = path;
+    req.query = query;
+    req.body = body;
+    return service::handle_request(svc, req);
+  };
+
+  // Submit.
+  const auto accepted =
+      respond("POST", "/api/v1/campaigns", service::submission_to_json(s));
+  ASSERT_EQ(accepted.status, 202) << accepted.body;
+  const auto job = static_cast<std::uint64_t>(
+      ode::parse_json(accepted.body).at("job").as_number());
+  const std::string base = "/api/v1/jobs/" + std::to_string(job);
+
+  // Malformed and misrouted requests map to protocol errors.
+  EXPECT_EQ(respond("POST", "/api/v1/campaigns", "{oops").status, 400);
+  EXPECT_EQ(respond("GET", "/api/v1/campaigns").status, 405);
+  EXPECT_EQ(respond("GET", "/api/v1/jobs/999999").status, 404);
+  EXPECT_EQ(respond("GET", "/nope").status, 404);
+  EXPECT_EQ(respond("GET", base + "/nope").status, 404);
+
+  ASSERT_EQ(svc.wait(job).state, service::JobState::kCompleted);
+
+  const auto status = respond("GET", base);
+  EXPECT_EQ(status.status, 200);
+  EXPECT_EQ(ode::parse_json(status.body).at("state").as_string(),
+            "completed");
+
+  const auto events = respond("GET", base + "/events", "", "cursor=0");
+  EXPECT_EQ(events.status, 200);
+  EXPECT_GE(ode::parse_json(events.body).at("events").as_array().size(), 3u);
+
+  // The report route returns the byte-identity surface verbatim.
+  const auto report = respond("GET", base + "/report");
+  EXPECT_EQ(report.status, 200);
+  EXPECT_EQ(report.body, svc.report(job));
+  EXPECT_EQ(report.body, expected_report_bytes(s));
+
+  const auto health = respond("GET", "/healthz");
+  EXPECT_EQ(health.status, 200);
+  const auto metrics = respond("GET", "/metrics");
+  EXPECT_NE(metrics.body.find("sesame_service_jobs_completed_total"),
+            std::string::npos);
+
+  svc.drain();
+  EXPECT_EQ(
+      respond("POST", "/api/v1/campaigns", service::submission_to_json(s))
+          .status,
+      503);
+}
+
+TEST(Wire, LoopbackSessionDeliversByteIdenticalReport) {
+  service::CampaignService svc;
+  sesame::mw::Bus alert_bus;
+  service::WireSession server(svc, alert_bus, "test_link");
+  service::WireClient client;
+  server.start();
+  client.start();
+
+  const service::Submission s = tiny_submission("alpha", 55);
+  client.submit(s);
+  pump(server, client);
+
+  ASSERT_TRUE(client.established());
+  ASSERT_TRUE(client.has_response());
+  const auto accepted = ode::parse_json(client.pop_response());
+  ASSERT_EQ(accepted.at("type").as_string(), "accepted") << accepted.to_json();
+  const auto job =
+      static_cast<std::uint64_t>(accepted.at("job").as_number());
+
+  ASSERT_EQ(svc.wait(job).state, service::JobState::kCompleted);
+
+  client.poll_events(job, 0);
+  pump(server, client);
+
+  // The poll of a completed job streams the events, announces the report,
+  // and ships the raw bytes as one frame.
+  ASSERT_TRUE(client.has_response());
+  const auto events = ode::parse_json(client.pop_response());
+  EXPECT_EQ(events.at("type").as_string(), "events");
+  EXPECT_GE(events.at("events").as_array().size(), 3u);
+  ASSERT_TRUE(client.report_received());
+  EXPECT_EQ(client.report(), expected_report_bytes(s));
+
+  // A clean session raises no wire-security alerts.
+  server.poll_security(1.0);
+  EXPECT_EQ(server.counters().crc_errors, 0u);
+  EXPECT_EQ(server.counters().replays_rejected, 0u);
+}
+
+TEST(Wire, BadRequestsGetStructuredErrors) {
+  service::CampaignService svc;
+  sesame::mw::Bus alert_bus;
+  service::WireSession server(svc, alert_bus, "test_link");
+  service::WireClient client;
+  server.start();
+  client.start();
+
+  client.request_status(404);  // no such job
+  pump(server, client);
+  ASSERT_TRUE(client.has_response());
+  const auto reply = ode::parse_json(client.pop_response());
+  EXPECT_EQ(reply.at("type").as_string(), "error");
+  EXPECT_NE(reply.at("error").as_string().find("no such job"),
+            std::string::npos);
+}
+
+TEST(Drain, SignalLatchTripsOnceAndIsExclusive) {
+  service::DrainSignal drain;
+  EXPECT_FALSE(drain.requested());
+  EXPECT_FALSE(drain.flag()->load());
+
+  // Only one latch may own the process-wide handlers at a time.
+  EXPECT_THROW(service::DrainSignal(), std::logic_error);
+
+  std::raise(SIGTERM);  // the installed handler only flips the latch
+  EXPECT_TRUE(drain.requested());
+  EXPECT_TRUE(drain.flag()->load());
+
+  drain.reset();
+  EXPECT_FALSE(drain.requested());
+}
